@@ -1,0 +1,61 @@
+package bqs
+
+import (
+	"github.com/trajcomp/bqs/internal/baseline"
+)
+
+// The comparison algorithms evaluated by the paper, re-exported for
+// benchmarking and for applications that want a windowed or offline
+// compressor with the same Point types.
+
+// BufferedDP is the Buffered Douglas-Peucker online baseline
+// (Section III-B1). Obtain one with NewBufferedDP.
+type BufferedDP = baseline.BufferedDP
+
+// BufferedGreedy is the Buffered Greedy Deviation (sliding window)
+// baseline (Section III-B2). Obtain one with NewBufferedGreedy.
+type BufferedGreedy = baseline.BufferedGreedy
+
+// DeadReckoning is the velocity-extrapolation reporter the paper compares
+// FBQS against on synthetic data. Obtain one with NewDeadReckoning.
+type DeadReckoning = baseline.DeadReckoning
+
+// DouglasPeucker compresses offline with the classic Douglas-Peucker
+// algorithm: error-bounded, O(n²) worst case, requires the whole
+// trajectory.
+func DouglasPeucker(pts []Point, tolerance float64, metric Metric) ([]Point, error) {
+	return baseline.DouglasPeucker(pts, tolerance, metric)
+}
+
+// NewBufferedDP returns a Buffered Douglas-Peucker compressor with the
+// given buffer capacity (the paper evaluates 32-256).
+func NewBufferedDP(tolerance float64, bufSize int, metric Metric) (*BufferedDP, error) {
+	return baseline.NewBufferedDP(tolerance, bufSize, metric)
+}
+
+// NewBufferedGreedy returns a Buffered Greedy Deviation compressor.
+func NewBufferedGreedy(tolerance float64, bufSize int, metric Metric) (*BufferedGreedy, error) {
+	return baseline.NewBufferedGreedy(tolerance, bufSize, metric)
+}
+
+// NewDeadReckoning returns a dead-reckoning reporter with the given
+// prediction-error tolerance.
+func NewDeadReckoning(tolerance float64) (*DeadReckoning, error) {
+	return baseline.NewDeadReckoning(tolerance)
+}
+
+// SquishELambda compresses with SQUISH-E(λ): compression-ratio-bounded,
+// online, error unbounded (related work the paper discusses).
+func SquishELambda(pts []Point, lambda float64) ([]Point, error) {
+	return baseline.SquishELambda(pts, lambda)
+}
+
+// SquishEMu compresses with SQUISH-E(μ): SED-error-bounded, offline.
+func SquishEMu(pts []Point, mu float64) ([]Point, error) {
+	return baseline.SquishEMu(pts, mu)
+}
+
+// UniformSample keeps every k-th point: the no-guarantee strawman.
+func UniformSample(pts []Point, k int) ([]Point, error) {
+	return baseline.UniformSample(pts, k)
+}

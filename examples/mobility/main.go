@@ -1,0 +1,99 @@
+// Mobility: the paper's closing vision — "online and individualized smart
+// systems for long-term tracking ... real-time trip prediction or
+// trip-duration estimation". This example compresses two months of
+// flying-fox movement with an ADAPTIVE tolerance (the controller holds a
+// 90-day storage horizon), then mines the compressed trajectory for
+// waypoints and trips and trains a next-destination predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/trajcomp/bqs"
+)
+
+func main() {
+	cfg := bqs.DefaultBatConfig(2024)
+	cfg.Days = 60
+	trace := bqs.GenerateBat(cfg)
+	points := trace.Points()
+	fmt.Printf("generated %d fixes over %d days (%.0f km flown)\n",
+		len(points), cfg.Days, trace.PathLength()/1000)
+
+	// Adaptive tolerance: aim the 50 KB budget at a 90-day horizon,
+	// re-tuning once per day of data.
+	ctrl, err := bqs.NewAdaptiveController(bqs.DefaultStorageModel(), 90, 10, 2, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var keys []bqs.Point
+	const day = 24 * 3600.0
+	start := 0
+	for d := 0; start < len(points); d++ {
+		end := start
+		for end < len(points) && points[end].T < float64(d+1)*day {
+			end++
+		}
+		if end == start {
+			continue
+		}
+		c, err := bqs.NewFBQS(ctrl.Tolerance())
+		if err != nil {
+			log.Fatal(err)
+		}
+		dayKeys := bqs.Compress(c, points[start:end])
+		keys = append(keys, dayKeys...)
+		ctrl.Observe(len(dayKeys), end-start)
+		start = end
+	}
+	fmt.Printf("adaptive compression kept %d key points (%.1f%%); tolerance settled at %.1f m;\n"+
+		"projected storage horizon %.0f days (target 90)\n",
+		len(keys), 100*float64(len(keys))/float64(len(points)),
+		ctrl.Tolerance(), ctrl.ProjectedDays())
+
+	// Mine the compressed trajectory.
+	stays := bqs.DetectStays(keys, 150, 30*60, 5)
+	wps := bqs.ClusterWaypoints(stays, 400)
+	fmt.Printf("discovered %d stays clustering into %d waypoints\n", len(stays), len(wps))
+	for i, w := range wps {
+		if i >= 4 {
+			break
+		}
+		kind := "foraging site"
+		if math.Hypot(w.X, w.Y) < 400 {
+			kind = "camp (roost)"
+		}
+		fmt.Printf("  waypoint %d: (%6.0f, %6.0f) — %3d visits, %5.1f h total dwell  [%s]\n",
+			w.ID, w.X, w.Y, w.Visits, w.TotalDuration/3600, kind)
+	}
+
+	trips := bqs.ExtractTrips(keys, stays, wps, 400, 300)
+	// Keep real site-to-site journeys; drop micro-excursions that return
+	// to the same waypoint.
+	journeys := trips[:0:0]
+	for _, tr := range trips {
+		if tr.From != tr.To {
+			journeys = append(journeys, tr)
+		}
+	}
+	fmt.Printf("extracted %d trips between waypoints (%d site-to-site journeys)\n",
+		len(trips), len(journeys))
+
+	pred, err := bqs.NewTripPredictor(len(wps))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred.Train(journeys)
+
+	// The question a smart tracking system answers at dusk: where will the
+	// animal go next, and for how long will it be in the air?
+	camp := wps[0].ID
+	if next, prob, ok := pred.PredictNext(camp); ok {
+		mean, std, _ := pred.EstimateDuration(camp, next)
+		fmt.Printf("leaving the camp, the bat most likely heads to waypoint %d "+
+			"(%.0f%% of departures), trip time %.0f ± %.0f min\n",
+			next, 100*prob, mean/60, std/60)
+	}
+}

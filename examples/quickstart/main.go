@@ -1,0 +1,66 @@
+// Quickstart: project a handful of GPS fixes, compress them with FBQS,
+// validate the error bound, and reconstruct an intermediate position.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trajcomp/bqs"
+)
+
+func main() {
+	// A short drive through Brisbane, one fix per 30 s.
+	fixes := []bqs.GeoPoint{
+		{Lat: -27.4698, Lon: 153.0251, T: 0},
+		{Lat: -27.4689, Lon: 153.0263, T: 30},
+		{Lat: -27.4680, Lon: 153.0275, T: 60},
+		{Lat: -27.4671, Lon: 153.0287, T: 90},
+		{Lat: -27.4662, Lon: 153.0299, T: 120},
+		{Lat: -27.4662, Lon: 153.0321, T: 150}, // right turn
+		{Lat: -27.4662, Lon: 153.0343, T: 180},
+		{Lat: -27.4662, Lon: 153.0365, T: 210},
+	}
+
+	// 1. Project into the UTM metric plane (the paper's coordinate system).
+	var proj bqs.Projector
+	points := make([]bqs.Point, 0, len(fixes))
+	for _, g := range fixes {
+		p, err := proj.Project(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points = append(points, p)
+	}
+
+	// 2. Compress online with the fast Bounded Quadrant System: O(1) time
+	// and space per point, 10 m deviation bound.
+	c, err := bqs.NewFBQS(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys := bqs.Compress(c, points)
+	fmt.Printf("compressed %d fixes to %d key points (rate %.0f%%)\n",
+		len(points), len(keys), 100*float64(len(keys))/float64(len(points)))
+
+	// 3. The guarantee: every original fix is within 10 m of its segment.
+	worst, ok := bqs.ValidateErrorBound(points, keys, 10, bqs.MetricLine)
+	fmt.Printf("worst deviation %.2f m, bound holds: %v\n", worst, ok)
+
+	// 4. Reconstruct where the vehicle was at t = 45 s and map it back to
+	// latitude/longitude.
+	p45, err := bqs.Reconstruct(keys, 45, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g45, err := proj.Unproject(p45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=45s reconstruction: %.5f, %.5f\n", g45.Lat, g45.Lon)
+
+	// 5. Decision statistics.
+	st := c.Stats()
+	fmt.Printf("%d points processed into %d segments, %d decided from bounds alone\n",
+		st.Points, st.Segments+1, st.BoundIncludes+st.BoundRestarts)
+}

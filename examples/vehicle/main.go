@@ -1,0 +1,76 @@
+// Vehicle: compress two weeks of urban driving, then feed the compressed
+// trajectories through the historical store with error-bounded merging
+// (recurring commutes deduplicate) and error-bounded ageing (old history
+// re-compressed at a coarser tolerance) — the paper's Section V-F
+// maintenance procedures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trajcomp/bqs"
+)
+
+func main() {
+	cfg := bqs.DefaultVehicleConfig(21)
+	cfg.Days = 14
+	trace := bqs.GenerateVehicle(cfg)
+	points := trace.Points()
+	fmt.Printf("generated %d fixes over %d days (%.0f km driven)\n",
+		len(points), cfg.Days, trace.PathLength()/1000)
+
+	// Compress day by day (one trajectory per day), inserting each into
+	// the store.
+	store, err := bqs.NewStore(bqs.StoreConfig{MergeTolerance: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const day = 24 * 3600.0
+	totalKeys := 0
+	start := 0
+	for d := 0; start < len(points); d++ {
+		end := start
+		for end < len(points) && points[end].T < float64(d+1)*day {
+			end++
+		}
+		if end == start {
+			continue
+		}
+		c, err := bqs.NewBQS(10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys := bqs.Compress(c, points[start:end])
+		totalKeys += len(keys)
+		store.InsertTrajectory(keys)
+		start = end
+	}
+
+	inserted, merged := store.Stats()
+	fmt.Printf("compressed to %d key points; store holds %d segments "+
+		"(%d inserted, %d merged away as repeated routes)\n",
+		totalKeys, store.Len(), inserted, merged)
+	fmt.Printf("store wire size: %.1f KB\n", float64(store.StorageBytes())/1024)
+
+	// Ageing: after a week, history older than day 7 is re-compressed at
+	// 50 m — trading precision of old trips for space.
+	before := store.StorageBytes()
+	dropped, err := store.Age(7*day, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ageing (>7 days old, 50 m): dropped %d key points, %.1f KB → %.1f KB\n",
+		dropped, float64(before)/1024, float64(store.StorageBytes())/1024)
+
+	// Query: what do we know about the neighbourhood of the map origin?
+	segs := store.Query(-5000, -5000, 5000, 5000)
+	fmt.Printf("segments within 5 km of the origin: %d\n", len(segs))
+	heaviest := 0
+	for _, s := range segs {
+		if s.Weight > heaviest {
+			heaviest = s.Weight
+		}
+	}
+	fmt.Printf("most-travelled stored segment seen %d times\n", heaviest)
+}

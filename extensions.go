@@ -1,0 +1,90 @@
+package bqs
+
+import (
+	"github.com/trajcomp/bqs/internal/baseline"
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/device"
+	"github.com/trajcomp/bqs/internal/mobility"
+)
+
+// Extensions beyond the paper's evaluation: the N-dimensional compressor
+// (its conclusion's "4-D BQS" future work), waypoint/trip mining and
+// prediction over compressed trajectories, the adaptive tolerance
+// controller, and the STTrace ablation baseline.
+
+// PointN is a k-dimensional trajectory sample for the generalized
+// compressor.
+type PointN = core.PointN
+
+// BQSN is the k-dimensional streaming compressor; see NewBQSN.
+type BQSN = core.CompressorN
+
+// NewBQSN returns a k-dimensional compressor (e.g. k = 4 for
+// <x, y, altitude, scaled time>). fast selects FBQS semantics. Bounds come
+// from per-orthant axis-aligned boxes plus a movement-aligned box, both
+// valid by convexity; see internal/core for the construction notes.
+func NewBQSN(tolerance float64, dim int, fast bool, opts ...Option) (*BQSN, error) {
+	mode := core.ModeExact
+	if fast {
+		mode = core.ModeFast
+	}
+	cfg := core.Config{Tolerance: tolerance, Mode: mode}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.NewCompressorN(cfg, dim)
+}
+
+// Stay is a dwell inferred from a compressed trajectory.
+type Stay = mobility.Stay
+
+// Waypoint is a recurring stay location.
+type Waypoint = mobility.Waypoint
+
+// Trip is the movement between two consecutive stays.
+type Trip = mobility.Trip
+
+// TripPredictor is a first-order Markov model over waypoint transitions
+// with per-edge duration statistics.
+type TripPredictor = mobility.Predictor
+
+// DetectStays finds dwells in a compressed trajectory via the time-slack
+// signal (segment durations unexplained by travel at travelSpeed).
+func DetectStays(keys []Point, radius, minDur, travelSpeed float64) []Stay {
+	return mobility.DetectStays(keys, radius, minDur, travelSpeed)
+}
+
+// ClusterWaypoints merges recurring stays into waypoints, sorted by total
+// dwell time.
+func ClusterWaypoints(stays []Stay, cellSize float64) []Waypoint {
+	return mobility.ClusterWaypoints(stays, cellSize)
+}
+
+// ExtractTrips pairs consecutive stays into trips over the compressed key
+// points.
+func ExtractTrips(keys []Point, stays []Stay, wps []Waypoint, cellSize, minTripDur float64) []Trip {
+	return mobility.ExtractTrips(keys, stays, wps, cellSize, minTripDur)
+}
+
+// NewTripPredictor returns an empty predictor over n waypoints.
+func NewTripPredictor(n int) (*TripPredictor, error) { return mobility.NewPredictor(n) }
+
+// AdaptiveController adjusts the compression tolerance to hit a target
+// operational horizon on a storage budget.
+type AdaptiveController = device.AdaptiveController
+
+// NewAdaptiveController returns a tolerance controller for the storage
+// model; see the device package for the control law.
+func NewAdaptiveController(model StorageModel, targetDays, startTol, minTol, maxTol float64) (*AdaptiveController, error) {
+	return device.NewAdaptiveController(model, targetDays, startTol, minTol, maxTol)
+}
+
+// STTrace is the fixed-memory sampling baseline (Potamias et al.) for
+// ablation studies; it bounds memory, not error.
+type STTrace = baseline.STTrace
+
+// NewSTTrace returns an STTrace sampler with the given capacity and
+// prediction-filter threshold (0 disables the filter).
+func NewSTTrace(capacity int, threshold float64) (*STTrace, error) {
+	return baseline.NewSTTrace(capacity, threshold)
+}

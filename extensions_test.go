@@ -1,0 +1,98 @@
+package bqs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicBQSN(t *testing.T) {
+	c, err := NewBQSN(10, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []PointN
+	for i := 0; i < 200; i++ {
+		f := float64(i)
+		pts = append(pts, PointN{C: []float64{f * 10, f * 5, f * 2, f}, T: f})
+	}
+	keys, err := c.CompressBatchN(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Errorf("4-D straight line kept %d", len(keys))
+	}
+	if _, err := NewBQSN(10, 0, false); err == nil {
+		t.Error("dim 0 accepted")
+	}
+}
+
+func TestPublicMobilityPipeline(t *testing.T) {
+	cfg := DefaultBatConfig(8)
+	cfg.Days = 8
+	tr := GenerateBat(cfg)
+	c, err := NewBQS(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := Compress(c, tr.Points())
+	stays := DetectStays(keys, 150, 1800, 5)
+	if len(stays) == 0 {
+		t.Fatal("no stays")
+	}
+	wps := ClusterWaypoints(stays, 400)
+	if len(wps) == 0 {
+		t.Fatal("no waypoints")
+	}
+	trips := ExtractTrips(keys, stays, wps, 400, 300)
+	pred, err := NewTripPredictor(len(wps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Train(trips)
+	// The camp (waypoint 0 by dwell) must be discoverable near the origin.
+	if math.Hypot(wps[0].X, wps[0].Y) > 500 {
+		t.Errorf("camp not at origin: %+v", wps[0])
+	}
+}
+
+func TestPublicAdaptiveController(t *testing.T) {
+	ctrl, err := NewAdaptiveController(DefaultStorageModel(), 60, 10, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctrl.Tolerance()
+	for i := 0; i < 10; i++ {
+		ctrl.Observe(200, 1000) // 20%: far over budget
+	}
+	if ctrl.Tolerance() <= before {
+		t.Error("tolerance did not adapt")
+	}
+}
+
+func TestPublicSTTrace(t *testing.T) {
+	st, err := NewSTTrace(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateWalk(func() WalkConfig { c := DefaultWalkConfig(2); c.N = 2000; return c }())
+	for _, p := range tr.Points() {
+		st.Push(p)
+	}
+	if got := st.Result(); len(got) != 16 {
+		t.Errorf("kept %d, want 16", len(got))
+	}
+}
+
+func TestPublicDroppedPointsStat(t *testing.T) {
+	c, err := NewFBQS(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Push(Point{X: 0, T: 0})
+	c.Push(Point{X: math.NaN(), T: 1})
+	c.Push(Point{X: 100, T: 2})
+	if s := c.Stats(); s.DroppedPoints != 1 || s.Points != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}

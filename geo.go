@@ -1,0 +1,83 @@
+package bqs
+
+import (
+	"errors"
+
+	"github.com/trajcomp/bqs/internal/geo"
+)
+
+// GeoPoint is a raw GPS fix: WGS-84 degrees plus a timestamp in seconds.
+type GeoPoint struct {
+	Lat, Lon float64
+	T        float64
+}
+
+// Projector converts GPS fixes into the projected metric plane the
+// compressors operate on (the paper sets its axes "to the UTM projected x
+// and y axes"). The UTM zone is fixed by the first projected fix so that
+// trajectories straddling a zone boundary stay in one continuous plane.
+//
+// A Projector is not safe for concurrent use.
+type Projector struct {
+	zone  int
+	south bool
+	set   bool
+}
+
+// ErrNotProjected reports an Unproject call before any Project call.
+var ErrNotProjected = errors.New("bqs: projector has no zone yet (call Project first)")
+
+// Project converts a GPS fix to a projected Point.
+func (pr *Projector) Project(g GeoPoint) (Point, error) {
+	if !pr.set {
+		u, err := geo.ToUTM(g.Lat, g.Lon)
+		if err != nil {
+			return Point{}, err
+		}
+		pr.zone, pr.south, pr.set = u.Zone, u.South, true
+		return Point{X: u.Easting, Y: u.Northing, T: g.T}, nil
+	}
+	u, err := geo.ToUTMZone(g.Lat, g.Lon, pr.zone)
+	if err != nil {
+		return Point{}, err
+	}
+	// Keep the hemisphere of the first fix so northings stay continuous
+	// across the equator.
+	if u.South != pr.south {
+		if pr.south {
+			u.Northing += 10000000
+		} else {
+			u.Northing -= 10000000
+		}
+		u.South = pr.south
+	}
+	return Point{X: u.Easting, Y: u.Northing, T: g.T}, nil
+}
+
+// Unproject converts a projected Point back to a GPS fix.
+func (pr *Projector) Unproject(p Point) (GeoPoint, error) {
+	if !pr.set {
+		return GeoPoint{}, ErrNotProjected
+	}
+	lat, lon, err := geo.FromUTM(geo.UTM{
+		Easting: p.X, Northing: p.Y, Zone: pr.zone, South: pr.south,
+	})
+	if err != nil {
+		return GeoPoint{}, err
+	}
+	return GeoPoint{Lat: lat, Lon: lon, T: p.T}, nil
+}
+
+// Zone returns the projector's UTM zone (0 before the first Project).
+func (pr *Projector) Zone() int {
+	if !pr.set {
+		return 0
+	}
+	return pr.zone
+}
+
+// Haversine returns the great-circle distance in metres between two GPS
+// fixes.
+func Haversine(a, b GeoPoint) float64 {
+	return geo.Haversine(a.Lat, a.Lon, b.Lat, b.Lon)
+}

@@ -1,0 +1,103 @@
+package baseline
+
+import "github.com/trajcomp/bqs/internal/core"
+
+// BufferedGreedy is the paper's Buffered Greedy Deviation (Section III-B2),
+// a variant of the generic sliding-window algorithm: every arriving point
+// is appended to the buffer and the full deviation of the buffered points
+// from the line between the segment start and the new point is recomputed
+// (hence O(nL) time). When the deviation exceeds the tolerance the segment
+// is closed at the previous point — the same verified-end semantics as the
+// core package, so the output is error-bounded. When the buffer fills, the
+// segment is cut at the newest point, which is the compression-rate
+// weakness the paper describes.
+//
+// Not safe for concurrent use.
+type BufferedGreedy struct {
+	tolerance float64
+	metric    core.Metric
+	size      int
+
+	opened  bool
+	start   core.Point
+	lastInc core.Point
+	buf     []core.Point // interior far candidates of the current segment
+
+	points, keys, devScans int
+}
+
+// NewBufferedGreedy returns a Buffered Greedy Deviation compressor with the
+// given buffer capacity in points (≥ 3; the paper uses 32).
+func NewBufferedGreedy(tolerance float64, bufSize int, metric core.Metric) (*BufferedGreedy, error) {
+	if err := checkTolerance(tolerance); err != nil {
+		return nil, err
+	}
+	if bufSize < 3 {
+		return nil, ErrBadBuffer
+	}
+	return &BufferedGreedy{
+		tolerance: tolerance,
+		metric:    metric,
+		size:      bufSize,
+		buf:       make([]core.Point, 0, bufSize),
+	}, nil
+}
+
+// Push feeds the next point; it returns a finalized key point and true when
+// this push closed a segment.
+func (c *BufferedGreedy) Push(p core.Point) (core.Point, bool) {
+	c.points++
+	if !c.opened {
+		c.opened = true
+		c.start = p
+		c.lastInc = p
+		c.keys++
+		return p, true
+	}
+	c.devScans++
+	if core.MaxDeviation(c.buf, c.start, p, c.metric) > c.tolerance {
+		// Close the segment at the last verified point and restart there;
+		// p becomes the first candidate of the new segment.
+		kp := c.lastInc
+		c.keys++
+		c.start = kp
+		c.buf = c.buf[:0]
+		c.buf = append(c.buf, p)
+		c.lastInc = p
+		return kp, true
+	}
+	// Unlike BQS, the windowed baseline buffers every point — it has no
+	// Theorem 5.1 to exempt near points, which is why dwell phases fill the
+	// buffer and force the extra cuts the paper describes.
+	c.buf = append(c.buf, p)
+	c.lastInc = p
+	if len(c.buf) >= c.size {
+		// Buffer full: cut at the newest (already verified) point.
+		c.keys++
+		c.start = p
+		c.buf = c.buf[:0]
+		return p, true
+	}
+	return core.Point{}, false
+}
+
+// Flush closes the trajectory, returning the final key point if one is due.
+func (c *BufferedGreedy) Flush() (core.Point, bool) {
+	if !c.opened {
+		return core.Point{}, false
+	}
+	c.opened = false
+	kp := c.lastInc
+	c.buf = c.buf[:0]
+	if kp.Equal(c.start) {
+		return core.Point{}, false // single-point trajectory: already emitted
+	}
+	c.keys++
+	return kp, true
+}
+
+// Stats returns points consumed, key points emitted, and full deviation
+// scans performed.
+func (c *BufferedGreedy) Stats() (points, keyPoints, devScans int) {
+	return c.points, c.keys, c.devScans
+}

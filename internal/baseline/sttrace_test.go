@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+func TestSTTraceCapacityRespected(t *testing.T) {
+	st, err := NewSTTrace(32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := randomWalk(rand.New(rand.NewSource(1)), 1000, 10)
+	for _, p := range pts {
+		st.Push(p)
+	}
+	out := st.Result()
+	if len(out) != 32 {
+		t.Errorf("kept %d points, want 32", len(out))
+	}
+	points, kept := st.Stats()
+	if points != 1000 || kept != 32 {
+		t.Errorf("stats = (%d,%d)", points, kept)
+	}
+	// Endpoints preserved, order monotone.
+	if !out[0].Equal(pts[0]) || !out[len(out)-1].Equal(pts[len(pts)-1]) {
+		t.Error("endpoints not preserved")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].T <= out[i-1].T {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestSTTracePredictionFilter(t *testing.T) {
+	// A constant-velocity stream is perfectly predictable: with the filter
+	// on, almost everything after the first two points is dropped.
+	st, err := NewSTTrace(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		st.Push(core.Point{X: float64(i) * 10, Y: 0, T: float64(i)})
+	}
+	if _, kept := st.Stats(); kept > 3 {
+		t.Errorf("predictable stream kept %d points", kept)
+	}
+	// A zig-zag stream defeats the prediction and fills the buffer.
+	st2, _ := NewSTTrace(50, 5)
+	for i := 0; i < 500; i++ {
+		y := 0.0
+		if i%2 == 1 {
+			y = 100
+		}
+		st2.Push(core.Point{X: float64(i) * 10, Y: y, T: float64(i)})
+	}
+	if _, kept := st2.Stats(); kept != 50 {
+		t.Errorf("zig-zag kept %d, want full 50", kept)
+	}
+}
+
+func TestSTTraceKeepsCorners(t *testing.T) {
+	// On an L-shaped path the corner must survive eviction pressure.
+	st, _ := NewSTTrace(8, 0)
+	var pts []core.Point
+	for i := 0; i <= 50; i++ {
+		pts = append(pts, core.Point{X: float64(i) * 10, Y: 0, T: float64(i)})
+	}
+	for i := 1; i <= 50; i++ {
+		pts = append(pts, core.Point{X: 500, Y: float64(i) * 10, T: float64(50 + i)})
+	}
+	for _, p := range pts {
+		st.Push(p)
+	}
+	found := false
+	for _, p := range st.Result() {
+		if p.X == 500 && p.Y == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("corner evicted")
+	}
+}
+
+func TestSTTraceValidation(t *testing.T) {
+	if _, err := NewSTTrace(2, 0); err == nil {
+		t.Error("capacity 2 accepted")
+	}
+	if _, err := NewSTTrace(10, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	st, _ := NewSTTrace(10, 0)
+	if out := st.Result(); out != nil {
+		t.Errorf("empty result = %v", out)
+	}
+}
+
+func TestSTTraceUnboundedErrorVsBQS(t *testing.T) {
+	// The ablation story: at the same memory budget STTrace has no error
+	// guarantee, while FBQS (which holds ≤ 32 significant points) does.
+	rng := rand.New(rand.NewSource(3))
+	pts := smoothTrace(rng, 2000)
+	st, _ := NewSTTrace(32, 0)
+	for _, p := range pts {
+		st.Push(p)
+	}
+	stErr := maxSegmentError(pts, st.Result(), core.MetricLine)
+
+	fb, err := core.NewCompressor(core.Config{Tolerance: 10, Mode: core.ModeFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fb.CompressBatch(pts)
+	fbErr := maxSegmentError(pts, keys, core.MetricLine)
+	if fbErr > 10*(1+1e-9) {
+		t.Errorf("FBQS bound broken: %v", fbErr)
+	}
+	if stErr <= 10 {
+		t.Logf("note: STTrace happened to stay within 10 m on this trace (%.1f)", stErr)
+	}
+	t.Logf("32-point STTrace error %.1f m vs FBQS guaranteed ≤ 10 m (%d keys)", stErr, len(keys))
+}

@@ -1,0 +1,28 @@
+package baseline
+
+import (
+	"errors"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+// UniformSample keeps every k-th point (plus the first and last). It is the
+// ablation strawman: constant time and space like FBQS, but with no error
+// guarantee whatsoever — the gap between its error and its compression rate
+// against FBQS's is what motivates error-bounded compression.
+func UniformSample(pts []core.Point, k int) ([]core.Point, error) {
+	if k < 1 {
+		return nil, errors.New("baseline: sampling stride must be ≥ 1")
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	out := make([]core.Point, 0, len(pts)/k+2)
+	for i := 0; i < len(pts); i += k {
+		out = append(out, pts[i])
+	}
+	if last := pts[len(pts)-1]; !out[len(out)-1].Equal(last) {
+		out = append(out, last)
+	}
+	return out, nil
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math"
+
+	"github.com/trajcomp/bqs/internal/geom"
+)
+
+// Point3 is a trajectory sample in 3-space. Z carries altitude in metres
+// for 3-D tracking, or scaled time for the time-sensitive error metric
+// (Section V-G describes both uses).
+type Point3 struct {
+	X, Y, Z float64
+	T       float64
+}
+
+// Vec3 returns the spatial components of p.
+func (p Point3) Vec3() geom.Vec3 { return geom.V3(p.X, p.Y, p.Z) }
+
+// Equal reports whether two samples coincide in space and time.
+func (p Point3) Equal(o Point3) bool {
+	return p.X == o.X && p.Y == o.Y && p.Z == o.Z && p.T == o.T
+}
+
+// MaxDeviation3 returns the maximum 3-D deviation of pts from the path
+// between s and e under the given metric.
+func MaxDeviation3(pts []Point3, s, e Point3, metric Metric) float64 {
+	var maxD float64
+	for _, p := range pts {
+		var d float64
+		if metric == MetricSegment {
+			d = geom.DistToSegment3(p.Vec3(), s.Vec3(), e.Vec3())
+		} else {
+			d = geom.DistToLine3(p.Vec3(), s.Vec3(), e.Vec3())
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// Compressor3 is the 3-D BQS/FBQS streaming compressor (Section V-G). Its
+// interface mirrors Compressor: Push points in temporal order, collect the
+// emitted key points, Flush at the end of the trajectory.
+//
+// The data-centric rotation generalizes to an azimuthal rotation about the
+// z axis towards the warmup centroid, which keeps the same
+// bound-tightening effect for predominantly planar movement.
+//
+// A Compressor3 is not safe for concurrent use.
+type Compressor3 struct {
+	cfg   Config
+	stats Stats
+
+	started  bool
+	origin   Point3
+	lastInc  Point3
+	lastEmit Point3
+	haveEmit bool
+
+	rot        float64
+	warmupDone bool
+	warmup     []Point3
+
+	octs   [8]octant
+	buffer []Point3
+}
+
+// NewCompressor3 returns a 3-D compressor for the given configuration.
+// Config.Trace is ignored (no 3-D bound tracing).
+func NewCompressor3(cfg Config) (*Compressor3, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compressor3{cfg: cfg}
+	if cfg.RotationWarmup > 0 {
+		c.warmup = make([]Point3, 0, cfg.RotationWarmup)
+	}
+	c.startSegment(Point3{})
+	c.started = false
+	return c, nil
+}
+
+// Config returns the effective configuration.
+func (c *Compressor3) Config() Config { return c.cfg }
+
+// Stats returns the accumulated decision statistics.
+func (c *Compressor3) Stats() Stats { return c.stats }
+
+// BufferedPoints returns the number of points currently buffered.
+func (c *Compressor3) BufferedPoints() int { return len(c.buffer) + len(c.warmup) }
+
+// Reset clears all state and statistics.
+func (c *Compressor3) Reset() {
+	c.stats = Stats{}
+	c.haveEmit = false
+	c.startSegment(Point3{})
+	c.started = false
+}
+
+func (c *Compressor3) startSegment(p Point3) {
+	c.started = true
+	c.origin = p
+	c.lastInc = p
+	c.rot = 0
+	c.warmupDone = c.cfg.RotationWarmup == 0
+	c.warmup = c.warmup[:0]
+	c.buffer = c.buffer[:0]
+	for i := range c.octs {
+		c.octs[i].reset(i)
+	}
+}
+
+func (c *Compressor3) emit(kp Point3) {
+	c.lastEmit = kp
+	c.haveEmit = true
+	c.stats.KeyPoints++
+}
+
+// local maps a raw point into the segment frame (translated, azimuthally
+// rotated).
+func (c *Compressor3) local(p Point3) geom.Vec3 {
+	v := p.Vec3().Sub(c.origin.Vec3())
+	if c.rot != 0 {
+		xy := v.XY().Rotate(-c.rot)
+		v = geom.V3(xy.X, xy.Y, v.Z)
+	}
+	return v
+}
+
+// Push feeds the next point; it returns a finalized key point when one is
+// emitted. Non-finite points are dropped and counted in
+// Stats.DroppedPoints.
+func (c *Compressor3) Push(p Point3) (Point3, bool) {
+	if !p.Vec3().IsFinite() || math.IsNaN(p.T) || math.IsInf(p.T, 0) {
+		c.stats.DroppedPoints++
+		return Point3{}, false
+	}
+	c.stats.Points++
+	if !c.started {
+		c.startSegment(p)
+		c.emit(p)
+		return p, true
+	}
+	return c.process(p)
+}
+
+// Flush terminates the trajectory, returning the final key point if due.
+func (c *Compressor3) Flush() (Point3, bool) {
+	if !c.started {
+		return Point3{}, false
+	}
+	kp := c.lastInc
+	emit := !(c.haveEmit && c.lastEmit.Equal(kp))
+	if emit {
+		c.emit(kp)
+	}
+	c.startSegment(Point3{})
+	c.started = false
+	return kp, emit
+}
+
+func (c *Compressor3) process(e Point3) (Point3, bool) {
+	d := c.cfg.Tolerance
+
+	if !c.warmupDone {
+		if len(c.warmup) > 0 {
+			c.stats.FullComputations++
+			if MaxDeviation3(c.warmup, c.origin, e, c.cfg.Metric) > d {
+				c.stats.ExactRestarts++
+				return c.restartAt(e)
+			}
+			c.stats.ExactIncludes++
+		} else {
+			c.stats.BoundIncludes++
+		}
+		return c.include(e)
+	}
+
+	le := c.local(e)
+	var dlb, dub float64
+	for i := range c.octs {
+		o := &c.octs[i]
+		if o.n == 0 {
+			continue
+		}
+		olb, oub := o.bounds(le, c.cfg.Metric)
+		dlb = math.Max(dlb, olb)
+		dub = math.Max(dub, oub)
+	}
+
+	switch {
+	case dub <= d:
+		c.stats.BoundIncludes++
+		return c.include(e)
+	case dlb > d:
+		c.stats.BoundRestarts++
+		return c.restartAt(e)
+	}
+	if c.cfg.Mode == ModeFast {
+		c.stats.UncertainRestarts++
+		return c.restartAt(e)
+	}
+	c.stats.FullComputations++
+	if MaxDeviation3(c.buffer, c.origin, e, c.cfg.Metric) <= d {
+		c.stats.ExactIncludes++
+		return c.include(e)
+	}
+	c.stats.ExactRestarts++
+	return c.restartAt(e)
+}
+
+func (c *Compressor3) include(e Point3) (Point3, bool) {
+	c.lastInc = e
+	ev := e.Vec3().Sub(c.origin.Vec3())
+	if ev.Norm() <= c.cfg.Tolerance {
+		return Point3{}, false // Theorem 5.1 carries over to 3-D verbatim.
+	}
+	if !c.warmupDone {
+		c.warmup = append(c.warmup, e)
+		if len(c.warmup) >= c.cfg.RotationWarmup {
+			c.finishWarmup()
+		}
+		return Point3{}, false
+	}
+	lp := c.local(e)
+	c.octs[octantOf(lp)].insert(lp)
+	if c.cfg.Mode == ModeExact {
+		c.buffer = append(c.buffer, e)
+		if c.cfg.MaxBuffer > 0 && len(c.buffer) >= c.cfg.MaxBuffer {
+			c.stats.BufferOverflows++
+			c.stats.Segments++
+			c.emit(e)
+			c.startSegment(e)
+			return e, true
+		}
+	}
+	return Point3{}, false
+}
+
+func (c *Compressor3) finishWarmup() {
+	var centroid geom.Vec
+	for _, w := range c.warmup {
+		centroid = centroid.Add(w.Vec3().Sub(c.origin.Vec3()).XY())
+	}
+	centroid = centroid.Scale(1 / float64(len(c.warmup)))
+	if centroid.Norm() > geom.Eps {
+		c.rot = centroid.Angle()
+	}
+	c.warmupDone = true
+	for _, w := range c.warmup {
+		lp := c.local(w)
+		c.octs[octantOf(lp)].insert(lp)
+		if c.cfg.Mode == ModeExact {
+			c.buffer = append(c.buffer, w)
+		}
+	}
+	c.warmup = c.warmup[:0]
+}
+
+func (c *Compressor3) restartAt(e Point3) (Point3, bool) {
+	kp := c.lastInc
+	c.stats.Segments++
+	c.emit(kp)
+	c.startSegment(kp)
+	c.include(e)
+	return kp, true
+}
+
+// CompressBatch3 runs a fresh pass over pts and returns the compressed key
+// points.
+func (c *Compressor3) CompressBatch3(pts []Point3) []Point3 {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]Point3, 0, 16)
+	for _, p := range pts {
+		if kp, ok := c.Push(p); ok {
+			out = append(out, kp)
+		}
+	}
+	if kp, ok := c.Flush(); ok {
+		out = append(out, kp)
+	}
+	return out
+}
+
+// TimeSensitive wraps a Compressor3 to compress 2-D points under the
+// time-sensitive error metric of Section V-G: the z axis carries elapsed
+// time scaled by gamma (metres per second), so the deviation accounts for
+// when the object was where, not just where it went.
+type TimeSensitive struct {
+	inner *Compressor3
+	gamma float64
+	t0    float64
+	open  bool
+}
+
+// NewTimeSensitive returns a time-sensitive compressor. gamma converts
+// seconds of temporal error into metres of spatial error; it must be
+// positive and finite.
+func NewTimeSensitive(cfg Config, gamma float64) (*TimeSensitive, error) {
+	if math.IsNaN(gamma) || math.IsInf(gamma, 0) || gamma <= 0 {
+		return nil, errInvalidGamma
+	}
+	inner, err := NewCompressor3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TimeSensitive{inner: inner, gamma: gamma}, nil
+}
+
+var errInvalidGamma = errValue("core: gamma must be a positive finite m/s scale")
+
+type errValue string
+
+func (e errValue) Error() string { return string(e) }
+
+// Push feeds the next 2-D point.
+func (ts *TimeSensitive) Push(p Point) (Point, bool) {
+	if !ts.open {
+		ts.t0 = p.T
+		ts.open = true
+	}
+	kp3, ok := ts.inner.Push(ts.lift(p))
+	return ts.lower(kp3), ok
+}
+
+// Flush terminates the trajectory.
+func (ts *TimeSensitive) Flush() (Point, bool) {
+	kp3, ok := ts.inner.Flush()
+	ts.open = false
+	return ts.lower(kp3), ok
+}
+
+// Stats returns the accumulated statistics.
+func (ts *TimeSensitive) Stats() Stats { return ts.inner.Stats() }
+
+func (ts *TimeSensitive) lift(p Point) Point3 {
+	return Point3{X: p.X, Y: p.Y, Z: (p.T - ts.t0) * ts.gamma, T: p.T}
+}
+
+func (ts *TimeSensitive) lower(p Point3) Point {
+	return Point{X: p.X, Y: p.Y, T: p.T}
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the N-dimensional generalization the paper's
+// conclusion poses as future work ("Exploring the potential of a 4-D BQS
+// could be another interesting extension"). The construction follows the
+// same recipe as the 2-D quadrants and 3-D octants: split the local space
+// around the segment start into orthants, maintain a minimal bounding box
+// per orthant, and derive deviation bounds from it.
+//
+// In k dimensions the angular bounding machinery does not generalize
+// cheaply, so this variant uses the two parts that do:
+//
+//   - upper bound: the maximum deviation over the box's 2^k corners — the
+//     box contains every tracked point and the deviation is convex, so the
+//     corner maximum is a valid (Theorem 5.2-style) bound;
+//   - lower bound: the maximum deviation over the 2k witness data points
+//     that attain the box extremes — witnesses are real data points, so
+//     any of their deviations floors the true maximum.
+//
+// The per-point cost is O(2^k) with k fixed and small (the intended use is
+// k = 4: <x, y, z, scaled time>), preserving the constant-time/space story.
+
+// PointN is a trajectory sample in k spatial dimensions plus a timestamp.
+// All points fed to one CompressorN must share the same dimension.
+type PointN struct {
+	C []float64 // coordinates, len == k
+	T float64
+}
+
+// Clone returns a deep copy of p.
+func (p PointN) Clone() PointN {
+	c := make([]float64, len(p.C))
+	copy(c, p.C)
+	return PointN{C: c, T: p.T}
+}
+
+// Equal reports whether two samples coincide in space and time.
+func (p PointN) Equal(o PointN) bool {
+	if p.T != o.T || len(p.C) != len(o.C) {
+		return false
+	}
+	for i := range p.C {
+		if p.C[i] != o.C[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// distToLineN returns the distance from p to the line through a and b in
+// R^k (distance to a when the line is degenerate).
+func distToLineN(p, a, b []float64) float64 {
+	k := len(p)
+	var dir2, dot, diff2 float64
+	for i := 0; i < k; i++ {
+		d := b[i] - a[i]
+		w := p[i] - a[i]
+		dir2 += d * d
+		dot += d * w
+		diff2 += w * w
+	}
+	if dir2 < 1e-18 {
+		return math.Sqrt(diff2)
+	}
+	perp2 := diff2 - dot*dot/dir2
+	if perp2 < 0 {
+		return 0
+	}
+	return math.Sqrt(perp2)
+}
+
+// distToSegmentN returns the distance from p to the closed segment [a, b].
+func distToSegmentN(p, a, b []float64) float64 {
+	k := len(p)
+	var dir2, dot float64
+	for i := 0; i < k; i++ {
+		d := b[i] - a[i]
+		dir2 += d * d
+		dot += d * (p[i] - a[i])
+	}
+	t := 0.0
+	if dir2 > 1e-18 {
+		t = dot / dir2
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		q := a[i] + t*(b[i]-a[i])
+		w := p[i] - q
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxDeviationN returns the maximum deviation of pts from the path between
+// s and e under the metric.
+func MaxDeviationN(pts []PointN, s, e PointN, metric Metric) float64 {
+	var maxD float64
+	for _, p := range pts {
+		var d float64
+		if metric == MetricSegment {
+			d = distToSegmentN(p.C, s.C, e.C)
+		} else {
+			d = distToLineN(p.C, s.C, e.C)
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// orthantN is the bounding structure for one orthant of the local space.
+type orthantN struct {
+	n        int
+	min, max []float64
+	// witnesses[2i] attains min in dimension i; witnesses[2i+1] the max.
+	witnesses [][]float64
+}
+
+func newOrthantN(k int) *orthantN {
+	o := &orthantN{min: make([]float64, k), max: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		o.min[i] = math.Inf(1)
+		o.max[i] = math.Inf(-1)
+	}
+	o.witnesses = make([][]float64, 2*k)
+	return o
+}
+
+func (o *orthantN) insert(p []float64) {
+	for i, v := range p {
+		if v < o.min[i] {
+			o.min[i] = v
+			o.witnesses[2*i] = p
+		}
+		if v > o.max[i] {
+			o.max[i] = v
+			o.witnesses[2*i+1] = p
+		}
+	}
+	o.n++
+}
+
+// bounds computes the orthant's deviation bounds for the local path line
+// origin→le.
+func (o *orthantN) bounds(le []float64, metric Metric, origin []float64) (dlb, dub float64) {
+	if o.n == 0 {
+		return 0, 0
+	}
+	k := len(o.min)
+	distLB := func(p []float64) float64 { return distToLineN(p, origin, le) }
+	distUB := distLB
+	if metric == MetricSegment {
+		distUB = func(p []float64) float64 { return distToSegmentN(p, origin, le) }
+	}
+	for _, w := range o.witnesses {
+		if w == nil {
+			continue
+		}
+		if d := distLB(w); d > dlb {
+			dlb = d
+		}
+	}
+	// Enumerate the 2^k corners.
+	corner := make([]float64, k)
+	for mask := 0; mask < 1<<k; mask++ {
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				corner[i] = o.max[i]
+			} else {
+				corner[i] = o.min[i]
+			}
+		}
+		if d := distUB(corner); d > dub {
+			dub = d
+		}
+	}
+	if metric == MetricLine && dub < dlb {
+		dub = dlb
+	}
+	return dlb, dub
+}
+
+// CompressorN is the k-dimensional streaming compressor. Its interface
+// mirrors Compressor. The data-centric rotation generalizes as a second,
+// movement-aligned bounding box: an orthonormal basis is anchored to the
+// segment's first far point, and the upper bound takes the tighter of the
+// axis-aligned and movement-aligned corner bounds (both valid by
+// convexity). Without it, diagonal motion would inflate the axis-aligned
+// box's corners and cripple the fast variant.
+//
+// Not safe for concurrent use.
+type CompressorN struct {
+	cfg Config
+	dim int
+
+	stats Stats
+
+	started  bool
+	origin   PointN
+	lastInc  PointN
+	lastEmit PointN
+	haveEmit bool
+
+	orthants map[uint32]*orthantN
+
+	basis   [][]float64 // orthonormal rows; nil until the first far point
+	aligned *orthantN   // box over basis coordinates (UB only)
+
+	buffer []PointN
+}
+
+// MaxDimensions caps the supported dimensionality: the corner enumeration
+// is O(2^k) per decision.
+const MaxDimensions = 8
+
+// NewCompressorN returns a k-dimensional compressor. RotationWarmup is
+// ignored.
+func NewCompressorN(cfg Config, dim int) (*CompressorN, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if dim < 1 || dim > MaxDimensions {
+		return nil, fmt.Errorf("core: dimension %d outside [1, %d]", dim, MaxDimensions)
+	}
+	c := &CompressorN{cfg: cfg, dim: dim, orthants: make(map[uint32]*orthantN)}
+	return c, nil
+}
+
+// ErrDimensionMismatch reports a pushed point with the wrong number of
+// coordinates.
+var ErrDimensionMismatch = errors.New("core: point dimension does not match the compressor")
+
+// Stats returns the accumulated decision statistics.
+func (c *CompressorN) Stats() Stats { return c.stats }
+
+// Dim returns the compressor's spatial dimensionality.
+func (c *CompressorN) Dim() int { return c.dim }
+
+// BufferedPoints returns the exact-mode buffer occupancy.
+func (c *CompressorN) BufferedPoints() int { return len(c.buffer) }
+
+func (c *CompressorN) startSegment(p PointN) {
+	c.started = true
+	c.origin = p.Clone()
+	c.lastInc = c.origin
+	c.orthants = make(map[uint32]*orthantN, 4)
+	c.basis = nil
+	c.aligned = nil
+	c.buffer = c.buffer[:0]
+}
+
+// buildBasis constructs an orthonormal basis whose first vector points
+// along dir, completing it with Gram-Schmidt over the standard axes.
+func buildBasis(dir []float64) [][]float64 {
+	k := len(dir)
+	basis := make([][]float64, 0, k)
+	u0 := make([]float64, k)
+	var norm float64
+	for _, v := range dir {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		return nil
+	}
+	for i, v := range dir {
+		u0[i] = v / norm
+	}
+	basis = append(basis, u0)
+	for axis := 0; axis < k && len(basis) < k; axis++ {
+		v := make([]float64, k)
+		v[axis] = 1
+		for _, b := range basis {
+			var dot float64
+			for i := range v {
+				dot += v[i] * b[i]
+			}
+			for i := range v {
+				v[i] -= dot * b[i]
+			}
+		}
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		n = math.Sqrt(n)
+		if n < 1e-9 {
+			continue // axis (nearly) parallel to an existing basis vector
+		}
+		for i := range v {
+			v[i] /= n
+		}
+		basis = append(basis, v)
+	}
+	if len(basis) != k {
+		return nil
+	}
+	return basis
+}
+
+// toBasis expresses v in the aligned basis.
+func (c *CompressorN) toBasis(v []float64) []float64 {
+	out := make([]float64, c.dim)
+	for i, b := range c.basis {
+		var dot float64
+		for j := range v {
+			dot += v[j] * b[j]
+		}
+		out[i] = dot
+	}
+	return out
+}
+
+func (c *CompressorN) emit(kp PointN) {
+	c.lastEmit = kp
+	c.haveEmit = true
+	c.stats.KeyPoints++
+}
+
+// local maps p into the segment frame (translation only).
+func (c *CompressorN) local(p PointN) []float64 {
+	out := make([]float64, c.dim)
+	for i := 0; i < c.dim; i++ {
+		out[i] = p.C[i] - c.origin.C[i]
+	}
+	return out
+}
+
+func orthantIndexN(v []float64) uint32 {
+	var idx uint32
+	for i, x := range v {
+		if x < 0 {
+			idx |= 1 << i
+		}
+	}
+	return idx
+}
+
+// Push feeds the next point; it returns a finalized key point when one is
+// emitted. Points of the wrong dimension yield an error.
+func (c *CompressorN) Push(p PointN) (PointN, bool, error) {
+	if len(p.C) != c.dim {
+		return PointN{}, false, ErrDimensionMismatch
+	}
+	c.stats.Points++
+	if !c.started {
+		c.startSegment(p)
+		c.emit(c.origin)
+		return c.origin, true, nil
+	}
+	kp, ok := c.process(p)
+	return kp, ok, nil
+}
+
+// Flush terminates the trajectory.
+func (c *CompressorN) Flush() (PointN, bool) {
+	if !c.started {
+		return PointN{}, false
+	}
+	kp := c.lastInc
+	emit := !(c.haveEmit && c.lastEmit.Equal(kp))
+	if emit {
+		c.emit(kp)
+	}
+	c.started = false
+	return kp, emit
+}
+
+func (c *CompressorN) process(e PointN) (PointN, bool) {
+	d := c.cfg.Tolerance
+	le := c.local(e)
+
+	origin := make([]float64, c.dim)
+	var dlb, dub float64
+	for _, o := range c.orthants {
+		olb, oub := o.bounds(le, c.cfg.Metric, origin)
+		dlb = math.Max(dlb, olb)
+		dub = math.Max(dub, oub)
+	}
+	if c.aligned != nil && c.aligned.n > 0 {
+		// The movement-aligned box yields an independent valid upper bound
+		// (distances are invariant under the orthonormal change of basis);
+		// keep the tighter one.
+		_, alignedUB := c.aligned.bounds(c.toBasis(le), c.cfg.Metric, origin)
+		dub = math.Min(dub, alignedUB)
+		if dub < dlb {
+			dub = dlb // both bounds are valid; keep the pair consistent
+		}
+	}
+
+	switch {
+	case dub <= d:
+		c.stats.BoundIncludes++
+		return c.include(e, le)
+	case dlb > d:
+		c.stats.BoundRestarts++
+		return c.restartAt(e)
+	}
+	if c.cfg.Mode == ModeFast {
+		c.stats.UncertainRestarts++
+		return c.restartAt(e)
+	}
+	c.stats.FullComputations++
+	if MaxDeviationN(c.buffer, c.origin, e, c.cfg.Metric) <= d {
+		c.stats.ExactIncludes++
+		return c.include(e, le)
+	}
+	c.stats.ExactRestarts++
+	return c.restartAt(e)
+}
+
+func (c *CompressorN) include(e PointN, le []float64) (PointN, bool) {
+	e = e.Clone()
+	c.lastInc = e
+	var norm2 float64
+	for _, v := range le {
+		norm2 += v * v
+	}
+	if math.Sqrt(norm2) <= c.cfg.Tolerance {
+		return PointN{}, false // Theorem 5.1 holds in any dimension.
+	}
+	idx := orthantIndexN(le)
+	o := c.orthants[idx]
+	if o == nil {
+		o = newOrthantN(c.dim)
+		c.orthants[idx] = o
+	}
+	o.insert(le)
+	if c.basis == nil {
+		c.basis = buildBasis(le)
+		if c.basis != nil {
+			c.aligned = newOrthantN(c.dim)
+		}
+	}
+	if c.aligned != nil {
+		c.aligned.insert(c.toBasis(le))
+	}
+	if c.cfg.Mode == ModeExact {
+		c.buffer = append(c.buffer, e)
+		if c.cfg.MaxBuffer > 0 && len(c.buffer) >= c.cfg.MaxBuffer {
+			c.stats.BufferOverflows++
+			c.stats.Segments++
+			c.emit(e)
+			c.startSegment(e)
+			return e, true
+		}
+	}
+	return PointN{}, false
+}
+
+func (c *CompressorN) restartAt(e PointN) (PointN, bool) {
+	kp := c.lastInc
+	c.stats.Segments++
+	c.emit(kp)
+	c.startSegment(kp)
+	c.include(e, c.local(e))
+	return kp, true
+}
+
+// CompressBatchN runs a fresh pass over pts and returns the compressed key
+// points. Points with mismatched dimensions yield an error.
+func (c *CompressorN) CompressBatchN(pts []PointN) ([]PointN, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	out := make([]PointN, 0, 16)
+	for _, p := range pts {
+		kp, ok, err := c.Push(p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, kp)
+		}
+	}
+	if kp, ok := c.Flush(); ok {
+		out = append(out, kp)
+	}
+	return out, nil
+}

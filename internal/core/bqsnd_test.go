@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomWalkN(rng *rand.Rand, n, k int, step float64) []PointN {
+	pts := make([]PointN, n)
+	pos := make([]float64, k)
+	vel := make([]float64, k)
+	for i := range vel {
+		vel[i] = rng.NormFloat64() * step
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			vel[j] += rng.NormFloat64() * step * 0.2
+			pos[j] += vel[j]
+		}
+		c := make([]float64, k)
+		copy(c, pos)
+		pts[i] = PointN{C: c, T: float64(i)}
+	}
+	return pts
+}
+
+func maxSegmentErrorN(orig, keys []PointN, metric Metric) float64 {
+	var worst float64
+	for ki := 0; ki+1 < len(keys); ki++ {
+		s, e := keys[ki], keys[ki+1]
+		var interior []PointN
+		for _, p := range orig {
+			if p.T > s.T && p.T < e.T {
+				interior = append(interior, p)
+			}
+		}
+		if d := MaxDeviationN(interior, s, e, metric); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestDistToLineN(t *testing.T) {
+	// 4-D line along the first axis: distance is the norm of the rest.
+	a := []float64{0, 0, 0, 0}
+	b := []float64{10, 0, 0, 0}
+	p := []float64{5, 1, 2, 2}
+	if got := distToLineN(p, a, b); !almostEq(got, 3, 1e-12) {
+		t.Errorf("distToLineN = %v, want 3", got)
+	}
+	// Degenerate line.
+	if got := distToLineN(p, a, a); !almostEq(got, math.Sqrt(25+1+4+4), 1e-12) {
+		t.Errorf("degenerate = %v", got)
+	}
+}
+
+func TestDistToSegmentN(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{10, 0, 0, 0}
+	if got := distToSegmentN([]float64{-3, 4, 0, 0}, a, b); !almostEq(got, 5, 1e-12) {
+		t.Errorf("before a = %v, want 5", got)
+	}
+	if got := distToSegmentN([]float64{13, 0, 4, 0}, a, b); !almostEq(got, 5, 1e-12) {
+		t.Errorf("after b = %v, want 5", got)
+	}
+	if got := distToSegmentN([]float64{5, 3, 0, 0}, a, b); !almostEq(got, 3, 1e-12) {
+		t.Errorf("mid = %v, want 3", got)
+	}
+}
+
+func TestCompressorNValidation(t *testing.T) {
+	if _, err := NewCompressorN(Config{Tolerance: 5}, 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewCompressorN(Config{Tolerance: 5}, 9); err == nil {
+		t.Error("dim 9 accepted")
+	}
+	if _, err := NewCompressorN(Config{Tolerance: 0}, 4); err == nil {
+		t.Error("bad tolerance accepted")
+	}
+	c, err := NewCompressorN(Config{Tolerance: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Push(PointN{C: []float64{1, 2, 3}, T: 0}); err != ErrDimensionMismatch {
+		t.Errorf("mismatched push: %v", err)
+	}
+	if c.Dim() != 4 {
+		t.Errorf("Dim = %d", c.Dim())
+	}
+}
+
+func TestCompressorNStraightLine(t *testing.T) {
+	for _, mode := range []Mode{ModeExact, ModeFast} {
+		c, err := NewCompressorN(Config{Tolerance: 5, Mode: mode}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pts []PointN
+		for i := 0; i < 300; i++ {
+			f := float64(i)
+			pts = append(pts, PointN{C: []float64{f * 10, f * 3, f * 2, f}, T: f})
+		}
+		keys, err := c.CompressBatchN(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != 2 {
+			t.Errorf("mode %v: 4-D straight line kept %d points", mode, len(keys))
+		}
+	}
+}
+
+func TestErrorBoundInvariantND(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		k := 2 + rng.Intn(4) // dimensions 2-5
+		pts := randomWalkN(rng, 300, k, 5)
+		tol := []float64{5, 10, 20}[rng.Intn(3)]
+		for _, mode := range []Mode{ModeExact, ModeFast} {
+			for _, metric := range []Metric{MetricLine, MetricSegment} {
+				c, err := NewCompressorN(Config{Tolerance: tol, Mode: mode, Metric: metric}, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys, err := c.CompressBatchN(pts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := maxSegmentErrorN(pts, keys, metric); got > tol*(1+1e-9) {
+					t.Fatalf("trial %d k=%d mode %v metric %v: error %v > %v",
+						trial, k, mode, metric, got, tol)
+				}
+				if !keys[0].Equal(pts[0]) || !keys[len(keys)-1].Equal(pts[len(pts)-1]) {
+					t.Fatal("endpoints not preserved")
+				}
+			}
+		}
+	}
+}
+
+// N-D orthant bound sandwich against brute force.
+func TestOrthantNBoundsSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3000; trial++ {
+		k := 2 + rng.Intn(3)
+		o := newOrthantN(k)
+		// All points in the positive orthant.
+		n := 1 + rng.Intn(12)
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, k)
+			for j := range p {
+				p[j] = rng.Float64() * 50
+			}
+			pts[i] = p
+			o.insert(p)
+		}
+		le := make([]float64, k)
+		for j := range le {
+			le[j] = rng.NormFloat64() * 40
+		}
+		origin := make([]float64, k)
+		for _, m := range []Metric{MetricLine, MetricSegment} {
+			lb, ub := o.bounds(le, m, origin)
+			var truth float64
+			for _, p := range pts {
+				var d float64
+				if m == MetricSegment {
+					d = distToSegmentN(p, origin, le)
+				} else {
+					d = distToLineN(p, origin, le)
+				}
+				if d > truth {
+					truth = d
+				}
+			}
+			tol := 1e-6 * (1 + truth)
+			if lb > truth+tol {
+				t.Fatalf("trial %d k=%d metric %v: lb %v > truth %v", trial, k, m, lb, truth)
+			}
+			if ub < truth-tol {
+				t.Fatalf("trial %d k=%d metric %v: ub %v < truth %v", trial, k, m, ub, truth)
+			}
+		}
+	}
+}
+
+func TestCompressorNFastConstantSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomWalkN(rng, 2000, 4, 5)
+	c, err := NewCompressorN(Config{Tolerance: 10, Mode: ModeFast}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if _, _, err := c.Push(p); err != nil {
+			t.Fatal(err)
+		}
+		if c.BufferedPoints() != 0 {
+			t.Fatal("fast N-D mode buffered points")
+		}
+	}
+}
+
+func TestCompressorNFlushAndStats(t *testing.T) {
+	c, _ := NewCompressorN(Config{Tolerance: 5}, 2)
+	if _, ok := c.Flush(); ok {
+		t.Error("empty flush emitted")
+	}
+	c.Push(PointN{C: []float64{0, 0}, T: 0})
+	c.Push(PointN{C: []float64{100, 0}, T: 1})
+	kp, ok := c.Flush()
+	if !ok || kp.C[0] != 100 {
+		t.Errorf("flush = %v %v", kp, ok)
+	}
+	if s := c.Stats(); s.Points != 2 || s.KeyPoints != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}

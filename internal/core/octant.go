@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+
+	"github.com/trajcomp/bqs/internal/geom"
+)
+
+// octant is one 3-D Bounded Quadrant System (Section V-G): the bounding
+// structure for tracked points falling into one octant of the local
+// coordinate system. It maintains
+//
+//   - the bounding right rectangular prism (minimal 3-D box) with witness
+//     data points for all six extremes,
+//   - the pair of "vertical" bounding planes Θmin/Θmax, which contain the z
+//     axis and bound the azimuth of every point, and
+//   - the pair of "inclined" bounding planes Φmin/Φmax through the octant's
+//     two anchor points (sign(x)·1, −sign(y)·1, 0) and (−sign(x)·1,
+//     sign(y)·1, 0), which bound the elevation of every point above the XY
+//     plane.
+//
+// The prism clipped by the four plane half-spaces is a convex polyhedron
+// that contains every tracked point; its vertices (the paper's ≤ 17
+// significant points, computed here by polygon clipping as the paper
+// suggests doing with GEOS/CGAL) drive the upper bound, while the tracked
+// witness data points drive the lower bound.
+type octant struct {
+	idx int // 0..7: quadrantOf(x,y) + 4 if z < 0
+	n   int
+
+	prism geom.Box3
+	// Witness data points attaining each prism extreme.
+	wMinX, wMaxX, wMinY, wMaxY, wMinZ, wMaxZ geom.Vec3
+
+	psiMin, psiMax   float64 // azimuth range (canonical, within the XY quadrant)
+	wPsiMin, wPsiMax geom.Vec3
+	psiSet           bool // at least one off-axis point seen
+
+	phiMin, phiMax   float64 // inclination range in [0, π/2]
+	wPhiMin, wPhiMax geom.Vec3
+
+	// The significant points and witnesses depend only on the structure,
+	// not on the candidate end point; cache them between inserts.
+	sigValid bool
+	sigCache []geom.Vec3
+	witCache []geom.Vec3
+}
+
+// octantOf returns the octant index of a local 3-D point.
+func octantOf(v geom.Vec3) int {
+	idx := quadrantOf(v.XY())
+	if v.Z < 0 {
+		idx += 4
+	}
+	return idx
+}
+
+// signs returns the octant's coordinate signs (+1 or -1).
+func (o *octant) signs() (sx, sy, sz float64) {
+	sx = []float64{1, -1, -1, 1}[o.idx%4]
+	sy = []float64{1, 1, -1, -1}[o.idx%4]
+	sz = 1
+	if o.idx >= 4 {
+		sz = -1
+	}
+	return sx, sy, sz
+}
+
+// inclination returns the signed-normalized elevation angle of p in this
+// octant: atan2(√2·|z|, |x|+|y|) ∈ [0, π/2].
+func (o *octant) inclination(p geom.Vec3) float64 {
+	sx, sy, sz := o.signs()
+	den := sx*p.X + sy*p.Y // = |x| + |y| within the octant
+	return math.Atan2(math.Sqrt2*sz*p.Z, den)
+}
+
+func (o *octant) reset(idx int) {
+	*o = octant{idx: idx, prism: geom.EmptyBox3()}
+}
+
+// insert adds a local point to the bounding structure.
+func (o *octant) insert(p geom.Vec3) {
+	if o.n == 0 {
+		o.wMinX, o.wMaxX, o.wMinY, o.wMaxY, o.wMinZ, o.wMaxZ = p, p, p, p, p, p
+	} else {
+		if p.X < o.prism.Min.X {
+			o.wMinX = p
+		}
+		if p.X > o.prism.Max.X {
+			o.wMaxX = p
+		}
+		if p.Y < o.prism.Min.Y {
+			o.wMinY = p
+		}
+		if p.Y > o.prism.Max.Y {
+			o.wMaxY = p
+		}
+		if p.Z < o.prism.Min.Z {
+			o.wMinZ = p
+		}
+		if p.Z > o.prism.Max.Z {
+			o.wMaxZ = p
+		}
+	}
+	o.prism.Extend(p)
+
+	// Azimuth: skip points on (or numerically at) the z axis; the vertical
+	// plane constraints hold for them regardless.
+	if p.XY().Norm() > geom.Eps {
+		psi := p.XY().Angle()
+		if !o.psiSet {
+			o.psiMin, o.psiMax = psi, psi
+			o.wPsiMin, o.wPsiMax = p, p
+			o.psiSet = true
+		} else {
+			if psi < o.psiMin {
+				o.psiMin, o.wPsiMin = psi, p
+			}
+			if psi > o.psiMax {
+				o.psiMax, o.wPsiMax = psi, p
+			}
+		}
+	}
+
+	phi := o.inclination(p)
+	if o.n == 0 {
+		o.phiMin, o.phiMax = phi, phi
+		o.wPhiMin, o.wPhiMax = p, p
+	} else {
+		if phi < o.phiMin {
+			o.phiMin, o.wPhiMin = phi, p
+		}
+		if phi > o.phiMax {
+			o.phiMax, o.wPhiMax = phi, p
+		}
+	}
+	o.n++
+	o.sigValid = false
+}
+
+// halfSpaces returns the bounding-plane half-space constraints in the form
+// N·p ≤ 0, suitable for ClipPolygonPlane3. Constraints that are vacuous
+// (full azimuth/elevation span to the octant boundary) are omitted.
+func (o *octant) halfSpaces() []geom.Plane {
+	var hs []geom.Plane
+	if o.psiSet {
+		// Azimuth ψ ≥ ψmin: (−sin ψmin, cos ψmin, 0)·p ≥ 0 → negate.
+		sMin, cMin := math.Sincos(o.psiMin)
+		hs = append(hs, geom.Plane{N: geom.V3(sMin, -cMin, 0)})
+		// Azimuth ψ ≤ ψmax.
+		sMax, cMax := math.Sincos(o.psiMax)
+		hs = append(hs, geom.Plane{N: geom.V3(-sMax, cMax, 0)})
+	}
+	sx, sy, sz := o.signs()
+	// Elevation φ ≤ φmax: √2·sz·z − tan(φmax)·(sx·x + sy·y) ≤ 0.
+	if o.phiMax < math.Pi/2-1e-9 {
+		t := math.Tan(o.phiMax)
+		hs = append(hs, geom.Plane{N: geom.V3(-t*sx, -t*sy, math.Sqrt2*sz)})
+	}
+	// Elevation φ ≥ φmin: negated.
+	if o.phiMin > 1e-9 {
+		t := math.Tan(o.phiMin)
+		hs = append(hs, geom.Plane{N: geom.V3(t*sx, t*sy, -math.Sqrt2*sz)})
+	}
+	return hs
+}
+
+// significantPoints3 returns the (cached) vertex candidates of the prism
+// clipped by the bounding half-spaces: the paper's significant points for
+// the 3-D case. The set always contains the polyhedron's true vertices
+// (every vertex lies on a prism face, except possibly the origin, through
+// which all four cutting planes pass).
+func (o *octant) significantPoints3() []geom.Vec3 {
+	if o.n == 0 {
+		return nil
+	}
+	if !o.sigValid {
+		o.sigCache = o.computeSignificant()
+		o.witCache = o.computeWitnesses()
+		o.sigValid = true
+	}
+	return o.sigCache
+}
+
+// computeSignificant performs the actual clipping.
+func (o *octant) computeSignificant() []geom.Vec3 {
+	hs := o.halfSpaces()
+	var out []geom.Vec3
+	for _, face := range o.prism.Faces() {
+		poly := face
+		for _, h := range hs {
+			poly = geom.ClipPolygonPlane3(poly, h)
+			if len(poly) == 0 {
+				break
+			}
+		}
+		out = append(out, poly...)
+	}
+	if len(out) == 0 {
+		// All faces clipped away numerically; fall back to the prism
+		// corners (always a valid, if looser, enclosure).
+		c := o.prism.Corners()
+		return c[:]
+	}
+	if o.prism.Contains(geom.Vec3{}) {
+		out = append(out, geom.Vec3{})
+	}
+	return out
+}
+
+// witnesses returns the (cached) tracked witness data points (≤ 10).
+func (o *octant) witnesses() []geom.Vec3 {
+	if o.n == 0 {
+		return nil
+	}
+	if !o.sigValid {
+		o.sigCache = o.computeSignificant()
+		o.witCache = o.computeWitnesses()
+		o.sigValid = true
+	}
+	return o.witCache
+}
+
+func (o *octant) computeWitnesses() []geom.Vec3 {
+	w := []geom.Vec3{o.wMinX, o.wMaxX, o.wMinY, o.wMaxY, o.wMinZ, o.wMaxZ,
+		o.wPhiMin, o.wPhiMax}
+	if o.psiSet {
+		w = append(w, o.wPsiMin, o.wPsiMax)
+	}
+	return w
+}
+
+// bounds computes the per-octant lower and upper bounds on the maximum
+// deviation from the 3-D path line origin→le.
+//
+// The lower bound is the largest deviation among the tracked witness data
+// points — every witness is a real data point, so this is always a valid
+// floor, and it touches every face and bounding plane of the enclosure.
+// The upper bound is the largest deviation among the significant points,
+// whose convex hull contains every tracked point.
+func (o *octant) bounds(le geom.Vec3, metric Metric) (dlb, dub float64) {
+	if o.n == 0 {
+		return 0, 0
+	}
+	origin := geom.Vec3{}
+	distLB := func(p geom.Vec3) float64 { return geom.DistToLine3(p, origin, le) }
+	distUB := distLB
+	if metric == MetricSegment {
+		distUB = func(p geom.Vec3) float64 { return geom.DistToSegment3(p, origin, le) }
+	}
+	for _, w := range o.witnesses() {
+		if d := distLB(w); d > dlb {
+			dlb = d
+		}
+	}
+	for _, s := range o.significantPoints3() {
+		if d := distUB(s); d > dub {
+			dub = d
+		}
+	}
+	// Guard against clip-rounding: the upper bound may never undercut the
+	// witnessed lower bound.
+	if metric == MetricLine && dub < dlb {
+		dub = dlb
+	} else if metric == MetricSegment {
+		for _, w := range o.witnesses() {
+			if d := distUB(w); d > dub {
+				dub = d
+			}
+		}
+	}
+	return dlb, dub
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+
+	"github.com/trajcomp/bqs/internal/geom"
+)
+
+// quadrant is one Bounded Quadrant System: the bounding structure for the
+// tracked points of the current segment that fall into one quadrant of the
+// local (segment-start-anchored, optionally rotated) coordinate system.
+//
+// It maintains the minimal bounding box, the two angular bounding lines
+// (as min/max angle from the +x axis of any origin→point ray, Section V-B)
+// and the extreme-angle witness points used as a numerically robust
+// fallback when a bounding line's clip against the box degenerates.
+type quadrant struct {
+	idx                int // 0..3, fixed at init
+	n                  int // tracked points
+	box                geom.Box
+	thetaMin, thetaMax float64  // canonical angles in [0, 2π)
+	pMin, pMax         geom.Vec // witness points attaining the extreme angles
+
+	// Significant points are a function of the structure only (not of the
+	// candidate end point), so they are cached and recomputed lazily after
+	// inserts. This keeps the per-point decision to a handful of distance
+	// evaluations.
+	sigValid       bool
+	l1, l2, u1, u2 geom.Vec
+	clipOK         bool
+	cn, cf         geom.Vec
+}
+
+// quadrantOf returns the quadrant index of a local point: 0 for x≥0∧y≥0,
+// 1 for x<0∧y≥0, 2 for x<0∧y<0, 3 for x≥0∧y<0. The conventions on the axes
+// are arbitrary but must be stable, which these are.
+func quadrantOf(v geom.Vec) int {
+	if v.Y >= 0 {
+		if v.X >= 0 {
+			return 0
+		}
+		return 1
+	}
+	if v.X < 0 {
+		return 2
+	}
+	return 3
+}
+
+// reset empties the quadrant.
+func (q *quadrant) reset(idx int) {
+	*q = quadrant{idx: idx, box: geom.EmptyBox()}
+}
+
+// insert adds a local point to the bounding structure. Within one quadrant
+// canonical angles are contiguous (no 0/2π wraparound is possible), so the
+// min/max update is safe.
+func (q *quadrant) insert(v geom.Vec) {
+	a := v.Angle()
+	if q.n == 0 {
+		q.thetaMin, q.thetaMax = a, a
+		q.pMin, q.pMax = v, v
+	} else {
+		if a < q.thetaMin {
+			q.thetaMin, q.pMin = a, v
+		}
+		if a > q.thetaMax {
+			q.thetaMax, q.pMax = a, v
+		}
+	}
+	q.box.Extend(v)
+	q.n++
+	q.sigValid = false
+}
+
+// refreshSignificant recomputes the cached significant points.
+func (q *quadrant) refreshSignificant() {
+	q.l1, q.l2, q.u1, q.u2, q.clipOK = q.computeIntersections()
+	q.cn, q.cf = q.nearFarCorners()
+	q.sigValid = true
+}
+
+// nearFarCorners returns the bounding-box corners nearest to and farthest
+// from the origin; which corners those are is fixed by the quadrant
+// (Section V, "Near-far Corner Distances").
+func (q *quadrant) nearFarCorners() (cn, cf geom.Vec) {
+	b := q.box
+	switch q.idx {
+	case 0:
+		return b.Min, b.Max
+	case 1:
+		return geom.Vec{X: b.Max.X, Y: b.Min.Y}, geom.Vec{X: b.Min.X, Y: b.Max.Y}
+	case 2:
+		return b.Max, b.Min
+	default: // 3
+		return geom.Vec{X: b.Min.X, Y: b.Max.Y}, geom.Vec{X: b.Max.X, Y: b.Min.Y}
+	}
+}
+
+// lineInQuadrant reports whether a path line with direction angle theta
+// (any representative) is "in" this quadrant per the paper's definition:
+// the angle mod π falls inside the quadrant's half-open angular range.
+// A line is therefore in exactly two opposite quadrants.
+func (q *quadrant) lineInQuadrant(theta float64) bool {
+	m := math.Mod(geom.NormalizeAngle(theta), math.Pi)
+	if q.idx == 0 || q.idx == 2 {
+		return m < math.Pi/2
+	}
+	return m >= math.Pi/2
+}
+
+// intersections returns the (cached) entry/exit points of the lower and
+// upper bounding lines with the bounding box (the significant points l1,
+// l2, u1, u2). When a clip degenerates numerically the extreme witness
+// point is substituted and ok is false, signalling that the caller must
+// fall back to the corner-based upper bound.
+func (q *quadrant) intersections() (l1, l2, u1, u2 geom.Vec, ok bool) {
+	if !q.sigValid {
+		q.refreshSignificant()
+	}
+	return q.l1, q.l2, q.u1, q.u2, q.clipOK
+}
+
+// computeIntersections clips both bounding lines against the box.
+func (q *quadrant) computeIntersections() (l1, l2, u1, u2 geom.Vec, ok bool) {
+	ok = true
+	dirMin := geom.Vec{X: math.Cos(q.thetaMin), Y: math.Sin(q.thetaMin)}
+	dirMax := geom.Vec{X: math.Cos(q.thetaMax), Y: math.Sin(q.thetaMax)}
+	var okL, okU bool
+	l1, l2, okL = q.box.ClipLineThroughOrigin(dirMin)
+	if !okL {
+		l1, l2, ok = q.pMin, q.pMin, false
+	}
+	u1, u2, okU = q.box.ClipLineThroughOrigin(dirMax)
+	if !okU {
+		u1, u2, ok = q.pMax, q.pMax, false
+	}
+	return l1, l2, u1, u2, ok
+}
+
+// bounds computes the per-quadrant lower and upper bounds on the maximum
+// deviation of the tracked points from the path line through the local
+// origin and the local end point le (Theorems 5.3, 5.4 and 5.5).
+//
+// Lower-bound terms always use the point-to-line distance: a witness data
+// point p with line-distance ≥ dlb also has segment-distance ≥ dlb, so the
+// same dlb is valid under both metrics. Upper-bound terms use the active
+// metric; under MetricSegment the near/far corners join the intersection
+// points per Equation 11, which together span the convex hull that contains
+// every tracked point.
+//
+// An empty quadrant contributes (0, 0).
+func (q *quadrant) bounds(le geom.Vec, metric Metric) (dlb, dub float64) {
+	return q.boundsTheta(le, le.Angle(), metric)
+}
+
+// boundsTheta is bounds with the path-line angle precomputed by the caller
+// (it is shared across all four quadrants, so the compressor computes it
+// once per point).
+func (q *quadrant) boundsTheta(le geom.Vec, theta float64, metric Metric) (dlb, dub float64) {
+	if q.n == 0 {
+		return 0, 0
+	}
+	// The path line passes through the local origin, so the point-to-line
+	// distance is |le × p| / |le|; hoist the 1/|le| factor out of the ~10
+	// distance evaluations this function performs.
+	norm := math.Hypot(le.X, le.Y)
+	degenerate := norm < geom.Eps
+	var inv float64
+	if !degenerate {
+		inv = 1 / norm
+	}
+	distLine := func(p geom.Vec) float64 {
+		if degenerate {
+			return math.Hypot(p.X, p.Y)
+		}
+		return math.Abs(le.X*p.Y-le.Y*p.X) * inv
+	}
+	distUB := distLine
+	if metric == MetricSegment {
+		distUB = func(p geom.Vec) float64 { return geom.DistToSegment(p, geom.Vec{}, le) }
+	}
+	if !q.sigValid {
+		q.refreshSignificant()
+	}
+	cn, cf := q.cn, q.cf
+	l1, l2, u1, u2, clipOK := q.l1, q.l2, q.u1, q.u2, q.clipOK
+
+	// Lower bound: a data point lies on each bounding line's chord and on
+	// each box edge, all on one side of any line through the origin (two
+	// origin lines only meet at the origin), so the distance function is
+	// affine over each chord/edge and endpoint minima are valid witnesses.
+	dlb = math.Max(
+		math.Min(distLine(l1), distLine(l2)),
+		math.Min(distLine(u1), distLine(u2)),
+	)
+
+	corners := q.box.Corners()
+	if !degenerate && q.lineInQuadrant(theta) {
+		// Theorems 5.3 / 5.4: line in the quadrant.
+		dlb = math.Max(dlb, math.Max(distLine(cn), distLine(cf)))
+		if clipOK {
+			dub = max4(distUB(l1), distUB(l2), distUB(u1), distUB(u2))
+			if metric == MetricSegment {
+				dub = math.Max(dub, math.Max(distUB(cn), distUB(cf)))
+			}
+		} else {
+			// Clip fallback: the substituted witness points are not hull
+			// vertices, so revert to the always-valid Theorem 5.2 corners.
+			dub = max4(distUB(corners[0]), distUB(corners[1]), distUB(corners[2]), distUB(corners[3]))
+		}
+		return dlb, dub
+	}
+
+	// Theorem 5.5: line not in the quadrant (or degenerate path line, for
+	// which only the convex corner bound is safe).
+	d0, d1, d2, d3 := distLine(corners[0]), distLine(corners[1]), distLine(corners[2]), distLine(corners[3])
+	if !degenerate {
+		dlb = math.Max(dlb, thirdLargest(d0, d1, d2, d3))
+	} else {
+		// Degenerate path line: distances are to the origin point; the
+		// chord-endpoint argument no longer applies. Within one quadrant
+		// the near corner is the closest point of the whole box region to
+		// the origin, so it floors every tracked point's distance.
+		dlb = distLine(cn)
+	}
+	dub = max4(distUB(corners[0]), distUB(corners[1]), distUB(corners[2]), distUB(corners[3]))
+	return dlb, dub
+}
+
+// significantPoints returns the up-to-eight significant points of the
+// quadrant (four corners plus four bounding-line intersections); used for
+// diagnostics and to verify the paper's ≤ 32-point state claim.
+func (q *quadrant) significantPoints() []geom.Vec {
+	if q.n == 0 {
+		return nil
+	}
+	c := q.box.Corners()
+	l1, l2, u1, u2, _ := q.intersections()
+	return []geom.Vec{c[0], c[1], c[2], c[3], l1, l2, u1, u2}
+}
+
+func max4(a, b, c, d float64) float64 {
+	return math.Max(math.Max(a, b), math.Max(c, d))
+}
+
+func min4(a, b, c, d float64) float64 {
+	return math.Min(math.Min(a, b), math.Min(c, d))
+}
+
+// thirdLargest returns the third largest of four values.
+func thirdLargest(a, b, c, d float64) float64 {
+	v := [4]float64{a, b, c, d}
+	// Insertion sort of four elements, descending.
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && v[j] > v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	return v[2]
+}

@@ -1,0 +1,111 @@
+package device
+
+import (
+	"errors"
+	"math"
+)
+
+// AdaptiveController closes the loop the paper leaves open between the
+// compression tolerance and the storage budget: given a target operational
+// horizon (days until the tracker can next offload), it observes the
+// achieved compression rate and nudges the tolerance so the flash budget
+// lasts exactly that long — coarser positions when storage runs hot,
+// finer when there is headroom. This automates the trade the ageing
+// procedure (Section V-F) makes retrospectively.
+//
+// The control law is multiplicative-increase/multiplicative-decrease on
+// the tolerance, driven by the ratio of the observed (exponentially
+// smoothed) rate to the rate the budget affords. It is deliberately simple
+// — it must run on a 16-bit MCU.
+type AdaptiveController struct {
+	model      StorageModel
+	targetDays float64
+	minTol     float64
+	maxTol     float64
+	alpha      float64 // EMA smoothing for the observed rate
+	gain       float64 // adjustment aggressiveness per observation
+
+	tol     float64
+	emaRate float64
+	emaSet  bool
+}
+
+// NewAdaptiveController returns a controller starting at startTol metres,
+// clamped to [minTol, maxTol], aiming for targetDays of recording on the
+// given storage model.
+func NewAdaptiveController(model StorageModel, targetDays, startTol, minTol, maxTol float64) (*AdaptiveController, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if targetDays <= 0 || math.IsNaN(targetDays) {
+		return nil, errors.New("device: target days must be positive")
+	}
+	if !(minTol > 0) || !(maxTol >= minTol) || !(startTol >= minTol) || !(startTol <= maxTol) {
+		return nil, errors.New("device: need 0 < minTol ≤ startTol ≤ maxTol")
+	}
+	return &AdaptiveController{
+		model: model, targetDays: targetDays,
+		minTol: minTol, maxTol: maxTol,
+		alpha: 0.3, gain: 0.25,
+		tol: startTol,
+	}, nil
+}
+
+// Tolerance returns the current tolerance in metres.
+func (c *AdaptiveController) Tolerance() float64 { return c.tol }
+
+// RequiredRate returns the compression rate the budget affords for the
+// target horizon.
+func (c *AdaptiveController) RequiredRate() float64 {
+	return float64(c.model.Capacity()) / (c.model.SamplesPerDay * c.targetDays)
+}
+
+// Observe feeds one observation window (key points emitted and points
+// consumed since the last call) and returns the updated tolerance.
+// Windows with no points leave the tolerance unchanged.
+func (c *AdaptiveController) Observe(keyPoints, points int) float64 {
+	if points <= 0 {
+		return c.tol
+	}
+	rate := float64(keyPoints) / float64(points)
+	if !c.emaSet {
+		c.emaRate = rate
+		c.emaSet = true
+	} else {
+		c.emaRate = c.alpha*rate + (1-c.alpha)*c.emaRate
+	}
+	required := c.RequiredRate()
+	if required <= 0 {
+		return c.tol
+	}
+	// ratio > 1: storing too much → relax the tolerance; ratio < 1: budget
+	// headroom → tighten for better fidelity.
+	ratio := c.emaRate / required
+	adj := 1 + c.gain*(ratio-1)
+	// Clamp the per-step adjustment to keep the loop stable.
+	if adj > 2 {
+		adj = 2
+	} else if adj < 0.5 {
+		adj = 0.5
+	}
+	c.tol *= adj
+	if c.tol < c.minTol {
+		c.tol = c.minTol
+	} else if c.tol > c.maxTol {
+		c.tol = c.maxTol
+	}
+	return c.tol
+}
+
+// ProjectedDays returns the operational horizon at the smoothed rate, or
+// the uncompressed horizon before any observation.
+func (c *AdaptiveController) ProjectedDays() float64 {
+	if !c.emaSet || c.emaRate <= 0 {
+		return c.model.UncompressedDays()
+	}
+	d, err := c.model.OperationalDays(math.Min(1, c.emaRate))
+	if err != nil {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,99 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdaptiveControllerValidation(t *testing.T) {
+	m := DefaultStorageModel()
+	if _, err := NewAdaptiveController(m, 0, 10, 2, 50); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := NewAdaptiveController(m, 30, 1, 2, 50); err == nil {
+		t.Error("start below min accepted")
+	}
+	if _, err := NewAdaptiveController(m, 30, 60, 2, 50); err == nil {
+		t.Error("start above max accepted")
+	}
+	if _, err := NewAdaptiveController(StorageModel{}, 30, 10, 2, 50); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestAdaptiveControllerRaisesToleranceWhenOverBudget(t *testing.T) {
+	m := DefaultStorageModel()
+	c, err := NewAdaptiveController(m, 60, 10, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	required := c.RequiredRate() // ≈ 4266/(1440×60) ≈ 4.9%
+	if required < 0.04 || required > 0.06 {
+		t.Fatalf("required rate = %v", required)
+	}
+	// Feed windows compressing at 10%: way over budget → tolerance rises.
+	start := c.Tolerance()
+	for i := 0; i < 20; i++ {
+		c.Observe(100, 1000)
+	}
+	if c.Tolerance() <= start {
+		t.Errorf("tolerance did not rise: %v → %v", start, c.Tolerance())
+	}
+}
+
+func TestAdaptiveControllerLowersToleranceWithHeadroom(t *testing.T) {
+	m := DefaultStorageModel()
+	c, _ := NewAdaptiveController(m, 60, 10, 2, 100)
+	start := c.Tolerance()
+	for i := 0; i < 20; i++ {
+		c.Observe(10, 1000) // 1%: far under budget
+	}
+	if c.Tolerance() >= start {
+		t.Errorf("tolerance did not fall: %v → %v", start, c.Tolerance())
+	}
+	if c.Tolerance() < 2 {
+		t.Errorf("tolerance below floor: %v", c.Tolerance())
+	}
+}
+
+func TestAdaptiveControllerClampsAndConverges(t *testing.T) {
+	m := DefaultStorageModel()
+	c, _ := NewAdaptiveController(m, 60, 10, 2, 50)
+	// Pathological windows cannot blow the tolerance out of its band.
+	for i := 0; i < 50; i++ {
+		c.Observe(1000, 1000)
+	}
+	if got := c.Tolerance(); got > 50 {
+		t.Errorf("tolerance above cap: %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(1, 100000)
+	}
+	if got := c.Tolerance(); got < 2 {
+		t.Errorf("tolerance below floor: %v", got)
+	}
+	// Exactly on budget: tolerance stays put.
+	c2, _ := NewAdaptiveController(m, 60, 10, 2, 50)
+	req := c2.RequiredRate()
+	for i := 0; i < 10; i++ {
+		c2.Observe(int(req*10000), 10000)
+	}
+	if math.Abs(c2.Tolerance()-10) > 1 {
+		t.Errorf("on-budget tolerance drifted to %v", c2.Tolerance())
+	}
+}
+
+func TestAdaptiveProjectedDays(t *testing.T) {
+	m := DefaultStorageModel()
+	c, _ := NewAdaptiveController(m, 60, 10, 2, 50)
+	if got := c.ProjectedDays(); math.Abs(got-m.UncompressedDays()) > 1e-9 {
+		t.Errorf("pre-observation projection = %v", got)
+	}
+	c.Observe(48, 1000) // 4.8% → the Table II BQS row
+	if got := c.ProjectedDays(); math.Abs(got-61.7) > 1 {
+		t.Errorf("projection = %v, want ≈ 62", got)
+	}
+	if c.Observe(0, 0) != c.Tolerance() {
+		t.Error("empty window changed tolerance")
+	}
+}

@@ -1,0 +1,128 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// Table II of the paper: compression rates and resulting operational days.
+func TestOperationalDaysReproducesTableII(t *testing.T) {
+	m := DefaultStorageModel()
+	cases := []struct {
+		algo string
+		rate float64
+		days float64
+	}{
+		{"BQS", 0.048, 62},
+		{"FBQS", 0.050, 60},
+		{"BDP", 0.0665, 45},
+		{"BGD", 0.0675, 44},
+		{"DR", 0.0665, 45},
+	}
+	for _, c := range cases {
+		got, err := m.OperationalDays(c.rate)
+		if err != nil {
+			t.Fatalf("%s: %v", c.algo, err)
+		}
+		// The paper's displayed rates are rounded to 2-3 significant
+		// digits (5.0% yields 59.25 days but the paper prints 60), so
+		// allow ±1 day.
+		if math.Abs(math.Round(got)-c.days) > 1 {
+			t.Errorf("%s: %.2f days (rounds to %v), want %v±1", c.algo, got, math.Round(got), c.days)
+		}
+	}
+}
+
+func TestUncompressedDays(t *testing.T) {
+	m := DefaultStorageModel()
+	// 50 KB / 12 B = 4266 samples; at 1440/day ≈ 2.96 days.
+	got := m.UncompressedDays()
+	if got < 2.9 || got > 3.0 {
+		t.Errorf("uncompressed days = %v, want ≈ 2.96", got)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	m := DefaultStorageModel()
+	if got := m.Capacity(); got != 50*1024/12 {
+		t.Errorf("capacity = %d", got)
+	}
+}
+
+func TestOperationalDaysValidation(t *testing.T) {
+	m := DefaultStorageModel()
+	for _, rate := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := m.OperationalDays(rate); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+	bad := StorageModel{}
+	if _, err := bad.OperationalDays(0.05); err == nil {
+		t.Error("zero model accepted")
+	}
+	if bad.UncompressedDays() != 0 {
+		t.Error("zero model uncompressed days != 0")
+	}
+}
+
+func TestImprovementRatiosMatchPaper(t *testing.T) {
+	// "a maximum 36% improvement from FBQS over the existing methods
+	// (60 v.s. 44), and a maximum 41% improvement from BQS (62 v.s. 44)".
+	m := DefaultStorageModel()
+	bqs, _ := m.OperationalDays(0.048)
+	fbqs, _ := m.OperationalDays(0.050)
+	bgd, _ := m.OperationalDays(0.0675)
+	// Rounded-rate slack as in TestOperationalDaysReproducesTableII.
+	if imp := (math.Round(fbqs) - math.Round(bgd)) / math.Round(bgd); math.Abs(imp-0.36) > 0.03 {
+		t.Errorf("FBQS improvement = %v, want ≈ 0.36", imp)
+	}
+	if imp := (math.Round(bqs) - math.Round(bgd)) / math.Round(bgd); math.Abs(imp-0.41) > 0.03 {
+		t.Errorf("BQS improvement = %v, want ≈ 0.41", imp)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	e := DefaultEnergyModel()
+	// GPS dominates: compression decisions change daily draw by < 0.1%.
+	base := e.DailyConsumptionJ(0)
+	withCPU := e.DailyConsumptionJ(3) // generous decisions per point
+	if (withCPU-base)/base > 0.001 {
+		t.Errorf("CPU share too large: %v vs %v", withCPU, base)
+	}
+	days := e.EnergyLimitedDays(1)
+	if days < 1 {
+		t.Errorf("energy-limited days = %v", days)
+	}
+	// Harvest above consumption yields unlimited runtime.
+	e2 := e
+	e2.HarvestJPerDay = 1e9
+	if !math.IsInf(e2.EnergyLimitedDays(1), 1) {
+		t.Error("surplus harvest should be unlimited")
+	}
+}
+
+func TestCombinedOperationalDays(t *testing.T) {
+	s := DefaultStorageModel()
+	e := DefaultEnergyModel()
+	got, err := OperationalDays(s, e, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage, _ := s.OperationalDays(0.05)
+	energy := e.EnergyLimitedDays(1)
+	want := math.Min(storage, energy)
+	if got != want {
+		t.Errorf("combined = %v, want min(%v, %v)", got, storage, energy)
+	}
+	if _, err := OperationalDays(s, e, 0, 1); err == nil {
+		t.Error("bad rate accepted")
+	}
+}
+
+func TestMemoryBudgetClaims(t *testing.T) {
+	// The paper's FBQS state claim: ≤ 32 significant points besides the
+	// program image. 32 points × 2 coords × 8 bytes = 512 B ≪ 4 KB RAM.
+	if 32*2*8 > RAMBytes/4 {
+		t.Error("significant-point state would not fit comfortably in Camazotz RAM")
+	}
+}

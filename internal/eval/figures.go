@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3: lower/upper bounds vs. actual deviation.
+
+// Fig3Row is one traced point of Figure 3.
+type Fig3Row struct {
+	Index  int
+	LB, UB float64
+	Actual float64
+}
+
+// Fig3Result reproduces Figure 3: the bound pair and the actual deviation
+// for a window of points from the bat dataset at d = 5 m, plus the
+// fraction of decisions the bounds resolved on their own.
+type Fig3Result struct {
+	Tolerance float64
+	Rows      []Fig3Row
+	Decisive  float64 // fraction of traced points with d outside [lb, ub]
+}
+
+// Fig3 runs the bounds-trace experiment. maxRows limits the emitted rows
+// (the paper plots ≈ 100 points).
+func Fig3(ds Dataset, tolerance float64, maxRows int) (Fig3Result, error) {
+	res := Fig3Result{Tolerance: tolerance}
+	decisive, traced := 0, 0
+	cfg := core.Config{
+		Tolerance:      tolerance,
+		Mode:           core.ModeExact,
+		RotationWarmup: -1,
+		Trace: func(tp core.TracePoint) {
+			traced++
+			if tp.LB > tolerance || tp.UB <= tolerance {
+				decisive++
+			}
+			if len(res.Rows) < maxRows {
+				res.Rows = append(res.Rows, Fig3Row{
+					Index: tp.Index, LB: tp.LB, UB: tp.UB, Actual: tp.Actual,
+				})
+			}
+		},
+	}
+	c, err := core.NewCompressor(cfg)
+	if err != nil {
+		return res, err
+	}
+	c.CompressBatch(ds.Points)
+	if traced > 0 {
+		res.Decisive = float64(decisive) / float64(traced)
+	}
+	return res, nil
+}
+
+// String renders the figure data as a table.
+func (r Fig3Result) String() string {
+	t := &textTable{header: []string{"point", "lower", "upper", "actual"}}
+	for _, row := range r.Rows {
+		t.addRow(fmt.Sprintf("%d", row.Index), f3(row.LB), f3(row.UB), f3(row.Actual))
+	}
+	return fmt.Sprintf("Figure 3 — bounds vs. actual deviation (d = %.0f m)\n%s"+
+		"bounds decided %.1f%% of traced points without a full computation\n",
+		r.Tolerance, t.String(), 100*r.Decisive)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: pruning power.
+
+// Fig6Row is one tolerance's pruning power.
+type Fig6Row struct {
+	Tolerance float64
+	Pruning   float64
+}
+
+// Fig6Result reproduces Figure 6 for one dataset.
+type Fig6Result struct {
+	Dataset string
+	Rows    []Fig6Row
+}
+
+// Fig6 sweeps the pruning power of exact BQS over tolerances.
+func Fig6(ds Dataset, tolerances []float64) (Fig6Result, error) {
+	res := Fig6Result{Dataset: ds.Name}
+	for _, tol := range tolerances {
+		r, err := Run(AlgoBQS, ds, tol, 0)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Fig6Row{Tolerance: tol, Pruning: r.Pruning})
+	}
+	return res, nil
+}
+
+// String renders the figure data.
+func (r Fig6Result) String() string {
+	t := &textTable{header: []string{"tolerance (m)", "pruning power"}}
+	for _, row := range r.Rows {
+		t.addRow(f1(row.Tolerance), f3(row.Pruning))
+	}
+	return fmt.Sprintf("Figure 6 — pruning power, %s data\n%s", r.Dataset, t.String())
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: compression rate comparison.
+
+// Fig7Algos is the paper's Figure 7 line-up.
+var Fig7Algos = []Algo{AlgoBQS, AlgoFBQS, AlgoBDP, AlgoBGD, AlgoDP}
+
+// Fig7Row is one tolerance's compression rates per algorithm.
+type Fig7Row struct {
+	Tolerance float64
+	Rate      map[Algo]float64
+}
+
+// Fig7Result reproduces Figure 7 for one dataset.
+type Fig7Result struct {
+	Dataset string
+	BufSize int
+	Rows    []Fig7Row
+	BoundOK bool // every error-bounded run validated
+}
+
+// Fig7 sweeps compression rates for the five algorithms.
+func Fig7(ds Dataset, tolerances []float64, bufSize int) (Fig7Result, error) {
+	res := Fig7Result{Dataset: ds.Name, BufSize: bufSize, BoundOK: true}
+	for _, tol := range tolerances {
+		row := Fig7Row{Tolerance: tol, Rate: make(map[Algo]float64, len(Fig7Algos))}
+		for _, algo := range Fig7Algos {
+			r, err := Run(algo, ds, tol, bufSize)
+			if err != nil {
+				return res, err
+			}
+			row.Rate[algo] = r.Rate
+			if !r.BoundOK {
+				res.BoundOK = false
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the figure data.
+func (r Fig7Result) String() string {
+	header := []string{"tolerance (m)"}
+	for _, a := range Fig7Algos {
+		header = append(header, string(a))
+	}
+	t := &textTable{header: header}
+	for _, row := range r.Rows {
+		cells := []string{f1(row.Tolerance)}
+		for _, a := range Fig7Algos {
+			cells = append(cells, pc(row.Rate[a]))
+		}
+		t.addRow(cells...)
+	}
+	return fmt.Sprintf("Figure 7 — compression rate, %s data (buffer %d)\n%s",
+		r.Dataset, r.BufSize, t.String())
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: synthetic data and Dead Reckoning comparison.
+
+// Fig8Row is one tolerance's point counts.
+type Fig8Row struct {
+	Tolerance    float64
+	FBQS, DR     int
+	DROverheadPc float64 // (DR-FBQS)/FBQS × 100
+}
+
+// Fig8Result reproduces Figure 8: the synthetic dataset's extent (8a) and
+// the FBQS vs. DR point counts (8b).
+type Fig8Result struct {
+	Points                 int
+	MinX, MinY, MaxX, MaxY float64
+	Rows                   []Fig8Row
+}
+
+// Fig8 runs the synthetic comparison.
+func Fig8(ds Dataset, tolerances []float64) (Fig8Result, error) {
+	res := Fig8Result{Points: len(ds.Points)}
+	res.MinX, res.MinY = math.Inf(1), math.Inf(1)
+	res.MaxX, res.MaxY = math.Inf(-1), math.Inf(-1)
+	for _, p := range ds.Points {
+		res.MinX = math.Min(res.MinX, p.X)
+		res.MinY = math.Min(res.MinY, p.Y)
+		res.MaxX = math.Max(res.MaxX, p.X)
+		res.MaxY = math.Max(res.MaxY, p.Y)
+	}
+	for _, tol := range tolerances {
+		rf, err := Run(AlgoFBQS, ds, tol, 0)
+		if err != nil {
+			return res, err
+		}
+		rd, err := Run(AlgoDR, ds, tol, 0)
+		if err != nil {
+			return res, err
+		}
+		row := Fig8Row{Tolerance: tol, FBQS: rf.Keys, DR: rd.Keys}
+		if rf.Keys > 0 {
+			row.DROverheadPc = 100 * float64(rd.Keys-rf.Keys) / float64(rf.Keys)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the figure data.
+func (r Fig8Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 8(a) — synthetic dataset: %d points, extent [%.0f, %.0f] × [%.0f, %.0f] m\n",
+		r.Points, r.MinX, r.MaxX, r.MinY, r.MaxY)
+	t := &textTable{header: []string{"tolerance (m)", "FBQS pts", "DR pts", "DR overhead"}}
+	for _, row := range r.Rows {
+		t.addRow(f1(row.Tolerance), fmt.Sprintf("%d", row.FBQS),
+			fmt.Sprintf("%d", row.DR), fmt.Sprintf("%.0f%%", row.DROverheadPc))
+	}
+	fmt.Fprintf(&sb, "Figure 8(b) — points kept on synthetic data\n%s", t.String())
+	return sb.String()
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/baseline"
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+// Algo names one of the evaluated algorithms.
+type Algo string
+
+// The algorithms of the paper's comparative study.
+const (
+	AlgoBQS  Algo = "BQS"
+	AlgoFBQS Algo = "FBQS"
+	AlgoBDP  Algo = "BDP"
+	AlgoBGD  Algo = "BGD"
+	AlgoDP   Algo = "DP"
+	AlgoDR   Algo = "DR"
+)
+
+// RunResult is one (algorithm, dataset, tolerance) evaluation.
+type RunResult struct {
+	Algo      Algo
+	Dataset   string
+	Tolerance float64
+	Points    int
+	Keys      int
+	Rate      float64 // Keys/Points, the paper's compression rate
+	Pruning   float64 // pruning power (BQS family; NaN otherwise)
+	Duration  time.Duration
+	WorstDev  float64 // worst observed deviation of the output (NaN for DR)
+	BoundOK   bool
+}
+
+// Run evaluates one algorithm at one tolerance over a dataset. bufSize
+// applies to the windowed baselines. Deviation validation uses the line
+// metric, matching the compressors' configuration.
+func Run(algo Algo, ds Dataset, tolerance float64, bufSize int) (RunResult, error) {
+	res := RunResult{
+		Algo: algo, Dataset: ds.Name, Tolerance: tolerance,
+		Points: len(ds.Points), Pruning: math.NaN(), WorstDev: math.NaN(),
+	}
+	start := time.Now()
+	var keys []core.Point
+	switch algo {
+	case AlgoBQS, AlgoFBQS:
+		mode := core.ModeExact
+		if algo == AlgoFBQS {
+			mode = core.ModeFast
+		}
+		c, err := core.NewCompressor(core.Config{Tolerance: tolerance, Mode: mode, RotationWarmup: -1})
+		if err != nil {
+			return res, err
+		}
+		keys = c.CompressBatch(ds.Points)
+		res.Pruning = c.Stats().PruningPower()
+	case AlgoBDP:
+		c, err := baseline.NewBufferedDP(tolerance, bufSize, core.MetricLine)
+		if err != nil {
+			return res, err
+		}
+		for _, p := range ds.Points {
+			keys = append(keys, c.Push(p)...)
+		}
+		keys = append(keys, c.Flush()...)
+	case AlgoBGD:
+		c, err := baseline.NewBufferedGreedy(tolerance, bufSize, core.MetricLine)
+		if err != nil {
+			return res, err
+		}
+		for _, p := range ds.Points {
+			if kp, ok := c.Push(p); ok {
+				keys = append(keys, kp)
+			}
+		}
+		if kp, ok := c.Flush(); ok {
+			keys = append(keys, kp)
+		}
+	case AlgoDP:
+		var err error
+		keys, err = baseline.DouglasPeucker(ds.Points, tolerance, core.MetricLine)
+		if err != nil {
+			return res, err
+		}
+	case AlgoDR:
+		c, err := baseline.NewDeadReckoning(tolerance)
+		if err != nil {
+			return res, err
+		}
+		for _, s := range ds.Samples {
+			if kp, ok := c.PushV(s.P, s.VX, s.VY); ok {
+				keys = append(keys, kp)
+			}
+		}
+	default:
+		return res, fmt.Errorf("eval: unknown algorithm %q", algo)
+	}
+	res.Duration = time.Since(start)
+	res.Keys = len(keys)
+	if res.Points > 0 {
+		res.Rate = float64(res.Keys) / float64(res.Points)
+	}
+	if algo != AlgoDR {
+		res.WorstDev, res.BoundOK = validateBound(ds.Points, keys, tolerance)
+	} else {
+		res.BoundOK = true // DR's guarantee is on the prediction error
+	}
+	return res, nil
+}
+
+// validateBound checks the deviation of every original point against its
+// compressed segment (matched by timestamp).
+func validateBound(orig, keys []core.Point, tolerance float64) (worst float64, ok bool) {
+	ki := 0
+	for _, p := range orig {
+		for ki+1 < len(keys) && keys[ki+1].T < p.T {
+			ki++
+		}
+		if ki+1 >= len(keys) {
+			break
+		}
+		if p.T <= keys[ki].T || p.T >= keys[ki+1].T {
+			continue
+		}
+		if d := core.MaxDeviation([]core.Point{p}, keys[ki], keys[ki+1], core.MetricLine); d > worst {
+			worst = d
+		}
+	}
+	return worst, worst <= tolerance*(1+1e-9)
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// textTable renders rows of cells with left-aligned headers and
+// right-aligned values, matching the plain-text tables in EXPERIMENTS.md.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *textTable) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *textTable) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pc(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

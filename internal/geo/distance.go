@@ -1,0 +1,45 @@
+package geo
+
+import "math"
+
+// EarthRadius is the mean Earth radius in metres (IUGG).
+const EarthRadius = 6371008.8
+
+// Haversine returns the great-circle distance in metres between two WGS-84
+// coordinates. It is used for travel-distance bookkeeping, not for the
+// compression metric (which lives in the projected plane).
+func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
+	const deg = math.Pi / 180
+	phi1, phi2 := lat1*deg, lat2*deg
+	dPhi := (lat2 - lat1) * deg
+	dLam := (lon2 - lon1) * deg
+	s1 := math.Sin(dPhi / 2)
+	s2 := math.Sin(dLam / 2)
+	h := s1*s1 + math.Cos(phi1)*math.Cos(phi2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadius * math.Asin(math.Sqrt(h))
+}
+
+// PathLength returns the summed haversine length in metres of a lat/lon
+// polyline given as parallel slices. Mismatched or short inputs yield 0.
+func PathLength(lats, lons []float64) float64 {
+	if len(lats) != len(lons) || len(lats) < 2 {
+		return 0
+	}
+	var total float64
+	for i := 1; i < len(lats); i++ {
+		total += Haversine(lats[i-1], lons[i-1], lats[i], lons[i])
+	}
+	return total
+}
+
+// MetersPerDegree returns the approximate metres per degree of latitude and
+// longitude at a given latitude; handy for quick synthetic-data scaling.
+func MetersPerDegree(lat float64) (perLatDeg, perLonDeg float64) {
+	const deg = math.Pi / 180
+	perLatDeg = 111132.92 - 559.82*math.Cos(2*lat*deg) + 1.175*math.Cos(4*lat*deg)
+	perLonDeg = 111412.84*math.Cos(lat*deg) - 93.5*math.Cos(3*lat*deg)
+	return perLatDeg, perLonDeg
+}

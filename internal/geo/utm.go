@@ -1,0 +1,185 @@
+// Package geo converts GPS fixes (WGS-84 latitude/longitude) into the
+// projected metric plane the BQS algorithms operate on. The paper sets the
+// virtual coordinate axes of each quadrant system to "the UTM (Universal
+// Transverse Mercator) projected x and y axes", so this package implements
+// the WGS-84 ↔ UTM transverse Mercator transform (Krüger series, sub-cm
+// accuracy within a zone), plus haversine great-circle distance for
+// travel-distance bookkeeping.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WGS-84 ellipsoid constants.
+const (
+	// SemiMajorAxis is the WGS-84 equatorial radius in metres.
+	SemiMajorAxis = 6378137.0
+	// Flattening is the WGS-84 ellipsoid flattening.
+	Flattening = 1 / 298.257223563
+	// utmScale is the UTM central-meridian scale factor k0.
+	utmScale = 0.9996
+	// utmFalseEasting is added to easting so coordinates stay positive.
+	utmFalseEasting = 500000.0
+	// utmFalseNorthing is added to southern-hemisphere northings.
+	utmFalseNorthing = 10000000.0
+)
+
+// Derived ellipsoid quantities (third flattening series, Karney 2011).
+var (
+	n1  = Flattening / (2 - Flattening) // third flattening n
+	aSM = SemiMajorAxis / (1 + n1) * (1 + n1*n1/4 + n1*n1*n1*n1/64)
+
+	// Forward series coefficients alpha.
+	alpha = [3]float64{
+		n1/2 - 2.0/3.0*n1*n1 + 5.0/16.0*n1*n1*n1,
+		13.0/48.0*n1*n1 - 3.0/5.0*n1*n1*n1,
+		61.0 / 240.0 * n1 * n1 * n1,
+	}
+	// Inverse series coefficients beta.
+	beta = [3]float64{
+		n1/2 - 2.0/3.0*n1*n1 + 37.0/96.0*n1*n1*n1,
+		1.0/48.0*n1*n1 + 1.0/15.0*n1*n1*n1,
+		17.0 / 480.0 * n1 * n1 * n1,
+	}
+	// Latitude recovery series delta.
+	delta = [3]float64{
+		2*n1 - 2.0/3.0*n1*n1 - 2*n1*n1*n1,
+		7.0/3.0*n1*n1 - 8.0/5.0*n1*n1*n1,
+		56.0 / 15.0 * n1 * n1 * n1,
+	}
+)
+
+// ErrOutOfRange reports a latitude/longitude outside the UTM domain.
+var ErrOutOfRange = errors.New("geo: coordinate outside the UTM domain (|lat| ≤ 84°, |lon| ≤ 180°)")
+
+// UTM is a projected position: easting/northing in metres within a zone.
+type UTM struct {
+	Easting  float64
+	Northing float64
+	Zone     int  // 1..60
+	South    bool // southern hemisphere
+}
+
+// String formats the position in the conventional "55H 334543E 6251678N" style.
+func (u UTM) String() string {
+	h := "N"
+	if u.South {
+		h = "S"
+	}
+	return fmt.Sprintf("zone %d%s %.1fE %.1fN", u.Zone, h, u.Easting, u.Northing)
+}
+
+// ZoneFor returns the standard UTM zone number for a longitude.
+func ZoneFor(lon float64) int {
+	lon = math.Mod(lon+180, 360)
+	if lon < 0 {
+		lon += 360
+	}
+	z := int(lon/6) + 1
+	if z > 60 {
+		z = 60
+	}
+	return z
+}
+
+// CentralMeridian returns the central meridian (degrees) of a UTM zone.
+func CentralMeridian(zone int) float64 { return float64(zone)*6 - 183 }
+
+// ToUTM projects a WGS-84 coordinate into UTM using the zone implied by the
+// longitude. Latitudes beyond ±84° (the UTM domain) return ErrOutOfRange.
+func ToUTM(lat, lon float64) (UTM, error) {
+	if math.IsNaN(lat) || math.IsNaN(lon) || math.Abs(lat) > 84 || math.Abs(lon) > 180 {
+		return UTM{}, ErrOutOfRange
+	}
+	zone := ZoneFor(lon)
+	e, n := project(lat, lon, CentralMeridian(zone))
+	u := UTM{Easting: e + utmFalseEasting, Northing: n, Zone: zone, South: lat < 0}
+	if u.South {
+		u.Northing += utmFalseNorthing
+	}
+	return u, nil
+}
+
+// ToUTMZone projects into a caller-fixed zone. Trajectories that straddle a
+// zone boundary must be projected into a single zone so that the metric
+// plane stays continuous; pick the zone of the first fix.
+func ToUTMZone(lat, lon float64, zone int) (UTM, error) {
+	if math.IsNaN(lat) || math.IsNaN(lon) || math.Abs(lat) > 84 || math.Abs(lon) > 180 {
+		return UTM{}, ErrOutOfRange
+	}
+	if zone < 1 || zone > 60 {
+		return UTM{}, fmt.Errorf("geo: invalid UTM zone %d", zone)
+	}
+	e, n := project(lat, lon, CentralMeridian(zone))
+	u := UTM{Easting: e + utmFalseEasting, Northing: n, Zone: zone, South: lat < 0}
+	if u.South {
+		u.Northing += utmFalseNorthing
+	}
+	return u, nil
+}
+
+// FromUTM inverts the projection back to WGS-84 latitude/longitude.
+func FromUTM(u UTM) (lat, lon float64, err error) {
+	if u.Zone < 1 || u.Zone > 60 {
+		return 0, 0, fmt.Errorf("geo: invalid UTM zone %d", u.Zone)
+	}
+	northing := u.Northing
+	if u.South {
+		northing -= utmFalseNorthing
+	}
+	return unproject(u.Easting-utmFalseEasting, northing, CentralMeridian(u.Zone))
+}
+
+// project implements the forward Krüger-series transverse Mercator
+// transform around the given central meridian. Returns raw easting (no
+// false easting) and northing in metres.
+func project(lat, lon, lon0 float64) (easting, northing float64) {
+	phi := lat * math.Pi / 180
+	lam := (lon - lon0) * math.Pi / 180
+
+	// Conformal latitude.
+	e := math.Sqrt(Flattening * (2 - Flattening))
+	sinPhi := math.Sin(phi)
+	t := math.Sinh(math.Atanh(sinPhi) - e*math.Atanh(e*sinPhi))
+	xiP := math.Atan2(t, math.Cos(lam))
+	etaP := math.Asinh(math.Sin(lam) / math.Hypot(t, math.Cos(lam)))
+
+	xi, eta := xiP, etaP
+	for j := 0; j < 3; j++ {
+		k := float64(2 * (j + 1))
+		xi += alpha[j] * math.Sin(k*xiP) * math.Cosh(k*etaP)
+		eta += alpha[j] * math.Cos(k*xiP) * math.Sinh(k*etaP)
+	}
+	return utmScale * aSM * eta, utmScale * aSM * xi
+}
+
+// unproject implements the inverse Krüger-series transform.
+func unproject(easting, northing, lon0 float64) (lat, lon float64, err error) {
+	xi := northing / (utmScale * aSM)
+	eta := easting / (utmScale * aSM)
+
+	xiP, etaP := xi, eta
+	for j := 0; j < 3; j++ {
+		k := float64(2 * (j + 1))
+		xiP -= beta[j] * math.Sin(k*xi) * math.Cosh(k*eta)
+		etaP -= beta[j] * math.Cos(k*xi) * math.Sinh(k*eta)
+	}
+
+	chi := math.Asin(math.Sin(xiP) / math.Cosh(etaP))
+	phi := chi
+	for j := 0; j < 3; j++ {
+		k := float64(2 * (j + 1))
+		phi += delta[j] * math.Sin(k*chi)
+	}
+	lam := math.Atan2(math.Sinh(etaP), math.Cos(xiP))
+
+	lat = phi * 180 / math.Pi
+	lon = lon0 + lam*180/math.Pi
+	if math.IsNaN(lat) || math.IsNaN(lon) {
+		return 0, 0, errors.New("geo: inverse projection did not converge")
+	}
+	return lat, lon, nil
+}

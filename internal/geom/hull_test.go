@@ -1,0 +1,124 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Vec{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}, {0.5, 0.5}}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4: %v", len(h), h)
+	}
+	for _, p := range pts {
+		if !InConvexPolygon(p, h, 1e-9) {
+			t.Errorf("hull misses %v", p)
+		}
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); len(h) != 0 {
+		t.Errorf("hull of nothing = %v", h)
+	}
+	if h := ConvexHull([]Vec{{1, 1}}); len(h) != 1 {
+		t.Errorf("hull of one point = %v", h)
+	}
+	// All identical points.
+	h := ConvexHull([]Vec{{1, 1}, {1, 1}, {1, 1}})
+	if len(h) != 1 {
+		t.Errorf("hull of identical points = %v", h)
+	}
+	// Collinear points: hull is the extreme pair.
+	h = ConvexHull([]Vec{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if len(h) != 2 {
+		t.Errorf("hull of collinear points = %v", h)
+	}
+}
+
+func TestConvexHullIsConvexAndContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(50)
+		pts := make([]Vec, n)
+		for i := range pts {
+			pts[i] = V(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		}
+		h := ConvexHull(pts)
+		// CCW convexity: every turn is a left turn.
+		for i := 0; i < len(h) && len(h) >= 3; i++ {
+			a, b, c := h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]
+			if b.Sub(a).Cross(c.Sub(b)) < -1e-9 {
+				t.Fatalf("hull not convex at %d: %v %v %v", i, a, b, c)
+			}
+		}
+		for _, p := range pts {
+			if !InConvexPolygon(p, h, 1e-6) {
+				t.Fatalf("hull misses input point %v (hull %v)", p, h)
+			}
+		}
+	}
+}
+
+func TestInConvexPolygonEdgeCases(t *testing.T) {
+	if InConvexPolygon(V(0, 0), nil, 1e-9) {
+		t.Error("empty polygon contains a point")
+	}
+	if !InConvexPolygon(V(1, 1), []Vec{{1, 1}}, 1e-9) {
+		t.Error("single-vertex polygon should contain itself")
+	}
+	seg := []Vec{{0, 0}, {2, 0}}
+	if !InConvexPolygon(V(1, 0), seg, 1e-9) {
+		t.Error("segment polygon should contain midpoint")
+	}
+	if InConvexPolygon(V(1, 1), seg, 1e-9) {
+		t.Error("segment polygon should not contain off-segment point")
+	}
+}
+
+func TestClipPolygonHalfPlane(t *testing.T) {
+	square := []Vec{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	// Keep the half-plane left of the upward vertical line x = 2
+	// (direction (0,1) has "left" = x < 2... direction a=(2,0) b=(2,4):
+	// left of a→b is the x<2 side).
+	got := ClipPolygonHalfPlane(square, V(2, 0), V(2, 4))
+	if len(got) != 4 {
+		t.Fatalf("clip result = %v", got)
+	}
+	area := PolygonArea(got)
+	if !almostEq(area, 8, 1e-9) {
+		t.Errorf("clipped area = %v, want 8", area)
+	}
+	for _, p := range got {
+		if p.X > 2+1e-9 {
+			t.Errorf("clip kept point %v beyond the line", p)
+		}
+	}
+}
+
+func TestClipPolygonHalfPlaneNoOp(t *testing.T) {
+	square := []Vec{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	got := ClipPolygonHalfPlane(square, V(100, 0), V(100, 1))
+	if !almostEq(PolygonArea(got), 16, 1e-9) {
+		t.Errorf("no-op clip changed area: %v", got)
+	}
+	got = ClipPolygonHalfPlane(square, V(-100, 0), V(-100, 1))
+	if len(got) != 0 {
+		t.Errorf("full clip left %v", got)
+	}
+	if got := ClipPolygonHalfPlane(nil, V(0, 0), V(1, 0)); got != nil {
+		t.Errorf("clip of empty polygon = %v", got)
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	ccw := []Vec{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	if a := PolygonArea(ccw); !almostEq(a, 4, 1e-12) {
+		t.Errorf("CCW area = %v, want 4", a)
+	}
+	cw := []Vec{{0, 0}, {0, 2}, {2, 2}, {2, 0}}
+	if a := PolygonArea(cw); !almostEq(a, -4, 1e-12) {
+		t.Errorf("CW area = %v, want -4", a)
+	}
+}

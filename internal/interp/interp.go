@@ -1,0 +1,192 @@
+// Package interp reconstructs positions from a compressed trajectory. A
+// compressed segment keeps only its two key points and their timestamps;
+// the location at an intermediate time t is interpolated with a
+// distribution function P (Equations 1-3 of the paper):
+//
+//	v_t = < h(P, vs, ve, t).lat, h(P, vs, ve, t).lon, t >
+//
+// where P maps elapsed time to progress along the segment. The paper's
+// default P reconstructs the uniform distribution; it also suggests
+// deriving P online "to fit the distribution of the actual data", e.g. a
+// Gaussian fitted with the semi-numerical updates of Knuth TAOCP vol. 2 —
+// both are provided here.
+package interp
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/geom"
+)
+
+// P maps normalized elapsed time u ∈ [0, 1] within a segment to normalized
+// progress ∈ [0, 1] along the segment's straight path. It must be
+// monotonically non-decreasing with P(0) = 0 and P(1) = 1.
+type P interface {
+	Progress(u float64) float64
+}
+
+// Uniform is the paper's default distribution: progress equals elapsed
+// time (Equation 2).
+type Uniform struct{}
+
+// Progress implements P.
+func (Uniform) Progress(u float64) float64 { return clamp01(u) }
+
+// Gaussian reconstructs a truncated-Gaussian progress profile: movement
+// mass concentrates around Mu (normalized time) with width Sigma. It
+// models segments where the object accelerates mid-segment (e.g. a bat
+// leaving its roost).
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Progress implements P: the CDF of N(Mu, Sigma²) truncated to [0, 1].
+func (g Gaussian) Progress(u float64) float64 {
+	u = clamp01(u)
+	if g.Sigma <= 0 {
+		if u < g.Mu {
+			return 0
+		}
+		return 1
+	}
+	cdf := func(x float64) float64 {
+		return 0.5 * (1 + math.Erf((x-g.Mu)/(g.Sigma*math.Sqrt2)))
+	}
+	lo, hi := cdf(0), cdf(1)
+	if hi-lo < 1e-12 {
+		return u
+	}
+	return (cdf(u) - lo) / (hi - lo)
+}
+
+// OnlineGaussian fits a Gaussian to observed progress samples with the
+// numerically stable streaming mean/variance recurrence (Welford's method,
+// from the semi-numerical algorithms the paper cites). Feed it the
+// normalized times at which movement was observed within past segments,
+// then use Fit to obtain a P for reconstruction.
+type OnlineGaussian struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add consumes one normalized-time observation u ∈ [0, 1].
+func (o *OnlineGaussian) Add(u float64) {
+	u = clamp01(u)
+	o.n++
+	d := u - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (u - o.mean)
+}
+
+// N returns the number of observations.
+func (o *OnlineGaussian) N() int { return o.n }
+
+// Mean returns the fitted mean.
+func (o *OnlineGaussian) Mean() float64 { return o.mean }
+
+// Variance returns the fitted (population) variance.
+func (o *OnlineGaussian) Variance() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// Fit returns the fitted Gaussian distribution; with fewer than two
+// observations it falls back to Uniform.
+func (o *OnlineGaussian) Fit() P {
+	if o.n < 2 {
+		return Uniform{}
+	}
+	return Gaussian{Mu: o.mean, Sigma: math.Sqrt(o.Variance())}
+}
+
+// ErrOutOfRange reports a reconstruction query outside the compressed
+// trajectory's time span.
+var ErrOutOfRange = errors.New("interp: timestamp outside the trajectory's time span")
+
+// ErrTooFewPoints reports a trajectory with fewer than one point.
+var ErrTooFewPoints = errors.New("interp: need at least one key point")
+
+// At reconstructs the position at time t from the compressed trajectory
+// keys (ordered by time) under distribution p (Equation 1).
+func At(keys []core.Point, t float64, p P) (core.Point, error) {
+	if len(keys) == 0 {
+		return core.Point{}, ErrTooFewPoints
+	}
+	if p == nil {
+		p = Uniform{}
+	}
+	if t < keys[0].T || t > keys[len(keys)-1].T {
+		return core.Point{}, ErrOutOfRange
+	}
+	// Binary search for the segment containing t.
+	i := sort.Search(len(keys), func(i int) bool { return keys[i].T >= t })
+	if i < len(keys) && keys[i].T == t {
+		return keys[i], nil
+	}
+	s, e := keys[i-1], keys[i]
+	span := e.T - s.T
+	if span <= 0 {
+		return s, nil
+	}
+	u := p.Progress((t - s.T) / span)
+	pos := geom.Lerp(s.Vec(), e.Vec(), u)
+	return core.Point{X: pos.X, Y: pos.Y, T: t}, nil
+}
+
+// Series reconstructs positions at the timestamps of ts; timestamps
+// outside the trajectory span are skipped.
+func Series(keys []core.Point, ts []float64, p P) []core.Point {
+	out := make([]core.Point, 0, len(ts))
+	for _, t := range ts {
+		if pt, err := At(keys, t, p); err == nil {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// SpatialError returns the maximum and mean distance between each original
+// point and its reconstruction at the same timestamp. Under the uniform P
+// and the paper's spatial deviation metric this is bounded by the
+// along-track freedom plus the tolerance; it is the end-to-end quality
+// metric applications experience.
+func SpatialError(orig, keys []core.Point, p P) (maxErr, meanErr float64) {
+	if len(orig) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	n := 0
+	for _, o := range orig {
+		r, err := At(keys, o.T, p)
+		if err != nil {
+			continue
+		}
+		d := r.Vec().Dist(o.Vec())
+		sum += d
+		n++
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	if n > 0 {
+		meanErr = sum / float64(n)
+	}
+	return maxErr, meanErr
+}
+
+func clamp01(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

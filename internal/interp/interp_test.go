@@ -1,0 +1,186 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+func TestUniformProgress(t *testing.T) {
+	u := Uniform{}
+	for _, c := range []struct{ in, want float64 }{
+		{0, 0}, {0.25, 0.25}, {1, 1}, {-0.5, 0}, {1.5, 1},
+	} {
+		if got := u.Progress(c.in); got != c.want {
+			t.Errorf("Progress(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGaussianProgressMonotoneAndNormalized(t *testing.T) {
+	g := Gaussian{Mu: 0.5, Sigma: 0.2}
+	if got := g.Progress(0); math.Abs(got) > 1e-9 {
+		t.Errorf("Progress(0) = %v", got)
+	}
+	if got := g.Progress(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Progress(1) = %v", got)
+	}
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		p := g.Progress(u)
+		if p < prev-1e-12 {
+			t.Fatalf("not monotone at %v", u)
+		}
+		prev = p
+	}
+	// Mass concentrates near Mu: progress moves fastest there.
+	dMid := g.Progress(0.55) - g.Progress(0.45)
+	dEdge := g.Progress(0.1) - g.Progress(0.0)
+	if dMid <= dEdge {
+		t.Errorf("Gaussian progress not concentrated: mid %v edge %v", dMid, dEdge)
+	}
+}
+
+func TestGaussianDegenerateSigma(t *testing.T) {
+	g := Gaussian{Mu: 0.5, Sigma: 0}
+	if g.Progress(0.4) != 0 || g.Progress(0.6) != 1 {
+		t.Error("zero-sigma Gaussian should be a step at Mu")
+	}
+}
+
+func TestOnlineGaussianMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var o OnlineGaussian
+	var xs []float64
+	for i := 0; i < 10000; i++ {
+		u := 0.5 + rng.NormFloat64()*0.15
+		o.Add(u)
+		xs = append(xs, clamp01(u))
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs))
+	if math.Abs(o.Mean()-mean) > 1e-9 {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), mean)
+	}
+	if math.Abs(o.Variance()-v) > 1e-9 {
+		t.Errorf("online variance %v vs batch %v", o.Variance(), v)
+	}
+	if _, ok := o.Fit().(Gaussian); !ok {
+		t.Error("Fit with many samples should be Gaussian")
+	}
+	var empty OnlineGaussian
+	if _, ok := empty.Fit().(Uniform); !ok {
+		t.Error("Fit with no samples should fall back to Uniform")
+	}
+}
+
+func keysLine() []core.Point {
+	return []core.Point{
+		{X: 0, Y: 0, T: 0},
+		{X: 100, Y: 0, T: 100},
+		{X: 100, Y: 50, T: 200},
+	}
+}
+
+func TestAtUniform(t *testing.T) {
+	keys := keysLine()
+	p, err := At(keys, 50, Uniform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.X-50) > 1e-9 || math.Abs(p.Y) > 1e-9 {
+		t.Errorf("At(50) = %v", p)
+	}
+	p, err = At(keys, 150, nil) // nil distribution defaults to uniform
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.X-100) > 1e-9 || math.Abs(p.Y-25) > 1e-9 {
+		t.Errorf("At(150) = %v", p)
+	}
+	// Exactly on a key point.
+	p, err = At(keys, 100, Uniform{})
+	if err != nil || p.X != 100 || p.Y != 0 {
+		t.Errorf("At(100) = %v, %v", p, err)
+	}
+}
+
+func TestAtErrors(t *testing.T) {
+	keys := keysLine()
+	if _, err := At(keys, -1, Uniform{}); err != ErrOutOfRange {
+		t.Errorf("before span: %v", err)
+	}
+	if _, err := At(keys, 201, Uniform{}); err != ErrOutOfRange {
+		t.Errorf("after span: %v", err)
+	}
+	if _, err := At(nil, 0, Uniform{}); err != ErrTooFewPoints {
+		t.Errorf("empty keys: %v", err)
+	}
+	// Single point: only its own timestamp is reconstructable.
+	one := []core.Point{{X: 5, Y: 5, T: 10}}
+	p, err := At(one, 10, Uniform{})
+	if err != nil || p.X != 5 {
+		t.Errorf("single point: %v %v", p, err)
+	}
+}
+
+func TestAtDuplicateTimestamps(t *testing.T) {
+	keys := []core.Point{{X: 0, Y: 0, T: 0}, {X: 10, Y: 0, T: 0}, {X: 20, Y: 0, T: 10}}
+	p, err := At(keys, 5, Uniform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X < 10 || p.X > 20 {
+		t.Errorf("At over zero-span segment = %v", p)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	keys := keysLine()
+	got := Series(keys, []float64{-5, 0, 50, 100, 250}, Uniform{})
+	if len(got) != 3 {
+		t.Fatalf("Series kept %d points, want 3", len(got))
+	}
+}
+
+func TestSpatialErrorBoundedOnCompressedWalk(t *testing.T) {
+	// Compress a trace and verify the reconstruction error at original
+	// timestamps stays finite and small relative to the trajectory scale.
+	rng := rand.New(rand.NewSource(7))
+	var pts []core.Point
+	x := 0.0
+	for i := 0; i < 500; i++ {
+		x += 10 + rng.Float64()*5
+		pts = append(pts, core.Point{X: x, Y: rng.NormFloat64() * 2, T: float64(i)})
+	}
+	c, err := core.NewCompressor(core.Config{Tolerance: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := c.CompressBatch(pts)
+	maxE, meanE := SpatialError(pts, keys, Uniform{})
+	if maxE <= 0 || meanE <= 0 {
+		t.Errorf("degenerate errors: max %v mean %v", maxE, meanE)
+	}
+	if meanE > maxE {
+		t.Error("mean exceeds max")
+	}
+	// Near-constant speed: uniform reconstruction should stay within a few
+	// multiples of the spatial tolerance.
+	if maxE > 60 {
+		t.Errorf("reconstruction error %v implausibly large", maxE)
+	}
+	if mE, _ := SpatialError(nil, keys, nil); mE != 0 {
+		t.Error("empty originals should yield 0")
+	}
+}

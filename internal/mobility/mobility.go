@@ -1,0 +1,275 @@
+// Package mobility implements the downstream applications the paper's
+// conclusion motivates on top of compressed trajectories: "Individualized
+// trajectory and waypoint discovery can also be used to facilitate advanced
+// applications like real-time trip prediction or trip-duration estimation."
+//
+// Everything here consumes *compressed* trajectories (key points), which is
+// the point: the error-bounded compression preserves exactly the stays,
+// routes and timing anchors these analyses need, at a fraction of the data.
+package mobility
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+// Stay is a dwell inferred from the compressed trajectory: a roost, a
+// foraging tree, a parking spot.
+type Stay struct {
+	X, Y       float64 // dwell location estimate
+	Start, End float64 // attributed time window (seconds)
+	Keys       int     // key points supporting the stay
+}
+
+// Duration returns the stay's length in seconds.
+func (s Stay) Duration() float64 { return s.End - s.Start }
+
+// DetectStays finds stays in a compressed trajectory. Compression folds
+// dwells into their neighbouring segments (a stationary run contributes no
+// deviation, so its points rarely survive as key points), which makes the
+// reliable dwell signal *time slack*: a segment whose duration exceeds what
+// travelling its length at travelSpeed explains must contain a dwell of at
+// least the difference.
+//
+//   - radius: if a slow segment's endpoints are within radius, the whole
+//     segment is one stationary dwell at their midpoint;
+//   - otherwise the slack is attributed half to each endpoint (the dwell
+//     sits at one of them, and recurring locations aggregate correctly in
+//     waypoint clustering);
+//   - minDur: minimum attributed slack for a stay;
+//   - travelSpeed: the platform's typical moving speed in m/s.
+func DetectStays(keys []core.Point, radius, minDur, travelSpeed float64) []Stay {
+	if radius <= 0 || minDur < 0 || travelSpeed <= 0 || len(keys) < 2 {
+		return nil
+	}
+	var stays []Stay
+	for i := 0; i+1 < len(keys); i++ {
+		a, b := keys[i], keys[i+1]
+		dt := b.T - a.T
+		if dt <= 0 {
+			continue
+		}
+		d := math.Hypot(b.X-a.X, b.Y-a.Y)
+		slack := dt - d/travelSpeed
+		if slack < minDur {
+			continue
+		}
+		if d <= radius {
+			stays = append(stays, Stay{
+				X: (a.X + b.X) / 2, Y: (a.Y + b.Y) / 2,
+				Start: a.T, End: b.T, Keys: 2,
+			})
+			continue
+		}
+		// The dwell hides at one endpoint; split the attribution. Waypoint
+		// clustering consolidates the recurring real location.
+		stays = append(stays,
+			Stay{X: a.X, Y: a.Y, Start: a.T, End: a.T + slack/2, Keys: 1},
+			Stay{X: b.X, Y: b.Y, Start: b.T - slack/2, End: b.T, Keys: 1},
+		)
+	}
+	return stays
+}
+
+// Waypoint is a recurring stay location.
+type Waypoint struct {
+	ID            int
+	X, Y          float64 // visit-weighted centroid
+	Visits        int
+	TotalDuration float64
+}
+
+// ClusterWaypoints merges stays whose anchors fall within cellSize of an
+// existing waypoint (greedy leader clustering, deterministic in input
+// order). Waypoints are returned sorted by total dwell time, longest
+// first, and re-numbered 0..n-1 in that order.
+func ClusterWaypoints(stays []Stay, cellSize float64) []Waypoint {
+	if cellSize <= 0 {
+		return nil
+	}
+	var wps []Waypoint
+	for _, s := range stays {
+		best, bestDist := -1, math.Inf(1)
+		for i, w := range wps {
+			d := math.Hypot(s.X-w.X, s.Y-w.Y)
+			if d <= cellSize && d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best < 0 {
+			wps = append(wps, Waypoint{X: s.X, Y: s.Y, Visits: 1, TotalDuration: s.Duration()})
+			continue
+		}
+		w := &wps[best]
+		// Visit-weighted centroid update.
+		n := float64(w.Visits)
+		w.X = (w.X*n + s.X) / (n + 1)
+		w.Y = (w.Y*n + s.Y) / (n + 1)
+		w.Visits++
+		w.TotalDuration += s.Duration()
+	}
+	sort.SliceStable(wps, func(i, j int) bool {
+		return wps[i].TotalDuration > wps[j].TotalDuration
+	})
+	for i := range wps {
+		wps[i].ID = i
+	}
+	return wps
+}
+
+// Trip is the movement between two consecutive stays.
+type Trip struct {
+	From, To   int // waypoint IDs
+	Start, End float64
+	Length     float64 // polyline length of the key points in between, metres
+}
+
+// Duration returns the trip's travel time in seconds.
+func (t Trip) Duration() float64 { return t.End - t.Start }
+
+// assign returns the waypoint containing (x, y), or -1.
+func assign(wps []Waypoint, x, y, cellSize float64) int {
+	best, bestDist := -1, math.Inf(1)
+	for i, w := range wps {
+		d := math.Hypot(x-w.X, y-w.Y)
+		if d <= cellSize && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// ExtractTrips pairs consecutive stays into trips and measures the route
+// length over the compressed key points between them. Stays that do not
+// map to any waypoint are skipped; consecutive stays at the same waypoint
+// separated by less than minTripDur are merged (the slack-attribution in
+// DetectStays can split one physical dwell in two), and trips shorter than
+// minTripDur are dropped.
+func ExtractTrips(keys []core.Point, stays []Stay, wps []Waypoint, cellSize, minTripDur float64) []Trip {
+	// Assign and merge.
+	type visit struct {
+		wp         int
+		start, end float64
+	}
+	var visits []visit
+	for _, s := range stays {
+		wp := assign(wps, s.X, s.Y, cellSize)
+		if wp < 0 {
+			continue
+		}
+		if n := len(visits); n > 0 && visits[n-1].wp == wp && s.Start-visits[n-1].end < minTripDur {
+			if s.End > visits[n-1].end {
+				visits[n-1].end = s.End
+			}
+			continue
+		}
+		visits = append(visits, visit{wp: wp, start: s.Start, end: s.End})
+	}
+
+	var trips []Trip
+	for i := 0; i+1 < len(visits); i++ {
+		start, end := visits[i].end, visits[i+1].start
+		if end-start < minTripDur {
+			continue
+		}
+		var length float64
+		var prev *core.Point
+		for k := range keys {
+			if keys[k].T < start || keys[k].T > end {
+				continue
+			}
+			if prev != nil {
+				length += math.Hypot(keys[k].X-prev.X, keys[k].Y-prev.Y)
+			}
+			prev = &keys[k]
+		}
+		trips = append(trips, Trip{
+			From: visits[i].wp, To: visits[i+1].wp,
+			Start: start, End: end, Length: length,
+		})
+	}
+	return trips
+}
+
+// Predictor is a first-order Markov model over waypoint transitions with
+// per-edge trip-duration statistics (streaming mean/variance via Welford's
+// recurrence, the same semi-numerical machinery the paper cites for
+// reconstruction distributions).
+type Predictor struct {
+	nWaypoints int
+	counts     map[[2]int]int
+	durN       map[[2]int]int
+	durMean    map[[2]int]float64
+	durM2      map[[2]int]float64
+	total      map[int]int
+}
+
+// NewPredictor returns an empty predictor over n waypoints.
+func NewPredictor(n int) (*Predictor, error) {
+	if n <= 0 {
+		return nil, errors.New("mobility: need at least one waypoint")
+	}
+	return &Predictor{
+		nWaypoints: n,
+		counts:     make(map[[2]int]int),
+		durN:       make(map[[2]int]int),
+		durMean:    make(map[[2]int]float64),
+		durM2:      make(map[[2]int]float64),
+		total:      make(map[int]int),
+	}, nil
+}
+
+// Train consumes trips (repeatable; statistics accumulate).
+func (p *Predictor) Train(trips []Trip) {
+	for _, t := range trips {
+		if t.From < 0 || t.From >= p.nWaypoints || t.To < 0 || t.To >= p.nWaypoints {
+			continue
+		}
+		key := [2]int{t.From, t.To}
+		p.counts[key]++
+		p.total[t.From]++
+		p.durN[key]++
+		d := t.Duration()
+		delta := d - p.durMean[key]
+		p.durMean[key] += delta / float64(p.durN[key])
+		p.durM2[key] += delta * (d - p.durMean[key])
+	}
+}
+
+// PredictNext returns the most likely next waypoint from the given one and
+// its empirical probability; ok is false when the waypoint was never a
+// trip origin.
+func (p *Predictor) PredictNext(from int) (to int, prob float64, ok bool) {
+	total := p.total[from]
+	if total == 0 {
+		return 0, 0, false
+	}
+	best, bestCount := -1, 0
+	for key, c := range p.counts {
+		if key[0] != from {
+			continue
+		}
+		if c > bestCount || (c == bestCount && (best < 0 || key[1] < best)) {
+			best, bestCount = key[1], c
+		}
+	}
+	return best, float64(bestCount) / float64(total), true
+}
+
+// EstimateDuration returns the mean and standard deviation of the trip
+// duration for an edge; ok is false without observations.
+func (p *Predictor) EstimateDuration(from, to int) (mean, std float64, ok bool) {
+	key := [2]int{from, to}
+	n := p.durN[key]
+	if n == 0 {
+		return 0, 0, false
+	}
+	mean = p.durMean[key]
+	if n > 1 {
+		std = math.Sqrt(p.durM2[key] / float64(n))
+	}
+	return mean, std, true
+}

@@ -1,0 +1,164 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/synth"
+)
+
+// compressedBat compresses a generated bat trace for the pipeline tests.
+func compressedBat(t *testing.T, days int, seed int64) ([]core.Point, synth.Trace) {
+	t.Helper()
+	cfg := synth.DefaultBatConfig(seed)
+	cfg.Days = days
+	tr := synth.Bat(cfg)
+	c, err := core.NewCompressor(core.Config{Tolerance: 10, Mode: core.ModeExact, RotationWarmup: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.CompressBatch(tr.Points()), tr
+}
+
+func TestDetectStaysBasic(t *testing.T) {
+	keys := []core.Point{
+		{X: 0, Y: 0, T: 0},
+		{X: 5, Y: 3, T: 3600}, // 1 h near the origin: a stay
+		{X: 500, Y: 0, T: 3700},
+		{X: 1000, Y: 0, T: 3800},
+		{X: 1002, Y: 2, T: 9000}, // long dwell at 1 km
+	}
+	stays := DetectStays(keys, 50, 1800, 10)
+	if len(stays) != 2 {
+		t.Fatalf("stays = %+v", stays)
+	}
+	if stays[0].Duration() < 3599 || math.Hypot(stays[0].X-2.5, stays[0].Y-1.5) > 5 {
+		t.Errorf("first stay = %+v", stays[0])
+	}
+	if stays[1].X < 900 {
+		t.Errorf("second stay = %+v", stays[1])
+	}
+}
+
+func TestDetectStaysDegenerate(t *testing.T) {
+	if s := DetectStays(nil, 50, 60, 10); s != nil {
+		t.Error("nil keys")
+	}
+	if s := DetectStays([]core.Point{{X: 0, Y: 0, T: 0}, {X: 1, Y: 0, T: 1}}, 0, 60, 10); s != nil {
+		t.Error("zero radius")
+	}
+	if s := DetectStays([]core.Point{{X: 0, Y: 0, T: 0}, {X: 1, Y: 0, T: 1}}, 50, 60, 0); s != nil {
+		t.Error("zero speed")
+	}
+	// Pure movement: no stays.
+	var keys []core.Point
+	for i := 0; i < 20; i++ {
+		keys = append(keys, core.Point{X: float64(i) * 1000, Y: 0, T: float64(i) * 60})
+	}
+	if s := DetectStays(keys, 50, 600, 10); len(s) != 0 {
+		t.Errorf("movement produced stays: %+v", s)
+	}
+}
+
+func TestClusterWaypoints(t *testing.T) {
+	stays := []Stay{
+		{X: 0, Y: 0, Start: 0, End: 3600},
+		{X: 20, Y: 10, Start: 7200, End: 10800},   // same place
+		{X: 5000, Y: 0, Start: 14400, End: 15000}, // another place
+	}
+	wps := ClusterWaypoints(stays, 100)
+	if len(wps) != 2 {
+		t.Fatalf("waypoints = %+v", wps)
+	}
+	// Sorted by dwell: the origin camp first.
+	if wps[0].Visits != 2 || wps[0].TotalDuration != 7200 {
+		t.Errorf("top waypoint = %+v", wps[0])
+	}
+	if wps[0].ID != 0 || wps[1].ID != 1 {
+		t.Error("IDs not renumbered")
+	}
+	if got := ClusterWaypoints(stays, 0); got != nil {
+		t.Error("zero cell size")
+	}
+}
+
+func TestTripsAndPredictorOnBatTrace(t *testing.T) {
+	keys, _ := compressedBat(t, 20, 5)
+	stays := DetectStays(keys, 150, 30*60, 5)
+	if len(stays) < 10 {
+		t.Fatalf("only %d stays detected", len(stays))
+	}
+	wps := ClusterWaypoints(stays, 400)
+	if len(wps) < 2 {
+		t.Fatalf("only %d waypoints", len(wps))
+	}
+	// The camp (longest total dwell) must dominate.
+	if wps[0].TotalDuration < wps[len(wps)-1].TotalDuration {
+		t.Error("waypoints not sorted by dwell")
+	}
+	camp := wps[0]
+	if math.Hypot(camp.X, camp.Y) > 400 {
+		t.Errorf("top waypoint should be the camp at the origin, got (%.0f, %.0f)", camp.X, camp.Y)
+	}
+
+	trips := ExtractTrips(keys, stays, wps, 400, 300)
+	if len(trips) < 5 {
+		t.Fatalf("only %d trips", len(trips))
+	}
+	for _, tr := range trips {
+		if tr.Duration() < 0 {
+			t.Fatalf("negative trip duration: %+v", tr)
+		}
+	}
+
+	pred, err := NewPredictor(len(wps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Train(trips)
+	// From the camp, something must be predictable.
+	next, prob, ok := pred.PredictNext(camp.ID)
+	if !ok || prob <= 0 || prob > 1 {
+		t.Fatalf("PredictNext(camp) = %d %v %v", next, prob, ok)
+	}
+	mean, std, ok := pred.EstimateDuration(camp.ID, next)
+	if !ok || mean <= 0 || std < 0 {
+		t.Fatalf("EstimateDuration = %v %v %v", mean, std, ok)
+	}
+	// Commutes are ≈ 9 km at ≈ 9.5 m/s plus hops: minutes-to-hours scale.
+	if mean < 60 || mean > 6*3600 {
+		t.Errorf("trip duration estimate %v s implausible", mean)
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	if _, err := NewPredictor(0); err == nil {
+		t.Error("zero waypoints accepted")
+	}
+	p, _ := NewPredictor(3)
+	if _, _, ok := p.PredictNext(0); ok {
+		t.Error("untrained predictor predicted")
+	}
+	if _, _, ok := p.EstimateDuration(0, 1); ok {
+		t.Error("untrained duration estimated")
+	}
+	// Out-of-range trips are ignored.
+	p.Train([]Trip{{From: -1, To: 5, Start: 0, End: 10}})
+	if _, _, ok := p.PredictNext(0); ok {
+		t.Error("invalid trip trained")
+	}
+	p.Train([]Trip{
+		{From: 0, To: 1, Start: 0, End: 100},
+		{From: 0, To: 1, Start: 200, End: 320},
+		{From: 0, To: 2, Start: 400, End: 500},
+	})
+	next, prob, ok := p.PredictNext(0)
+	if !ok || next != 1 || math.Abs(prob-2.0/3) > 1e-9 {
+		t.Errorf("PredictNext = %d %v %v", next, prob, ok)
+	}
+	mean, std, ok := p.EstimateDuration(0, 1)
+	if !ok || math.Abs(mean-110) > 1e-9 || math.Abs(std-10) > 1e-9 {
+		t.Errorf("EstimateDuration = %v %v %v", mean, std, ok)
+	}
+}

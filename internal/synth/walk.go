@@ -1,0 +1,128 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+// WalkConfig parameterizes the paper's synthetic model (Section VI-A): "an
+// event-based correlated random walk ... waiting events and moving events
+// are executed alternately. The object stays at its previous location
+// during a waiting event, and it moves in a randomly selected speed and
+// turning angle for a randomly selected time," with the speed following the
+// empirical bat distribution, the turning angle drawn from von Mises, the
+// move time exponential, and the trajectory bounded by 10 km × 10 km.
+type WalkConfig struct {
+	Seed       int64
+	N          int     // samples to generate (the paper uses 30,000)
+	SampleStep float64 // seconds between samples (high-frequency, for DR)
+	AreaSize   float64 // bounding square side in metres
+	TurnKappa  float64 // von Mises concentration of turning angles
+	MeanMove   float64 // mean moving-event duration, seconds
+	MeanWait   float64 // mean waiting-event duration, seconds
+	Speeds     Empirical
+	NoiseSigma float64 // GPS noise σ in metres (0 = perfect fixes)
+}
+
+// DefaultWalkConfig mirrors the paper's setup: 30,000 points in a
+// 10 km × 10 km area with bat-like speeds and turning angles, sampled at
+// 1 Hz with ground-truth velocities (Dead Reckoning requires "continuous
+// high-frequency samples with speed readings").
+func DefaultWalkConfig(seed int64) WalkConfig {
+	return WalkConfig{
+		Seed:       seed,
+		N:          30000,
+		SampleStep: 1,
+		AreaSize:   10000,
+		TurnKappa:  4,
+		MeanMove:   20,
+		MeanWait:   8,
+		Speeds:     BatSpeeds(),
+		NoiseSigma: 0,
+	}
+}
+
+// Walk generates a trace from the event-based correlated random walk model.
+func Walk(cfg WalkConfig) Trace {
+	if cfg.N <= 0 {
+		return Trace{Name: "walk"}
+	}
+	if cfg.SampleStep <= 0 {
+		cfg.SampleStep = 1
+	}
+	if cfg.AreaSize <= 0 {
+		cfg.AreaSize = 10000
+	}
+	// Zero-duration events would make no progress; fall back to defaults.
+	if cfg.MeanMove <= 0 {
+		cfg.MeanMove = 20
+	}
+	if cfg.MeanWait <= 0 {
+		cfg.MeanWait = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	turn := VonMises{Mu: 0, Kappa: cfg.TurnKappa}
+	moveDur := Exponential{Mean: cfg.MeanMove}
+	waitDur := Exponential{Mean: cfg.MeanWait}
+
+	tr := Trace{Name: "walk", Samples: make([]Sample, 0, cfg.N)}
+	// Start somewhere in the middle of the area.
+	x := cfg.AreaSize * (0.35 + 0.3*rng.Float64())
+	y := cfg.AreaSize * (0.35 + 0.3*rng.Float64())
+	heading := rng.Float64() * 2 * math.Pi
+	now := 0.0
+
+	emit := func(vx, vy float64, moving bool) {
+		ox, oy := noise(rng, x, y, cfg.NoiseSigma)
+		tr.Samples = append(tr.Samples, Sample{
+			P:  core.Point{X: ox, Y: oy, T: now},
+			VX: vx, VY: vy,
+			Moving: moving,
+		})
+		now += cfg.SampleStep
+	}
+
+	for len(tr.Samples) < cfg.N {
+		// Waiting event.
+		wait := waitDur.Sample(rng)
+		for elapsed := 0.0; elapsed < wait && len(tr.Samples) < cfg.N; elapsed += cfg.SampleStep {
+			emit(0, 0, false)
+		}
+		if len(tr.Samples) >= cfg.N {
+			break
+		}
+		// Moving event: one speed and heading per event.
+		heading += turn.Sample(rng)
+		speed := cfg.Speeds.Sample(rng)
+		dur := moveDur.Sample(rng)
+		vx := math.Cos(heading) * speed
+		vy := math.Sin(heading) * speed
+		for elapsed := 0.0; elapsed < dur && len(tr.Samples) < cfg.N; elapsed += cfg.SampleStep {
+			x += vx * cfg.SampleStep
+			y += vy * cfg.SampleStep
+			// Reflect at the area boundary, flipping the heading component.
+			if x < 0 {
+				x = -x
+				vx = -vx
+				heading = math.Atan2(vy, vx)
+			} else if x > cfg.AreaSize {
+				x = 2*cfg.AreaSize - x
+				vx = -vx
+				heading = math.Atan2(vy, vx)
+			}
+			if y < 0 {
+				y = -y
+				vy = -vy
+				heading = math.Atan2(vy, vx)
+			} else if y > cfg.AreaSize {
+				y = 2*cfg.AreaSize - y
+				vy = -vy
+				heading = math.Atan2(vy, vx)
+			}
+			emit(vx, vy, true)
+		}
+	}
+	return tr
+}

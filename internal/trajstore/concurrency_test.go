@@ -1,0 +1,55 @@
+package trajstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+// The store documents safety for concurrent use; exercise it with parallel
+// writers, readers and an ageing pass. Run with -race to verify.
+func TestStoreConcurrentAccess(t *testing.T) {
+	st := mustStore(t, Config{MergeTolerance: 10})
+	var wg sync.WaitGroup
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			x := float64(w) * 10000
+			for i := 0; i < 200; i++ {
+				a := core.Point{X: x + float64(i)*100, Y: rng.Float64() * 50, T: float64(w*1000 + i)}
+				b := core.Point{X: x + float64(i+1)*100, Y: rng.Float64() * 50, T: float64(w*1000 + i + 1)}
+				st.Insert(a, b)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 100; i++ {
+				st.Query(-1e6, -1e6, 1e6, 1e6)
+				st.QueryTime(0, 1e9)
+				st.Len()
+				st.StorageBytes()
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := st.Age(1e9, 50); err != nil {
+		t.Fatal(err)
+	}
+	readers.Wait()
+	if st.Len() == 0 {
+		t.Fatal("store empty after concurrent inserts")
+	}
+	ins, _ := st.Stats()
+	if ins != writers*200 {
+		t.Errorf("inserted = %d, want %d", ins, writers*200)
+	}
+}

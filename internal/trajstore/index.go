@@ -1,0 +1,80 @@
+package trajstore
+
+import (
+	"math"
+
+	"github.com/trajcomp/bqs/internal/geom"
+)
+
+// gridIndex is a uniform-grid spatial index over segment bounding boxes.
+// Cells map to the IDs whose boxes overlap them; queries return candidate
+// IDs (callers re-check geometry). It is not safe for concurrent use; the
+// Store serializes access.
+type gridIndex struct {
+	cell  float64
+	cells map[[2]int32][]uint64
+}
+
+func newGridIndex(cellSize float64) *gridIndex {
+	return &gridIndex{cell: cellSize, cells: make(map[[2]int32][]uint64)}
+}
+
+func (g *gridIndex) cellOf(x, y float64) [2]int32 {
+	return [2]int32{int32(math.Floor(x / g.cell)), int32(math.Floor(y / g.cell))}
+}
+
+// cellRange iterates the grid cells covered by box, calling fn for each.
+func (g *gridIndex) cellRange(box geom.Box, fn func([2]int32)) {
+	if box.Empty() {
+		return
+	}
+	lo := g.cellOf(box.Min.X, box.Min.Y)
+	hi := g.cellOf(box.Max.X, box.Max.Y)
+	// Guard against pathological boxes flooding the map.
+	const maxSpan = 1 << 10
+	if int64(hi[0])-int64(lo[0]) > maxSpan || int64(hi[1])-int64(lo[1]) > maxSpan {
+		hi = [2]int32{lo[0] + maxSpan, lo[1] + maxSpan}
+	}
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			fn([2]int32{cx, cy})
+		}
+	}
+}
+
+func (g *gridIndex) insert(id uint64, box geom.Box) {
+	g.cellRange(box, func(c [2]int32) {
+		g.cells[c] = append(g.cells[c], id)
+	})
+}
+
+func (g *gridIndex) remove(id uint64, box geom.Box) {
+	g.cellRange(box, func(c [2]int32) {
+		ids := g.cells[c]
+		for i, v := range ids {
+			if v == id {
+				ids[i] = ids[len(ids)-1]
+				g.cells[c] = ids[:len(ids)-1]
+				break
+			}
+		}
+		if len(g.cells[c]) == 0 {
+			delete(g.cells, c)
+		}
+	})
+}
+
+// query returns the deduplicated candidate IDs whose cells overlap box.
+func (g *gridIndex) query(box geom.Box) []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	g.cellRange(box, func(c [2]int32) {
+		for _, id := range g.cells[c] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,307 @@
+package trajstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/trajcomp/bqs/internal/baseline"
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/geom"
+)
+
+// Segment is one stored compressed trajectory segment: two key points plus
+// merge bookkeeping. Weight counts how many observed traversals the
+// segment represents; FirstT/LastT span the times it was observed.
+type Segment struct {
+	ID     uint64
+	A, B   core.Point
+	Weight int
+	FirstT float64
+	LastT  float64
+}
+
+// length returns the spatial length of the segment.
+func (s Segment) length() float64 { return s.A.Vec().Dist(s.B.Vec()) }
+
+// Config parameterizes a Store.
+type Config struct {
+	// MergeTolerance is the maximum symmetric deviation at which a new
+	// segment is considered a duplicate of a stored one and merged into it
+	// (Section V-F: "If any existing compressed segment could represent
+	// the same path with a minor error, the new segment is considered
+	// duplicate information and is merged"). 0 disables merging.
+	MergeTolerance float64
+	// CellSize is the spatial-index grid cell size in metres; defaults to
+	// 4× MergeTolerance or 100 m, whichever is larger.
+	CellSize float64
+}
+
+// Store is an in-memory historical trajectory database with error-bounded
+// merging and ageing. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	cfg    Config
+	nextID uint64
+	segs   map[uint64]Segment
+	index  *gridIndex
+
+	inserted int
+	merged   int
+}
+
+// NewStore returns an empty store.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.MergeTolerance < 0 || math.IsNaN(cfg.MergeTolerance) || math.IsInf(cfg.MergeTolerance, 0) {
+		return nil, errors.New("trajstore: merge tolerance must be a finite number ≥ 0")
+	}
+	if cfg.CellSize <= 0 {
+		cfg.CellSize = math.Max(100, 4*cfg.MergeTolerance)
+	}
+	return &Store{
+		cfg:   cfg,
+		segs:  make(map[uint64]Segment),
+		index: newGridIndex(cfg.CellSize),
+	}, nil
+}
+
+// Len returns the number of stored segments.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.segs)
+}
+
+// Stats returns how many segments were inserted and how many of those were
+// merged into existing ones.
+func (st *Store) Stats() (inserted, merged int) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.inserted, st.merged
+}
+
+// InsertTrajectory inserts every segment of a compressed trajectory
+// (consecutive key-point pairs), merging duplicates. It returns the number
+// of segments merged rather than newly stored.
+func (st *Store) InsertTrajectory(keys []core.Point) int {
+	merged := 0
+	for i := 0; i+1 < len(keys); i++ {
+		if st.Insert(keys[i], keys[i+1]) {
+			merged++
+		}
+	}
+	return merged
+}
+
+// Insert stores the segment (a, b), merging it into a similar historical
+// segment when one exists. It reports whether a merge happened.
+func (st *Store) Insert(a, b core.Point) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.inserted++
+	if st.cfg.MergeTolerance > 0 {
+		if id, ok := st.findSimilar(a, b); ok {
+			s := st.segs[id]
+			s.Weight++
+			s.FirstT = math.Min(s.FirstT, a.T)
+			s.LastT = math.Max(s.LastT, b.T)
+			st.segs[id] = s
+			st.merged++
+			return true
+		}
+	}
+	st.nextID++
+	s := Segment{ID: st.nextID, A: a, B: b, Weight: 1, FirstT: a.T, LastT: b.T}
+	st.segs[s.ID] = s
+	st.index.insert(s.ID, segBox(a, b))
+	return false
+}
+
+// findSimilar looks for a stored segment that represents the same path as
+// (a, b) within the merge tolerance: endpoints within tolerance of the
+// stored segment (and vice versa for the stored endpoints), i.e. a
+// symmetric Hausdorff-style test on the two 2-point polylines.
+func (st *Store) findSimilar(a, b core.Point) (uint64, bool) {
+	tol := st.cfg.MergeTolerance
+	box := segBox(a, b).Inflate(tol)
+	for _, id := range st.index.query(box) {
+		s, ok := st.segs[id]
+		if !ok {
+			continue
+		}
+		if symmetricSegmentDistance(a.Vec(), b.Vec(), s.A.Vec(), s.B.Vec()) <= tol {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// symmetricSegmentDistance returns the symmetric Hausdorff distance
+// between segments (a1, b1) and (a2, b2): the farthest any endpoint lies
+// from the other segment. For 2-point polylines the endpoint set realizes
+// the Hausdorff maximum.
+func symmetricSegmentDistance(a1, b1, a2, b2 geom.Vec) float64 {
+	d := geom.DistToSegment(a1, a2, b2)
+	if v := geom.DistToSegment(b1, a2, b2); v > d {
+		d = v
+	}
+	if v := geom.DistToSegment(a2, a1, b1); v > d {
+		d = v
+	}
+	if v := geom.DistToSegment(b2, a1, b1); v > d {
+		d = v
+	}
+	return d
+}
+
+// Query returns the segments intersecting the axis-aligned rectangle
+// [minX, maxX] × [minY, maxY] (by bounding box).
+func (st *Store) Query(minX, minY, maxX, maxY float64) []Segment {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	box := geom.Box{Min: geom.V(minX, minY), Max: geom.V(maxX, maxY)}
+	var out []Segment
+	for _, id := range st.index.query(box) {
+		s, ok := st.segs[id]
+		if !ok {
+			continue
+		}
+		if segBox(s.A, s.B).Intersects(box) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// QueryTime returns the segments whose observation window overlaps
+// [t0, t1].
+func (st *Store) QueryTime(t0, t1 float64) []Segment {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []Segment
+	for _, s := range st.segs {
+		if s.FirstT <= t1 && s.LastT >= t0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Segments returns a snapshot of all stored segments.
+func (st *Store) Segments() []Segment {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]Segment, 0, len(st.segs))
+	for _, s := range st.segs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Age re-compresses chains of stored segments with a coarser tolerance
+// (Section V-F: "the ageing procedure re-runs the compression algorithm on
+// the existing trajectories that are already compressed, but with a
+// greater error tolerance"). Segments whose observation ended before
+// cutoffT are grouped into temporally contiguous chains, each chain's key
+// points are re-compressed with Douglas-Peucker at the given tolerance,
+// and the chain is replaced. It returns how many key points were dropped.
+func (st *Store) Age(cutoffT, tolerance float64) (dropped int, err error) {
+	if tolerance <= 0 || math.IsNaN(tolerance) {
+		return 0, errors.New("trajstore: ageing tolerance must be positive")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	// Collect aged segments and chain them by shared endpoints.
+	var chains [][]core.Point
+	used := make(map[uint64]bool)
+	for id, s := range st.segs {
+		if used[id] || s.LastT >= cutoffT {
+			continue
+		}
+		// Grow a chain forward and backward through matching endpoints.
+		chain := []core.Point{s.A, s.B}
+		used[id] = true
+		for extended := true; extended; {
+			extended = false
+			for id2, s2 := range st.segs {
+				if used[id2] || s2.LastT >= cutoffT {
+					continue
+				}
+				last := chain[len(chain)-1]
+				first := chain[0]
+				switch {
+				case s2.A.Equal(last):
+					chain = append(chain, s2.B)
+					used[id2] = true
+					extended = true
+				case s2.B.Equal(first):
+					chain = append([]core.Point{s2.A}, chain...)
+					used[id2] = true
+					extended = true
+				}
+			}
+		}
+		chains = append(chains, chain)
+	}
+
+	for _, chain := range chains {
+		kept, dpErr := baseline.DouglasPeucker(chain, tolerance, core.MetricLine)
+		if dpErr != nil {
+			return dropped, fmt.Errorf("trajstore: ageing failed: %w", dpErr)
+		}
+		dropped += len(chain) - len(kept)
+		// Replace the chain's segments.
+		st.removeChainLocked(chain)
+		for i := 0; i+1 < len(kept); i++ {
+			st.nextID++
+			s := Segment{ID: st.nextID, A: kept[i], B: kept[i+1], Weight: 1,
+				FirstT: kept[i].T, LastT: kept[i+1].T}
+			st.segs[s.ID] = s
+			st.index.insert(s.ID, segBox(s.A, s.B))
+		}
+	}
+	return dropped, nil
+}
+
+// removeChainLocked deletes every stored segment whose endpoints are
+// consecutive points of the chain. Callers hold the write lock.
+func (st *Store) removeChainLocked(chain []core.Point) {
+	for i := 0; i+1 < len(chain); i++ {
+		for id, s := range st.segs {
+			if s.A.Equal(chain[i]) && s.B.Equal(chain[i+1]) {
+				st.index.remove(id, segBox(s.A, s.B))
+				delete(st.segs, id)
+			}
+		}
+	}
+}
+
+// StorageBytes returns the wire-format size of the store's contents: each
+// distinct chain point costs WireSize bytes. It is the quantity the
+// device's flash budget constrains.
+func (st *Store) StorageBytes() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	// Count distinct endpoints: consecutive segments share points.
+	seen := make(map[[3]float64]bool, len(st.segs)*2)
+	n := 0
+	for _, s := range st.segs {
+		for _, p := range [2]core.Point{s.A, s.B} {
+			k := [3]float64{p.X, p.Y, p.T}
+			if !seen[k] {
+				seen[k] = true
+				n++
+			}
+		}
+	}
+	return n * WireSize
+}
+
+func segBox(a, b core.Point) geom.Box {
+	box := geom.EmptyBox()
+	box.Extend(a.Vec())
+	box.Extend(b.Vec())
+	return box
+}

@@ -1,0 +1,47 @@
+package bqs
+
+import (
+	"github.com/trajcomp/bqs/internal/synth"
+)
+
+// Workload generation: statistically analogous stand-ins for the paper's
+// proprietary datasets plus its synthetic model; see DESIGN.md for the
+// substitution rationale.
+
+// Trace is a generated workload with ground truth; Trace.Points yields the
+// observed points to compress.
+type Trace = synth.Trace
+
+// TraceSample is one generated fix with ground-truth velocity and phase.
+type TraceSample = synth.Sample
+
+// BatConfig parameterizes the flying-fox workload; see DefaultBatConfig.
+type BatConfig = synth.BatConfig
+
+// VehicleConfig parameterizes the vehicle workload.
+type VehicleConfig = synth.VehicleConfig
+
+// WalkConfig parameterizes the paper's synthetic event-based correlated
+// random walk (Section VI-A).
+type WalkConfig = synth.WalkConfig
+
+// DefaultBatConfig returns the flying-fox deployment model of the paper's
+// Section III-A for the given seed.
+func DefaultBatConfig(seed int64) BatConfig { return synth.DefaultBatConfig(seed) }
+
+// DefaultVehicleConfig returns the two-week vehicle model.
+func DefaultVehicleConfig(seed int64) VehicleConfig { return synth.DefaultVehicleConfig(seed) }
+
+// DefaultWalkConfig returns the paper's synthetic-model parameters:
+// 30,000 points in a 10 km × 10 km area, bat-like speeds, von Mises
+// turning angles, exponential event durations.
+func DefaultWalkConfig(seed int64) WalkConfig { return synth.DefaultWalkConfig(seed) }
+
+// GenerateBat generates a flying-fox trace.
+func GenerateBat(cfg BatConfig) Trace { return synth.Bat(cfg) }
+
+// GenerateVehicle generates a vehicle trace.
+func GenerateVehicle(cfg VehicleConfig) Trace { return synth.Vehicle(cfg) }
+
+// GenerateWalk generates a trace from the paper's synthetic model.
+func GenerateWalk(cfg WalkConfig) Trace { return synth.Walk(cfg) }
