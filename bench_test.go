@@ -1,6 +1,7 @@
 package bqs
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -193,6 +194,52 @@ func BenchmarkBQS4DPerPoint(b *testing.B) {
 		}
 	}
 }
+
+// --- Ingestion engine: fleet throughput at 1k and 10k devices.
+
+// benchEngineIngest pushes pre-generated interleaved batches (one fix
+// per device per batch, rotating through a small set of positions)
+// through the engine; reported bytes/op is the 24-byte fix payload.
+func benchEngineIngest(b *testing.B, devices int) {
+	e, err := NewEngine(EngineConfig{Compressor: "fbqs", Tolerance: 10, Shards: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+
+	const rounds = 8
+	batches := make([][]Fix, rounds)
+	for r := range batches {
+		batch := make([]Fix, devices)
+		for d := 0; d < devices; d++ {
+			// A per-device zig-zag: advances each round so compressor
+			// decisions (and some key-point emissions) actually happen.
+			x := float64(r * 40)
+			y := float64(d%50) + float64(r%2)*25
+			batch[d] = Fix{
+				Device: "dev-" + strconv.Itoa(d),
+				Point:  Point{X: x, Y: y, T: float64(r)},
+			}
+		}
+		batches[r] = batch
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(devices) * 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Ingest(batches[i%rounds]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+func BenchmarkEngineIngest1kDevices(b *testing.B)  { benchEngineIngest(b, 1000) }
+func BenchmarkEngineIngest10kDevices(b *testing.B) { benchEngineIngest(b, 10000) }
 
 // --- 3-D core (Section V-G).
 

@@ -1,13 +1,19 @@
 // Command bqsbench regenerates every table and figure of the paper's
-// evaluation section against the generated stand-in datasets.
+// evaluation section against the generated stand-in datasets, and
+// benchmarks the server-side ingestion engine.
 //
 // Usage:
 //
 //	bqsbench [-exp all|fig3|fig6|fig7|fig8|table1|table2|table3|ablation]
 //	         [-quick] [-csv dir]
+//	bqsbench -engine [-devices N] [-shards M] [-fixes N] [-compressor name]
+//	         [-tol metres] [-merge metres]
 //
 // -quick shrinks the datasets for a fast smoke run; -csv writes the raw
 // series (plus the Figure 8(a) scatter data) as CSV files for plotting.
+// -engine switches to a fleet-ingestion throughput run: N devices with
+// synthetic correlated-random-walk trajectories are batched through the
+// sharded engine and the wall-clock throughput is reported.
 package main
 
 import (
@@ -15,17 +21,38 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/engine"
 	"github.com/trajcomp/bqs/internal/eval"
 	"github.com/trajcomp/bqs/internal/stream"
+	"github.com/trajcomp/bqs/internal/synth"
+	"github.com/trajcomp/bqs/internal/trajstore"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig3, fig6, fig7, fig8, table1, table2, table3, ablation)")
 	quick := flag.Bool("quick", false, "use small datasets for a fast smoke run")
 	csvDir := flag.String("csv", "", "directory to write raw CSV series into")
+	engineMode := flag.Bool("engine", false, "run the ingestion-engine throughput benchmark instead of the paper experiments")
+	devices := flag.Int("devices", 1000, "engine mode: number of concurrent device sessions")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "engine mode: shard worker count")
+	fixesPer := flag.Int("fixes", 500, "engine mode: fixes per device")
+	compName := flag.String("compressor", "fbqs", fmt.Sprintf("engine mode: compressor name %v", stream.Names()))
+	tol := flag.Float64("tol", 10, "engine mode: deviation tolerance in metres")
+	mergeTol := flag.Float64("merge", 5, "engine mode: store merge tolerance in metres (0 disables merging)")
 	flag.Parse()
+
+	if *engineMode {
+		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol); err != nil {
+			fmt.Fprintln(os.Stderr, "bqsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := eval.ScaleFull
 	if *quick {
@@ -180,6 +207,89 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(r)
+	}
+}
+
+// runEngineBench pushes devices×fixesPer synthetic fixes through the
+// sharded ingestion engine in interleaved batches and reports wall-clock
+// throughput plus compression and storage statistics.
+func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64) error {
+	if devices <= 0 || fixesPer <= 0 {
+		return fmt.Errorf("devices and fixes must be positive")
+	}
+	fmt.Printf("engine benchmark: %d devices × %d fixes, %d shards, compressor %q, tol %g m, merge %g m\n",
+		devices, fixesPer, shards, compName, tol, mergeTol)
+
+	// Construct the engine first: a bad compressor name or tolerance
+	// fails before the (possibly large) workload is generated.
+	e, err := engine.New(engine.Config{
+		Compressor: compName,
+		Tolerance:  tol,
+		Shards:     shards,
+		Store:      trajstore.Config{MergeTolerance: mergeTol},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Per-device trajectories from the paper's synthetic walk model,
+	// interleaved round-robin so every batch mixes devices — the
+	// realistic arrival order of a fleet reporting concurrently.
+	fmt.Println("generating workload...")
+	tracks := make([][]core.Point, devices)
+	names := make([]string, devices)
+	for d := range tracks {
+		cfg := synth.DefaultWalkConfig(int64(d) + 1)
+		cfg.N = fixesPer
+		tracks[d] = synth.Walk(cfg).Points()
+		names[d] = fmt.Sprintf("dev-%06d", d)
+	}
+	total := devices * fixesPer
+	fixes := make([]engine.Fix, 0, total)
+	for i := 0; i < fixesPer; i++ {
+		for d := range tracks {
+			fixes = append(fixes, engine.Fix{Device: names[d], Point: tracks[d][i]})
+		}
+	}
+
+	const batchSize = 4096
+	start := time.Now()
+	for lo := 0; lo < total; lo += batchSize {
+		hi := lo + batchSize
+		if hi > total {
+			hi = total
+		}
+		if err := e.Ingest(fixes[lo:hi]); err != nil {
+			return err
+		}
+	}
+	if err := e.Sync(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := e.Close(); err != nil {
+		return err
+	}
+
+	s := e.Stats()
+	fmt.Printf("ingested %d fixes in %v  (%.0f fixes/s, %.0f ns/fix)\n",
+		s.Fixes, elapsed.Round(time.Millisecond),
+		float64(s.Fixes)/elapsed.Seconds(), float64(elapsed.Nanoseconds())/float64(s.Fixes))
+	fmt.Printf("sessions: %d opened, %d evicted\n", s.SessionsOpened, s.SessionsEvicted)
+	fmt.Printf("key points: %d  (compression rate %.4f)\n", s.KeyPoints, s.CompressionRate())
+	fmt.Printf("store: %d segments from %d inserted (%d merged), %s wire bytes\n",
+		s.Store.Segments, s.Store.Inserted, s.Store.Merged, humanBytes(e.Stores().StorageBytes()))
+	return nil
+}
+
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d", n)
 	}
 }
 

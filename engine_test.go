@@ -1,0 +1,105 @@
+package bqs_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/trajcomp/bqs"
+)
+
+// TestEngineFacade exercises the public engine surface end to end:
+// named-compressor construction, ingestion, store queries via the
+// sharded-store facade, and a custom registry entry driving the engine.
+func TestEngineFacade(t *testing.T) {
+	e, err := bqs.NewEngine(bqs.EngineConfig{
+		Compressor: "fbqs",
+		Tolerance:  10,
+		Shards:     4,
+		Store:      bqs.StoreConfig{MergeTolerance: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixes []bqs.Fix
+	for d := 0; d < 50; d++ {
+		dev := fmt.Sprintf("dev-%d", d)
+		for i := 0; i < 40; i++ {
+			fixes = append(fixes, bqs.Fix{Device: dev, Point: bqs.Point{
+				X: float64(i * 30), Y: float64(d % 7 * 25), T: float64(i),
+			}})
+		}
+	}
+	if err := e.Ingest(fixes); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Fixes != 50*40 || s.SessionsOpened != 50 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.KeyPoints == 0 || s.CompressionRate() >= 1 {
+		t.Fatalf("no compression: %+v", s)
+	}
+	var stores *bqs.ShardedStore = e.Stores()
+	if stores.Len() == 0 {
+		t.Fatal("no segments stored")
+	}
+	var merged bqs.StoreStats = stores.MergedStats()
+	if merged.Merged == 0 {
+		t.Fatalf("collinear duplicate paths did not merge: %+v", merged)
+	}
+	if err := e.IngestOne("late", bqs.Point{X: 1, Y: 1, T: 1}); !errors.Is(err, bqs.ErrEngineClosed) {
+		t.Fatalf("ingest after close = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineCustomCompressor registers a custom compressor and runs the
+// engine with it by name.
+func TestEngineCustomCompressor(t *testing.T) {
+	err := bqs.RegisterCompressor("facade-test-bqs-seg", func(tol float64) (bqs.StreamCompressor, error) {
+		c, err := bqs.NewBQS(tol, bqs.WithMetric(bqs.MetricSegment))
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range bqs.CompressorNames() {
+		if n == "facade-test-bqs-seg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered name missing from CompressorNames")
+	}
+	c, err := bqs.NewNamedCompressor("facade-test-bqs-seg", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []bqs.Point{{X: 0, Y: 0, T: 0}, {X: 100, Y: 0, T: 1}, {X: 200, Y: 50, T: 2}}
+	if keys := bqs.Compress(c, pts); len(keys) < 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+
+	e, err := bqs.NewEngine(bqs.EngineConfig{Compressor: "facade-test-bqs-seg", Tolerance: 5, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := e.IngestOne("d", p); err != nil {
+			t.Fatal(i, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.KeyPoints < 2 {
+		t.Fatalf("custom compressor emitted %d keys", s.KeyPoints)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/trajcomp/bqs
+
+go 1.22

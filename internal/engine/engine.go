@@ -1,0 +1,417 @@
+// Package engine is the server-side ingestion layer: a sharded,
+// goroutine-safe engine that manages many thousands of concurrent device
+// sessions, each owning a streaming compressor from the stream registry
+// and feeding its key points into a per-shard historical trajectory
+// store.
+//
+// Fixes are batched into Ingest and routed to a shard worker by an
+// FNV-1a hash of the device ID, so each device's stream is processed by
+// exactly one goroutine in arrival order — per-device output is
+// byte-identical to running the same compressor single-threaded, while
+// distinct devices scale across shards without locks on the hot path.
+// Sessions are created on first fix, evicted (with a final Flush) after
+// an idle timeout, and their compressor state is recycled through a
+// sync.Pool.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/stream"
+	"github.com/trajcomp/bqs/internal/trajstore"
+)
+
+// Fix is one device observation: a point of the device's trajectory
+// stream in the projected metric plane.
+type Fix struct {
+	Device string
+	Point  core.Point
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Compressor names the registered compressor each session runs
+	// (see stream.Names). Default "fbqs" — the O(1)-per-point variant.
+	Compressor string
+	// Tolerance is the deviation bound in metres handed to every
+	// session's compressor. Required.
+	Tolerance float64
+	// Shards is the number of worker goroutines (and trajectory-store
+	// shards). Default GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard ingest queue depth in batches;
+	// senders block when a shard falls this far behind (backpressure).
+	// Default 256.
+	QueueDepth int
+	// IdleTimeout evicts a session — flushing its compressor — after
+	// this long without a fix. 0 disables idle eviction: sessions then
+	// live until Close.
+	IdleTimeout time.Duration
+	// Store configures the per-shard trajectory stores that receive
+	// every session's compressed segments.
+	Store trajstore.Config
+	// OnKey, when non-nil, receives every finalized key point in
+	// per-device order. It is called from shard worker goroutines —
+	// distinct devices may call it concurrently.
+	OnKey func(device string, kp core.Point)
+	// Clock substitutes the idle-eviction time source; nil means
+	// time.Now. Tests use it to drive eviction deterministically.
+	Clock func() time.Time
+}
+
+// ErrClosed reports an operation on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Stats is a point-in-time snapshot of engine activity, merged across
+// shards.
+type Stats struct {
+	ActiveSessions  int             // sessions currently open
+	SessionsOpened  uint64          // sessions ever created
+	SessionsEvicted uint64          // sessions closed by idle eviction
+	Fixes           uint64          // fixes accepted by Ingest
+	KeyPoints       uint64          // key points emitted by all sessions
+	Store           trajstore.Stats // merged per-shard store statistics
+}
+
+// CompressionRate returns KeyPoints/Fixes (lower is better), 0 when no
+// fixes were ingested.
+func (s Stats) CompressionRate() float64 {
+	if s.Fixes == 0 {
+		return 0
+	}
+	return float64(s.KeyPoints) / float64(s.Fixes)
+}
+
+// Engine is the sharded ingestion engine. All exported methods are safe
+// for concurrent use.
+type Engine struct {
+	cfg    Config
+	clock  func() time.Time
+	shards []*shard
+	stores *trajstore.Sharded
+	pool   sync.Pool // recycled stream.Compressor values (all Resetters)
+
+	mu     sync.RWMutex // guards closed against Ingest/Sync racing Close
+	closed bool
+	wg     sync.WaitGroup
+
+	opened  atomic.Uint64
+	evicted atomic.Uint64
+	fixes   atomic.Uint64
+	keys    atomic.Uint64
+}
+
+// session is the per-device state, owned by exactly one shard worker.
+type session struct {
+	comp     stream.Compressor
+	lastKey  core.Point // previous key point: segment start for the store
+	haveKey  bool
+	lastSeen time.Time
+}
+
+// shard is one worker: a queue, a session table and a trajectory store.
+type shard struct {
+	eng      *Engine
+	in       chan shardMsg
+	store    *trajstore.Store
+	sessions map[string]*session
+	active   atomic.Int64
+}
+
+// shardMsg is a unit of work for a shard worker. Exactly one of the
+// fields drives an action; barrier (when non-nil) is closed once the
+// message — and everything queued before it — has been processed.
+type shardMsg struct {
+	fixes   []Fix
+	evict   bool
+	barrier chan struct{}
+}
+
+// New returns a started engine; callers must Close it to flush sessions
+// and release the workers. The configuration is validated eagerly: the
+// named compressor is constructed once up front, so a bad name or
+// tolerance fails here rather than on the first fix.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Compressor == "" {
+		cfg.Compressor = "fbqs"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.IdleTimeout < 0 {
+		return nil, errors.New("engine: IdleTimeout must be ≥ 0")
+	}
+	probe, err := stream.New(cfg.Compressor, cfg.Tolerance)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	stores, err := trajstore.NewSharded(cfg.Shards, cfg.Store)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e := &Engine{cfg: cfg, clock: cfg.Clock, stores: stores}
+	if e.clock == nil {
+		e.clock = time.Now
+	}
+	if _, ok := probe.(stream.Resetter); ok {
+		e.pool.Put(probe) // the probe seeds the pool instead of being wasted
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		sh := &shard{
+			eng:      e,
+			in:       make(chan shardMsg, cfg.QueueDepth),
+			store:    stores.Shard(i),
+			sessions: make(map[string]*session),
+		}
+		e.shards[i] = sh
+		e.wg.Add(1)
+		go sh.run()
+	}
+	return e, nil
+}
+
+// shardIndex routes a device ID to a shard by FNV-1a (inlined to keep
+// the hot path allocation-free).
+func (e *Engine) shardIndex(device string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(device); i++ {
+		h ^= uint64(device[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(e.shards)))
+}
+
+// Ingest routes a batch of fixes to their shards. Fixes for the same
+// device are processed in slice order; the engine does not retain the
+// slice. It blocks when a target shard's queue is full and returns
+// ErrClosed after Close.
+func (e *Engine) Ingest(fixes []Fix) error {
+	if len(fixes) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if len(e.shards) == 1 {
+		batch := make([]Fix, len(fixes))
+		copy(batch, fixes)
+		e.shards[0].in <- shardMsg{fixes: batch}
+	} else {
+		groups := make([][]Fix, len(e.shards))
+		for _, f := range fixes {
+			i := e.shardIndex(f.Device)
+			groups[i] = append(groups[i], f)
+		}
+		for i, g := range groups {
+			if len(g) > 0 {
+				e.shards[i].in <- shardMsg{fixes: g}
+			}
+		}
+	}
+	e.fixes.Add(uint64(len(fixes)))
+	return nil
+}
+
+// IngestOne routes a single fix; a convenience wrapper over Ingest.
+func (e *Engine) IngestOne(device string, p core.Point) error {
+	return e.Ingest([]Fix{{Device: device, Point: p}})
+}
+
+// barrier sends msg to every shard with a fresh barrier channel and
+// waits until all shards have drained up to it.
+func (e *Engine) barrier(msg shardMsg) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	waits := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		m := msg
+		m.barrier = make(chan struct{})
+		waits[i] = m.barrier
+		sh.in <- m
+	}
+	e.mu.RUnlock()
+	for _, w := range waits {
+		<-w
+	}
+	return nil
+}
+
+// Sync blocks until every fix ingested before the call has been fully
+// processed (compressed and stored). Useful before reading Stats or the
+// stores in tests and benchmarks.
+func (e *Engine) Sync() error { return e.barrier(shardMsg{}) }
+
+// EvictIdle forces an idle-eviction sweep on every shard now, regardless
+// of the automatic eviction ticker, and waits for it to complete.
+// Sessions idle for at least IdleTimeout are flushed and closed; with
+// IdleTimeout 0 the sweep is a no-op.
+func (e *Engine) EvictIdle() error { return e.barrier(shardMsg{evict: true}) }
+
+// Stats returns a merged snapshot of engine activity. Counters are read
+// atomically but not mutually consistent; call Sync first for a quiescent
+// reading.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		SessionsOpened:  e.opened.Load(),
+		SessionsEvicted: e.evicted.Load(),
+		Fixes:           e.fixes.Load(),
+		KeyPoints:       e.keys.Load(),
+		Store:           e.stores.MergedStats(),
+	}
+	for _, sh := range e.shards {
+		s.ActiveSessions += int(sh.active.Load())
+	}
+	return s
+}
+
+// Stores exposes the per-shard trajectory stores for querying.
+func (e *Engine) Stores() *trajstore.Sharded { return e.stores }
+
+// Close flushes every open session (emitting final key points), stops
+// the workers and waits for them. Further Ingest/Sync calls return
+// ErrClosed; Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, sh := range e.shards {
+		close(sh.in)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// run is the shard worker loop: single-goroutine ownership of the
+// session table makes every per-device operation lock-free.
+func (sh *shard) run() {
+	defer sh.eng.wg.Done()
+	var tick <-chan time.Time
+	if d := sh.eng.cfg.IdleTimeout; d > 0 {
+		t := time.NewTicker(max(d/2, 10*time.Millisecond))
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case msg, ok := <-sh.in:
+			if !ok {
+				sh.closeAll()
+				return
+			}
+			if msg.evict {
+				sh.evictIdle()
+			}
+			for _, f := range msg.fixes {
+				sh.ingest(f)
+			}
+			if msg.barrier != nil {
+				close(msg.barrier)
+			}
+		case <-tick:
+			sh.evictIdle()
+		}
+	}
+}
+
+// ingest feeds one fix into its session, creating the session on first
+// contact.
+func (sh *shard) ingest(f Fix) {
+	s := sh.sessions[f.Device]
+	if s == nil {
+		s = sh.newSession()
+		sh.sessions[f.Device] = s
+		sh.active.Add(1)
+		sh.eng.opened.Add(1)
+	}
+	s.lastSeen = sh.eng.clock()
+	if kp, ok := s.comp.Push(f.Point); ok {
+		sh.emit(f.Device, s, kp)
+	}
+}
+
+// newSession builds a session, reusing pooled compressor state when
+// available.
+func (sh *shard) newSession() *session {
+	if v := sh.eng.pool.Get(); v != nil {
+		return &session{comp: v.(stream.Compressor)}
+	}
+	comp, err := stream.New(sh.eng.cfg.Compressor, sh.eng.cfg.Tolerance)
+	if err != nil {
+		// Unreachable: New validated the (name, tolerance) pair.
+		panic(fmt.Sprintf("engine: compressor factory failed after validation: %v", err))
+	}
+	return &session{comp: comp}
+}
+
+// emit records a finalized key point: consecutive key points form a
+// compressed segment inserted into the shard's store.
+func (sh *shard) emit(device string, s *session, kp core.Point) {
+	if s.haveKey {
+		sh.store.Insert(s.lastKey, kp)
+	}
+	s.lastKey = kp
+	s.haveKey = true
+	sh.eng.keys.Add(1)
+	if sh.eng.cfg.OnKey != nil {
+		sh.eng.cfg.OnKey(device, kp)
+	}
+}
+
+// closeSession flushes the session's compressor, emits the tail key
+// points and recycles resettable compressor state into the pool.
+func (sh *shard) closeSession(device string, s *session) {
+	for _, kp := range stream.FlushAll(s.comp) {
+		sh.emit(device, s, kp)
+	}
+	if r, ok := s.comp.(stream.Resetter); ok {
+		r.Reset()
+		sh.eng.pool.Put(s.comp)
+	}
+	delete(sh.sessions, device)
+	sh.active.Add(-1)
+}
+
+// evictIdle closes every session idle for at least IdleTimeout.
+func (sh *shard) evictIdle() {
+	d := sh.eng.cfg.IdleTimeout
+	if d <= 0 {
+		return
+	}
+	now := sh.eng.clock()
+	for device, s := range sh.sessions {
+		if now.Sub(s.lastSeen) >= d {
+			sh.closeSession(device, s)
+			sh.eng.evicted.Add(1)
+		}
+	}
+}
+
+// closeAll flushes and closes every session (engine shutdown).
+func (sh *shard) closeAll() {
+	for device, s := range sh.sessions {
+		sh.closeSession(device, s)
+	}
+}

@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"github.com/trajcomp/bqs/internal/baseline"
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+// Built-in registrations: every online algorithm in the repository is
+// constructible by config string. Buffer sizes and the time-sensitive
+// gamma use the paper's defaults; callers needing other parameters
+// register their own closure under a new name.
+const (
+	// DefaultBufferSize is the window for the buffered baselines (mid
+	// range of the paper's Table III sweep 32–256).
+	DefaultBufferSize = 128
+	// DefaultGamma converts temporal error to spatial error for the
+	// "timesensitive" registration, in metres per second.
+	DefaultGamma = 1.0
+)
+
+func init() {
+	MustRegister("bqs", func(tol float64) (Compressor, error) {
+		c, err := core.NewCompressor(core.Config{Tolerance: tol, Mode: core.ModeExact, RotationWarmup: -1})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	})
+	MustRegister("fbqs", func(tol float64) (Compressor, error) {
+		c, err := core.NewCompressor(core.Config{Tolerance: tol, Mode: core.ModeFast, RotationWarmup: -1})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	})
+	MustRegister("timesensitive", func(tol float64) (Compressor, error) {
+		c, err := core.NewTimeSensitive(core.Config{Tolerance: tol, Mode: core.ModeFast, RotationWarmup: -1}, DefaultGamma)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	})
+	MustRegister("dr", func(tol float64) (Compressor, error) {
+		c, err := baseline.NewDeadReckoning(tol)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	})
+	MustRegister("bgd", func(tol float64) (Compressor, error) {
+		c, err := baseline.NewBufferedGreedy(tol, DefaultBufferSize, core.MetricLine)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	})
+	MustRegister("bdp", func(tol float64) (Compressor, error) {
+		c, err := baseline.NewBufferedDP(tol, DefaultBufferSize, core.MetricLine)
+		if err != nil {
+			return nil, err
+		}
+		return Adapt(c), nil
+	})
+}

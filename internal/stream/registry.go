@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a Compressor with the given deviation tolerance in
+// metres. Factories are registered under a name with Register and looked
+// up with New, so compressors are constructible from configuration
+// strings ("fbqs", "dr", ...) without the caller importing the
+// implementing package.
+type Factory func(tolerance float64) (Compressor, error)
+
+// ErrUnknownCompressor reports a New call with an unregistered name.
+var ErrUnknownCompressor = fmt.Errorf("stream: unknown compressor")
+
+// ErrDuplicateCompressor reports a Register call with an already-taken
+// name.
+var ErrDuplicateCompressor = fmt.Errorf("stream: compressor already registered")
+
+// ErrNilFactory reports a Register call with a nil factory.
+var ErrNilFactory = fmt.Errorf("stream: nil compressor factory")
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Factory)
+)
+
+// Register makes a compressor constructible by name. Names are
+// case-sensitive and must be non-empty; registering a name twice is an
+// error (the first registration wins). Safe for concurrent use.
+func Register(name string, f Factory) error {
+	if f == nil {
+		return fmt.Errorf("%w: %q", ErrNilFactory, name)
+	}
+	if name == "" {
+		return fmt.Errorf("stream: empty compressor name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateCompressor, name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// MustRegister is Register for package init paths: it panics on error.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// New constructs a registered compressor by name. The error distinguishes
+// an unknown name (ErrUnknownCompressor, listing the registered names)
+// from a factory failure (e.g. an invalid tolerance).
+func New(name string, tolerance float64) (Compressor, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownCompressor, name, Names())
+	}
+	return f(tolerance)
+}
+
+// Names returns the registered compressor names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resetter is implemented by compressors whose state can be cleared for
+// reuse without reallocation; the ingestion engine pools such compressors
+// across device sessions.
+type Resetter interface {
+	Reset()
+}

@@ -1,0 +1,129 @@
+package trajstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/core"
+)
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(0, Config{}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewSharded(4, Config{MergeTolerance: -1}); err == nil {
+		t.Fatal("invalid shard config accepted")
+	}
+}
+
+func TestShardedMergedStats(t *testing.T) {
+	s, err := NewSharded(3, Config{MergeTolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 gets a duplicate pair that must merge; shards 1..2 get
+	// distinct segments.
+	a := core.Point{X: 0, Y: 0, T: 0}
+	b := core.Point{X: 100, Y: 0, T: 10}
+	s.Shard(0).Insert(a, b)
+	if !s.Shard(0).Insert(a, b) {
+		t.Fatal("identical segment did not merge")
+	}
+	s.Shard(1).Insert(core.Point{X: 0, Y: 50, T: 0}, core.Point{X: 100, Y: 50, T: 10})
+	s.Shard(2).Insert(core.Point{X: 0, Y: 90, T: 0}, core.Point{X: 100, Y: 90, T: 10})
+
+	st := s.MergedStats()
+	if st.Inserted != 4 || st.Merged != 1 || st.Segments != 3 {
+		t.Fatalf("MergedStats = %+v, want Inserted 4, Merged 1, Segments 3", st)
+	}
+	if got := s.StorageBytes(); got != 6*WireSize {
+		t.Fatalf("StorageBytes = %d, want %d", got, 6*WireSize)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := len(s.Segments()); got != 3 {
+		t.Fatalf("Segments() returned %d, want 3", got)
+	}
+
+	// Per-shard snapshot agrees with the legacy two-int Stats.
+	ins, merged := s.Shard(0).Stats()
+	snap := s.Shard(0).Snapshot()
+	if snap.Inserted != ins || snap.Merged != merged {
+		t.Fatalf("Snapshot %+v disagrees with Stats (%d, %d)", snap, ins, merged)
+	}
+}
+
+func TestShardedQueryFanOut(t *testing.T) {
+	s, err := NewSharded(4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		y := float64(i * 10)
+		s.Shard(i).Insert(core.Point{X: 0, Y: y, T: float64(i)}, core.Point{X: 5, Y: y, T: float64(i) + 1})
+	}
+	if got := len(s.Query(-1, -1, 6, 35)); got != 4 {
+		t.Fatalf("Query spanning all shards returned %d segments, want 4", got)
+	}
+	if got := len(s.Query(-1, -1, 6, 5)); got != 1 {
+		t.Fatalf("Query spanning one shard returned %d segments, want 1", got)
+	}
+	if got := len(s.QueryTime(1.2, 1.8)); got != 1 {
+		t.Fatalf("QueryTime returned %d segments, want 1", got)
+	}
+}
+
+func TestShardedAge(t *testing.T) {
+	s, err := NewSharded(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-point near-collinear chain in each shard, old enough to age.
+	for i := 0; i < 2; i++ {
+		base := float64(i * 100)
+		p0 := core.Point{X: base, Y: 0, T: 0}
+		p1 := core.Point{X: base + 10, Y: 0.1, T: 1}
+		p2 := core.Point{X: base + 20, Y: 0, T: 2}
+		s.Shard(i).Insert(p0, p1)
+		s.Shard(i).Insert(p1, p2)
+	}
+	dropped, err := s.Age(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("Age dropped %d points, want 2 (one mid point per shard)", dropped)
+	}
+	if _, err := s.Age(100, -1); err == nil {
+		t.Fatal("invalid ageing tolerance accepted")
+	}
+}
+
+func TestShardedConcurrentWriters(t *testing.T) {
+	s, err := NewSharded(8, Config{MergeTolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sh := s.Shard((w + i) % s.NumShards())
+				y := float64((w*200 + i) % 97)
+				sh.Insert(core.Point{X: 0, Y: y, T: float64(i)}, core.Point{X: 50, Y: y, T: float64(i + 1)})
+				if i%50 == 0 {
+					s.MergedStats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.MergedStats(); st.Inserted != 16*200 {
+		t.Fatalf("Inserted = %d, want %d", st.Inserted, 16*200)
+	}
+	_ = fmt.Sprintf("%d", s.Len())
+}

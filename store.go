@@ -25,6 +25,20 @@ type GeoKey = trajstore.GeoKey
 // NewStore returns an empty trajectory store.
 func NewStore(cfg StoreConfig) (*Store, error) { return trajstore.NewStore(cfg) }
 
+// StoreStats is a point-in-time snapshot of store bookkeeping, merged
+// across shards with Add.
+type StoreStats = trajstore.Stats
+
+// ShardedStore is a fixed set of independent Stores with fan-out queries
+// and merged stats — the storage layer behind the ingestion Engine
+// (Engine.Stores returns one).
+type ShardedStore = trajstore.Sharded
+
+// NewShardedStore returns n independent stores built from one config.
+func NewShardedStore(n int, cfg StoreConfig) (*ShardedStore, error) {
+	return trajstore.NewSharded(n, cfg)
+}
+
 // EncodeTrajectory serializes key points in the paper's 12-byte-per-sample
 // wire format (int32 micro-degree latitude/longitude + uint32 seconds).
 func EncodeTrajectory(keys []GeoKey) ([]byte, error) {
