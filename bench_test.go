@@ -1,6 +1,7 @@
 package bqs
 
 import (
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -200,8 +201,20 @@ func BenchmarkBQS4DPerPoint(b *testing.B) {
 // benchEngineIngest pushes pre-generated interleaved batches (one fix
 // per device per batch, rotating through a small set of positions)
 // through the engine; reported bytes/op is the 24-byte fix payload.
-func benchEngineIngest(b *testing.B, devices int) {
-	e, err := NewEngine(EngineConfig{Compressor: "fbqs", Tolerance: 10, Shards: 0})
+// With persist set, a segment log is attached, so the measured path
+// includes the durability bookkeeping (per-session key accumulation);
+// the sessions' durable flush happens in Close, timed separately by
+// BenchmarkEnginePersistClose.
+func benchEngineIngest(b *testing.B, devices int, persist bool) {
+	cfg := EngineConfig{Compressor: "fbqs", Tolerance: 10, Shards: 0}
+	if persist {
+		lg, err := OpenSegmentLog(b.TempDir(), SegmentLogOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Persister = lg
+	}
+	e, err := NewEngine(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -238,8 +251,52 @@ func benchEngineIngest(b *testing.B, devices int) {
 	b.StopTimer()
 }
 
-func BenchmarkEngineIngest1kDevices(b *testing.B)  { benchEngineIngest(b, 1000) }
-func BenchmarkEngineIngest10kDevices(b *testing.B) { benchEngineIngest(b, 10000) }
+func BenchmarkEngineIngest1kDevices(b *testing.B)  { benchEngineIngest(b, 1000, false) }
+func BenchmarkEngineIngest10kDevices(b *testing.B) { benchEngineIngest(b, 10000, false) }
+
+// Same workload with the segment log attached: the delta vs the plain
+// variants is the durability overhead on the ingest hot path.
+func BenchmarkEngineIngestPersist1kDevices(b *testing.B)  { benchEngineIngest(b, 1000, true) }
+func BenchmarkEngineIngestPersist10kDevices(b *testing.B) { benchEngineIngest(b, 10000, true) }
+
+// BenchmarkEnginePersistClose measures the durable flush itself: each op
+// ingests a small fleet and Closes the engine, which writes and fsyncs
+// every finalized session trajectory through the segment log.
+func BenchmarkEnginePersistClose(b *testing.B) {
+	const devices, rounds = 200, 8
+	batches := make([][]Fix, rounds)
+	for r := range batches {
+		batch := make([]Fix, devices)
+		for d := 0; d < devices; d++ {
+			batch[d] = Fix{
+				Device: "dev-" + strconv.Itoa(d),
+				Point:  Point{X: float64(r * 40), Y: float64(d%50) + float64(r%2)*25, T: float64(r)},
+			}
+		}
+		batches[r] = batch
+	}
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg, err := OpenSegmentLog(filepath.Join(dir, strconv.Itoa(i)), SegmentLogOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := NewEngine(EngineConfig{Compressor: "fbqs", Tolerance: 10, Shards: 0, Persister: lg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			if err := e.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- 3-D core (Section V-G).
 

@@ -7,13 +7,16 @@
 //	bqsbench [-exp all|fig3|fig6|fig7|fig8|table1|table2|table3|ablation]
 //	         [-quick] [-csv dir]
 //	bqsbench -engine [-devices N] [-shards M] [-fixes N] [-compressor name]
-//	         [-tol metres] [-merge metres]
+//	         [-tol metres] [-merge metres] [-persist dir]
 //
 // -quick shrinks the datasets for a fast smoke run; -csv writes the raw
 // series (plus the Figure 8(a) scatter data) as CSV files for plotting.
 // -engine switches to a fleet-ingestion throughput run: N devices with
 // synthetic correlated-random-walk trajectories are batched through the
-// sharded engine and the wall-clock throughput is reported.
+// sharded engine and the wall-clock throughput is reported. -persist
+// additionally opens an append-only segment log in the given directory
+// and measures the same run with durability on (each flushed session is
+// written and fsync'd through the Sync barrier).
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"github.com/trajcomp/bqs/internal/stream"
 	"github.com/trajcomp/bqs/internal/synth"
 	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
 )
 
 func main() {
@@ -44,14 +48,19 @@ func main() {
 	compName := flag.String("compressor", "fbqs", fmt.Sprintf("engine mode: compressor name %v", stream.Names()))
 	tol := flag.Float64("tol", 10, "engine mode: deviation tolerance in metres")
 	mergeTol := flag.Float64("merge", 5, "engine mode: store merge tolerance in metres (0 disables merging)")
+	persistDir := flag.String("persist", "", "engine mode: segment-log directory for a durable run ('' keeps the run in-memory)")
 	flag.Parse()
 
 	if *engineMode {
-		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol); err != nil {
+		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir); err != nil {
 			fmt.Fprintln(os.Stderr, "bqsbench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *persistDir != "" {
+		fmt.Fprintln(os.Stderr, "bqsbench: -persist requires -engine")
+		os.Exit(2)
 	}
 
 	scale := eval.ScaleFull
@@ -212,23 +221,43 @@ func main() {
 
 // runEngineBench pushes devices×fixesPer synthetic fixes through the
 // sharded ingestion engine in interleaved batches and reports wall-clock
-// throughput plus compression and storage statistics.
-func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64) error {
+// throughput plus compression and storage statistics. With persistDir
+// set, flushed sessions are also appended to a segment log there and
+// the final Sync is a durability barrier.
+func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string) error {
 	if devices <= 0 || fixesPer <= 0 {
 		return fmt.Errorf("devices and fixes must be positive")
 	}
-	fmt.Printf("engine benchmark: %d devices × %d fixes, %d shards, compressor %q, tol %g m, merge %g m\n",
-		devices, fixesPer, shards, compName, tol, mergeTol)
+	durability := "off"
+	if persistDir != "" {
+		durability = "segment log at " + persistDir
+	}
+	fmt.Printf("engine benchmark: %d devices × %d fixes, %d shards, compressor %q, tol %g m, merge %g m, durability %s\n",
+		devices, fixesPer, shards, compName, tol, mergeTol, durability)
 
-	// Construct the engine first: a bad compressor name or tolerance
-	// fails before the (possibly large) workload is generated.
-	e, err := engine.New(engine.Config{
+	// Construct the engine first: a bad compressor name, tolerance or
+	// log directory fails before the (possibly large) workload is
+	// generated.
+	cfg := engine.Config{
 		Compressor: compName,
 		Tolerance:  tol,
 		Shards:     shards,
 		Store:      trajstore.Config{MergeTolerance: mergeTol},
-	})
+	}
+	var lg *segmentlog.Log
+	if persistDir != "" {
+		var err error
+		lg, err = segmentlog.Open(persistDir, segmentlog.Options{})
+		if err != nil {
+			return err
+		}
+		cfg.Persister = lg
+	}
+	e, err := engine.New(cfg)
 	if err != nil {
+		if lg != nil {
+			lg.Close()
+		}
 		return err
 	}
 
@@ -267,9 +296,11 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 		return err
 	}
 	elapsed := time.Since(start)
-	if err := e.Close(); err != nil {
+	closeStart := time.Now()
+	if err := e.Close(); err != nil { // flushes sessions; durable flush when persisting
 		return err
 	}
+	closeElapsed := time.Since(closeStart)
 
 	s := e.Stats()
 	fmt.Printf("ingested %d fixes in %v  (%.0f fixes/s, %.0f ns/fix)\n",
@@ -279,6 +310,24 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 	fmt.Printf("key points: %d  (compression rate %.4f)\n", s.KeyPoints, s.CompressionRate())
 	fmt.Printf("store: %d segments from %d inserted (%d merged), %s wire bytes\n",
 		s.Store.Segments, s.Store.Inserted, s.Store.Merged, humanBytes(e.Stores().StorageBytes()))
+	if lg != nil {
+		// The log was closed by e.Close; reopen it to report what landed
+		// on disk (also a cheap recovery self-check).
+		rl, err := segmentlog.Open(persistDir, segmentlog.Options{})
+		if err != nil {
+			return fmt.Errorf("reopening log: %w", err)
+		}
+		defer rl.Close()
+		ls := rl.Stats()
+		total := elapsed + closeElapsed
+		fmt.Printf("persisted %d trajectories to %d segment file(s), %s on disk (flush+close %v)\n",
+			ls.Records, ls.Segments, humanBytes(int(ls.Bytes)), closeElapsed.Round(time.Millisecond))
+		fmt.Printf("durable throughput incl. final flush: %.0f fixes/s\n",
+			float64(s.Fixes)/total.Seconds())
+		if ls.Truncated != 0 {
+			return fmt.Errorf("log reopen truncated %d bytes after a clean close", ls.Truncated)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cmd.bin")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSmokeEngineBench(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-engine", "-devices", "5", "-fixes", "40", "-shards", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsbench -engine: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ingested 200 fixes") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestSmokeEngineBenchPersist(t *testing.T) {
+	bin := buildCmd(t)
+	dir := filepath.Join(t.TempDir(), "log")
+	out, err := exec.Command(bin, "-engine", "-devices", "5", "-fixes", "40", "-shards", "2", "-persist", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsbench -engine -persist: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "persisted 5 trajectories") {
+		t.Fatalf("persistence not reported:\n%s", s)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files written: %v %v", segs, err)
+	}
+}
+
+func TestSmokePersistRequiresEngine(t *testing.T) {
+	bin := buildCmd(t)
+	if err := exec.Command(bin, "-persist", t.TempDir()).Run(); err == nil {
+		t.Fatal("-persist without -engine accepted")
+	}
+}

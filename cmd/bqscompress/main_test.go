@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cmd.bin")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeZigZag writes a trace that needs several key points: straight
+// runs with sharp turns every 20 samples.
+func writeZigZag(t *testing.T, path string, n int) {
+	t.Helper()
+	var sb strings.Builder
+	y := 0.0
+	for i := 0; i < n; i++ {
+		if i%20 == 0 {
+			y += 50
+		}
+		fmt.Fprintf(&sb, "%.3f,%.3f,%d\n", float64(i)*10, y, i)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmokeCompress(t *testing.T) {
+	bin := buildCmd(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	writeZigZag(t, in, 100)
+	for _, algo := range []string{"fbqs", "bqs", "dp"} {
+		outFile := filepath.Join(dir, "out_"+algo+".csv")
+		out, err := exec.Command(bin, "-algo", algo, "-d", "5", "-o", outFile, in).CombinedOutput()
+		if err != nil {
+			t.Fatalf("bqscompress -algo %s: %v\n%s", algo, err, out)
+		}
+		data, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := strings.Count(string(data), "\n")
+		if keys == 0 || keys >= 100 {
+			t.Fatalf("%s: %d key points from 100 samples", algo, keys)
+		}
+	}
+}
+
+func TestSmokeCompressBadInput(t *testing.T) {
+	bin := buildCmd(t)
+	in := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(in, []byte("not,a\nnumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, in).Run(); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cmd.bin")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// seedLog writes a small two-device log, returning its directory.
+func seedLog(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	lg, err := segmentlog.Open(dir, segmentlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := func(base int) []trajstore.GeoKey {
+		out := make([]trajstore.GeoKey, 5)
+		for i := range out {
+			out[i] = trajstore.GeoKey{
+				Lat: float64(base*100+i) / 1e7,
+				Lon: float64(-base*100-i) / 1e7,
+				T:   uint32(base*1000 + i*10),
+			}
+		}
+		return out
+	}
+	if err := lg.Append("alpha", keys(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Append("beta", keys(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSmokeRecoverList(t *testing.T) {
+	bin := buildCmd(t)
+	dir := seedLog(t)
+	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsrecover: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") {
+		t.Fatalf("device listing incomplete:\n%s", s)
+	}
+}
+
+func TestSmokeRecoverQueryCSV(t *testing.T) {
+	bin := buildCmd(t)
+	dir := seedLog(t)
+	cmd := exec.Command(bin, "-dir", dir, "-device", "alpha", "-csv")
+	cmd.Stderr = nil
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("bqsrecover -device: %v", err)
+	}
+	lines := strings.Count(string(out), "\n")
+	if lines != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", lines, out)
+	}
+	if !strings.HasPrefix(string(out), "0.0000100,-0.0000100,1000") {
+		t.Fatalf("unexpected first CSV line:\n%s", out)
+	}
+}
+
+// TestSmokeRecoverTornTail runs the command against a crash-damaged log:
+// it must recover, report the drop, and still answer queries.
+func TestSmokeRecoverTornTail(t *testing.T) {
+	bin := buildCmd(t)
+	dir := seedLog(t)
+	seg := filepath.Join(dir, "seg-00000001.log")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsrecover on torn log: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "recovered") || !strings.Contains(s, "alpha") || strings.Contains(s, "beta") {
+		t.Fatalf("torn-tail recovery output wrong:\n%s", s)
+	}
+}
+
+func TestSmokeRecoverMissingDir(t *testing.T) {
+	bin := buildCmd(t)
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+}
+
+// TestSmokeRecoverNonexistentDir: a typo'd path must error, not be
+// created as a fresh empty log.
+func TestSmokeRecoverNonexistentDir(t *testing.T) {
+	bin := buildCmd(t)
+	dir := filepath.Join(t.TempDir(), "no-such-log")
+	if err := exec.Command(bin, "-dir", dir).Run(); err == nil {
+		t.Fatal("nonexistent directory accepted")
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("diagnostic run created the directory: %v", err)
+	}
+}
+
+func TestSmokeRecoverUnknownDevice(t *testing.T) {
+	bin := buildCmd(t)
+	dir := seedLog(t)
+	if err := exec.Command(bin, "-dir", dir, "-device", "nope").Run(); err == nil {
+		t.Fatal("unknown device should exit non-zero")
+	}
+}

@@ -1,0 +1,57 @@
+package bqs
+
+import (
+	"fmt"
+
+	"github.com/trajcomp/bqs/internal/engine"
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+// Durable persistence: the append-only, CRC-checksummed segment log
+// (internal/trajstore/segmentlog) makes the ingestion engine
+// restartable. Finalized session trajectories are appended in the
+// delta-varint wire format, Engine.Sync is the durability barrier, and
+// on reopen the log truncates any torn tail left by a crash and rebuilds
+// its device/time index by scanning.
+
+// Persister is the durability hook consumed by the engine: Append
+// receives every finalized trajectory, Sync is the durability barrier.
+type Persister = trajstore.Persister
+
+// SegmentLog is an open append-only trajectory log; it implements
+// Persister and answers device/time-range queries straight from disk.
+type SegmentLog = segmentlog.Log
+
+// SegmentLogOptions parameterizes OpenSegmentLog.
+type SegmentLogOptions = segmentlog.Options
+
+// SegmentLogRecord is one persisted trajectory, decoded.
+type SegmentLogRecord = segmentlog.Record
+
+// SegmentLogStats is a snapshot of a log's contents.
+type SegmentLogStats = segmentlog.Stats
+
+// OpenSegmentLog opens (creating if necessary) a segment log directory,
+// recovering from any crash-torn tail.
+func OpenSegmentLog(dir string, opts SegmentLogOptions) (*SegmentLog, error) {
+	return segmentlog.Open(dir, opts)
+}
+
+// OpenDurableEngine opens a segment log in dir and starts an ingestion
+// engine persisting into it: every session finalized by idle eviction or
+// Close durably lands on disk, Sync is the durability barrier, and
+// Close closes the log. Any Persister already set in cfg is replaced.
+func OpenDurableEngine(dir string, cfg EngineConfig) (*Engine, error) {
+	lg, err := segmentlog.Open(dir, segmentlog.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("bqs: %w", err)
+	}
+	cfg.Persister = lg
+	e, err := engine.New(cfg)
+	if err != nil {
+		lg.Close()
+		return nil, err
+	}
+	return e, nil
+}

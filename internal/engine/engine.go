@@ -17,6 +17,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,25 @@ type Config struct {
 	// per-device order. It is called from shard worker goroutines —
 	// distinct devices may call it concurrently.
 	OnKey func(device string, kp core.Point)
+	// Persister, when non-nil, durably records every finalized session
+	// trajectory (on idle eviction and on Close) in the delta-varint
+	// wire format. The engine takes ownership: Sync doubles as the
+	// durability barrier and Close closes the persister. See
+	// trajstore.Persister and trajstore/segmentlog.
+	Persister trajstore.Persister
+	// MetersPerDegree converts the projected metric plane to the wire
+	// format's degrees when persisting (GeoKeys quantize at 1e-7°, so
+	// the default 1e5 m/° stores positions at 1 cm resolution with a
+	// ±9000 km range).
+	MetersPerDegree float64
+	// MaxTrailKeys bounds the per-session key-point trail kept for
+	// persistence: a session that accumulates this many key points is
+	// chunked — the trail is persisted as a record and restarted from
+	// its last key point, so long-lived sessions (IdleTimeout 0) use
+	// bounded memory and no record approaches the log's record-size
+	// cap. Consecutive chunks share one overlapping key point so the
+	// polyline stays reconstructable. Default 8192.
+	MaxTrailKeys int
 	// Clock substitutes the idle-eviction time source; nil means
 	// time.Now. Tests use it to drive eviction deterministically.
 	Clock func() time.Time
@@ -76,6 +96,7 @@ type Stats struct {
 	SessionsEvicted uint64          // sessions closed by idle eviction
 	Fixes           uint64          // fixes accepted by Ingest
 	KeyPoints       uint64          // key points emitted by all sessions
+	Persisted       uint64          // finalized trajectories handed to the persister
 	Store           trajstore.Stats // merged per-shard store statistics
 }
 
@@ -101,10 +122,17 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	opened  atomic.Uint64
-	evicted atomic.Uint64
-	fixes   atomic.Uint64
-	keys    atomic.Uint64
+	opened    atomic.Uint64
+	evicted   atomic.Uint64
+	fixes     atomic.Uint64
+	keys      atomic.Uint64
+	persisted atomic.Uint64
+
+	// persistErr latches the first asynchronous persister failure (shard
+	// workers append during eviction); Sync and Close surface it.
+	persistErr atomic.Pointer[error]
+	persisting bool    // cfg.Persister != nil, cached for the hot path
+	mPerDegree float64 // metres per degree for GeoKey conversion
 }
 
 // session is the per-device state, owned by exactly one shard worker.
@@ -113,6 +141,8 @@ type session struct {
 	lastKey  core.Point // previous key point: segment start for the store
 	haveKey  bool
 	lastSeen time.Time
+	keys     []core.Point // key-point trail, kept only when persisting; capped at MaxTrailKeys
+	chunked  bool         // the trail starts with the previous chunk's last key
 }
 
 // shard is one worker: a queue, a session table and a trajectory store.
@@ -158,7 +188,23 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	e := &Engine{cfg: cfg, clock: cfg.Clock, stores: stores}
+	if cfg.MetersPerDegree == 0 {
+		cfg.MetersPerDegree = 1e5
+	}
+	if !(cfg.MetersPerDegree > 0) || math.IsInf(cfg.MetersPerDegree, 0) { // also rejects NaN
+		return nil, errors.New("engine: MetersPerDegree must be a finite positive number")
+	}
+	if cfg.MaxTrailKeys < 0 {
+		return nil, errors.New("engine: MaxTrailKeys must be ≥ 0")
+	}
+	if cfg.MaxTrailKeys == 0 {
+		cfg.MaxTrailKeys = 8192
+	}
+	e := &Engine{
+		cfg: cfg, clock: cfg.Clock, stores: stores,
+		persisting: cfg.Persister != nil, mPerDegree: cfg.MetersPerDegree,
+	}
+	stores.SetPersister(cfg.Persister)
 	if e.clock == nil {
 		e.clock = time.Now
 	}
@@ -256,9 +302,32 @@ func (e *Engine) barrier(msg shardMsg) error {
 }
 
 // Sync blocks until every fix ingested before the call has been fully
-// processed (compressed and stored). Useful before reading Stats or the
+// processed (compressed and stored). With a Persister configured it is
+// also the durability barrier: every trajectory finalized before the
+// call is on disk when Sync returns. Useful before reading Stats or the
 // stores in tests and benchmarks.
-func (e *Engine) Sync() error { return e.barrier(shardMsg{}) }
+func (e *Engine) Sync() error {
+	if err := e.barrier(shardMsg{}); err != nil {
+		return err
+	}
+	if err := e.stores.SyncPersist(); err != nil {
+		return fmt.Errorf("engine: persister sync: %w", err)
+	}
+	return e.loadPersistErr()
+}
+
+// setPersistErr latches the first asynchronous persister failure.
+func (e *Engine) setPersistErr(err error) {
+	e.persistErr.CompareAndSwap(nil, &err)
+}
+
+// loadPersistErr returns the latched persister failure, if any.
+func (e *Engine) loadPersistErr() error {
+	if p := e.persistErr.Load(); p != nil {
+		return fmt.Errorf("engine: persist: %w", *p)
+	}
+	return nil
+}
 
 // EvictIdle forces an idle-eviction sweep on every shard now, regardless
 // of the automatic eviction ticker, and waits for it to complete.
@@ -275,6 +344,7 @@ func (e *Engine) Stats() Stats {
 		SessionsEvicted: e.evicted.Load(),
 		Fixes:           e.fixes.Load(),
 		KeyPoints:       e.keys.Load(),
+		Persisted:       e.persisted.Load(),
 		Store:           e.stores.MergedStats(),
 	}
 	for _, sh := range e.shards {
@@ -286,9 +356,10 @@ func (e *Engine) Stats() Stats {
 // Stores exposes the per-shard trajectory stores for querying.
 func (e *Engine) Stores() *trajstore.Sharded { return e.stores }
 
-// Close flushes every open session (emitting final key points), stops
-// the workers and waits for them. Further Ingest/Sync calls return
-// ErrClosed; Close is idempotent.
+// Close flushes every open session (emitting final key points and
+// persisting the finalized trajectories when a Persister is configured),
+// stops the workers, waits for them, and closes the persister. Further
+// Ingest/Sync calls return ErrClosed; Close is idempotent.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -301,7 +372,10 @@ func (e *Engine) Close() error {
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
-	return nil
+	if err := e.stores.ClosePersist(); err != nil {
+		return fmt.Errorf("engine: persister close: %w", err)
+	}
+	return e.loadPersistErr()
 }
 
 // run is the shard worker loop: single-goroutine ownership of the
@@ -374,17 +448,53 @@ func (sh *shard) emit(device string, s *session, kp core.Point) {
 	}
 	s.lastKey = kp
 	s.haveKey = true
+	if sh.eng.persisting {
+		s.keys = append(s.keys, kp)
+		if len(s.keys) >= sh.eng.cfg.MaxTrailKeys {
+			sh.persistTrail(device, s, false)
+		}
+	}
 	sh.eng.keys.Add(1)
 	if sh.eng.cfg.OnKey != nil {
 		sh.eng.cfg.OnKey(device, kp)
 	}
 }
 
+// persistTrail writes the session's accumulated key-point trail to the
+// persister. A non-final (chunking) flush restarts the trail from its
+// last key point so consecutive records overlap by one key and the
+// polyline stays reconstructable; a final flush skips a trail that is
+// only that overlap (nothing new to record).
+func (sh *shard) persistTrail(device string, s *session, final bool) {
+	if len(s.keys) == 0 || (final && s.chunked && len(s.keys) == 1) {
+		s.keys, s.chunked = nil, false
+		return
+	}
+	m := sh.eng.mPerDegree
+	geo := trajstore.PointKeysToGeo(s.keys, m, m)
+	if err := sh.eng.stores.Persist(device, geo); err != nil {
+		sh.eng.setPersistErr(err)
+	} else {
+		sh.eng.persisted.Add(1)
+	}
+	if final {
+		s.keys, s.chunked = nil, false
+		return
+	}
+	last := s.keys[len(s.keys)-1]
+	s.keys = append(s.keys[:0], last)
+	s.chunked = true
+}
+
 // closeSession flushes the session's compressor, emits the tail key
-// points and recycles resettable compressor state into the pool.
+// points, persists the finalized trajectory when durability is on, and
+// recycles resettable compressor state into the pool.
 func (sh *shard) closeSession(device string, s *session) {
 	for _, kp := range stream.FlushAll(s.comp) {
 		sh.emit(device, s, kp)
+	}
+	if sh.eng.persisting {
+		sh.persistTrail(device, s, true)
 	}
 	if r, ok := s.comp.(stream.Resetter); ok {
 		r.Reset()

@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/baseline"
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/synth"
+)
+
+// TestRegistryErrorBound asserts the paper's core guarantee for EVERY
+// registered compressor at once, rather than per-algorithm: on synthetic
+// vehicle and walk traces, every original point must lie within the
+// tolerance of the decompressed polyline. The deviation is measured per
+// algorithm family — perpendicular distance to the enclosing compressed
+// segment (the line metric every built-in is configured with) for the
+// polyline compressors, and the dead-reckoning prediction error for
+// "dr", whose guarantee is against the extrapolated position rather
+// than the key-point polyline.
+//
+// Any future Register'd compressor is automatically held to the default
+// polyline bound.
+func TestRegistryErrorBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trace sweep")
+	}
+	traces := registryTraces()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, tol := range []float64{5, 25} {
+				for _, tr := range traces {
+					if name == "dr" {
+						checkDeadReckoningBound(t, tr, tol)
+						continue
+					}
+					checkPolylineBound(t, name, tr, tol)
+				}
+			}
+		})
+	}
+}
+
+type boundTrace struct {
+	name string
+	pts  []core.Point
+}
+
+func registryTraces() []boundTrace {
+	vcfg := synth.DefaultVehicleConfig(11)
+	vcfg.Days = 1
+	wcfg := synth.DefaultWalkConfig(12)
+	wcfg.N = 4000
+	return []boundTrace{
+		{"vehicle", synth.Vehicle(vcfg).Points()},
+		{"walk", synth.Walk(wcfg).Points()},
+	}
+}
+
+// checkPolylineBound runs the named compressor over the trace and
+// verifies every point against its timestamp-matched compressed segment
+// with the line metric.
+func checkPolylineBound(t *testing.T, name string, tr boundTrace, tol float64) {
+	t.Helper()
+	c, err := New(name, tol)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	keys := Compress(c, tr.pts)
+	if len(keys) == 0 {
+		t.Fatalf("%s/%s: no key points from %d samples", name, tr.name, len(tr.pts))
+	}
+	worst := 0.0
+	ki := 0
+	for _, p := range tr.pts {
+		for ki+1 < len(keys) && keys[ki+1].T < p.T {
+			ki++
+		}
+		if ki+1 >= len(keys) {
+			break
+		}
+		if p.T <= keys[ki].T || p.T >= keys[ki+1].T {
+			continue
+		}
+		if d := core.MaxDeviation([]core.Point{p}, keys[ki], keys[ki+1], core.MetricLine); d > worst {
+			worst = d
+		}
+	}
+	if worst > tol*(1+1e-9) {
+		t.Errorf("%s/%s tol %g: worst deviation %g exceeds the bound", name, tr.name, tol, worst)
+	}
+}
+
+// checkDeadReckoningBound replays the trace through the registry's "dr"
+// compressor while shadow-tracking the anchor state it must be using
+// (finite-difference velocities, exactly as DeadReckoning.Push
+// computes them) and verifies the paper's DR guarantee: every
+// non-reporting sample lies within the tolerance of the position
+// extrapolated from the last report.
+func checkDeadReckoningBound(t *testing.T, tr boundTrace, tol float64) {
+	t.Helper()
+	c, err := New("dr", tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		anchor         core.Point
+		avx, avy       float64
+		prev           core.Point
+		havePrev, open bool
+	)
+	worst := 0.0
+	for _, p := range tr.pts {
+		var vx, vy float64
+		if havePrev {
+			if dt := p.T - prev.T; dt > 0 && !math.IsInf(dt, 0) {
+				vx = (p.X - prev.X) / dt
+				vy = (p.Y - prev.Y) / dt
+			}
+		}
+		_, reported := c.Push(p)
+		if reported || !open {
+			if !reported {
+				t.Fatalf("dr/%s: first sample was not reported", tr.name)
+			}
+			anchor, avx, avy, open = p, vx, vy, true
+		} else {
+			rec := baseline.ReconstructAt(anchor, avx, avy, p.T)
+			d := math.Hypot(p.X-rec.X, p.Y-rec.Y)
+			if d > worst {
+				worst = d
+			}
+		}
+		prev, havePrev = p, true
+	}
+	if worst > tol*(1+1e-9) {
+		t.Errorf("dr/%s tol %g: worst prediction error %g exceeds the bound", tr.name, tol, worst)
+	}
+}

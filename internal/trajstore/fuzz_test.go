@@ -1,0 +1,204 @@
+package trajstore
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzSeedKeys are representative valid trajectories used to seed both
+// fuzz targets: ordinary values, the poles/antimeridian boundary, tiny
+// negative deltas and duplicate timestamps.
+func fuzzSeedKeys() [][]GeoKey {
+	return [][]GeoKey{
+		{{Lat: 0, Lon: 0, T: 0}},
+		{{Lat: -37.8136, Lon: 144.9631, T: 1700000000}, {Lat: -37.8140, Lon: 144.9629, T: 1700000060}},
+		{{Lat: 90, Lon: 180, T: math.MaxUint32}, {Lat: -90, Lon: -180, T: math.MaxUint32}},
+		{{Lat: 1e-7, Lon: -1e-7, T: 5}, {Lat: 0, Lon: 0, T: 5}, {Lat: -1e-7, Lon: 1e-7, T: 4}},
+	}
+}
+
+// FuzzDeltaDecode checks DeltaDecode never panics or over-allocates on
+// arbitrary input, and that accepted input re-encodes losslessly:
+// decode→encode→decode must be a fixed point.
+func FuzzDeltaDecode(f *testing.F) {
+	for _, keys := range fuzzSeedKeys() {
+		enc, err := DeltaEncode(keys)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		for _, cut := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+			f.Add(enc[:cut])
+		}
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := DeltaDecode(data)
+		if err != nil {
+			return
+		}
+		// Anything DeltaDecode accepts must re-encode, or be out of the
+		// encoder's domain (decode tolerates coordinates past ±90/±180
+		// that the encoder rejects — that asymmetry is fine, but the
+		// values must still be finite).
+		for _, k := range keys {
+			if math.IsNaN(k.Lat) || math.IsInf(k.Lat, 0) || math.IsNaN(k.Lon) || math.IsInf(k.Lon, 0) {
+				t.Fatalf("decoded non-finite key %+v", k)
+			}
+		}
+		enc, err := DeltaEncode(keys)
+		if err != nil {
+			return
+		}
+		again, err := DeltaDecode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded output failed to decode: %v", err)
+		}
+		if len(again) != len(keys) {
+			t.Fatalf("round trip changed length %d → %d", len(keys), len(again))
+		}
+		for i := range keys {
+			if again[i] != keys[i] {
+				t.Fatalf("round trip changed key %d: %+v → %+v", i, keys[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeTrajectory checks the fixed-width decoder never panics or
+// over-allocates, and round-trips what it accepts.
+func FuzzDecodeTrajectory(f *testing.F) {
+	for _, keys := range fuzzSeedKeys() {
+		enc, err := EncodeTrajectory(keys)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		for _, cut := range []int{0, 3, 4, len(enc) - 1} {
+			f.Add(enc[:cut])
+		}
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // count 2^32-1 with no payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, n, err := DecodeTrajectory(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if n != 4+len(keys)*WireSize {
+			t.Fatalf("consumed %d bytes for %d keys", n, len(keys))
+		}
+		enc, err := EncodeTrajectory(keys)
+		if err != nil {
+			// The decoder tolerates raw int32 coordinates past ±90/±180
+			// that the encoder's domain check rejects; only that
+			// asymmetry may fail here.
+			if !errors.Is(err, ErrRange) {
+				t.Fatalf("decoded keys failed to re-encode: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("re-encode differs from input prefix")
+		}
+	})
+}
+
+// TestDeltaRoundTripQuantizationBoundary is the round-trip property test
+// at the wire format's 1e-7-degree quantization boundary: the poles and
+// antimeridian, sub-quantum coordinates that round to adjacent quanta,
+// negative deltas, and duplicate/decreasing timestamps.
+func TestDeltaRoundTripQuantizationBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		keys []GeoKey
+	}{
+		{"poles and antimeridian", []GeoKey{
+			{Lat: 90, Lon: 180, T: 0},
+			{Lat: -90, Lon: -180, T: 1},
+			{Lat: 90, Lon: -180, T: math.MaxUint32},
+		}},
+		{"one quantum below the boundary", []GeoKey{
+			{Lat: 90 - 1e-7, Lon: 180 - 1e-7, T: 10},
+			{Lat: -90 + 1e-7, Lon: -180 + 1e-7, T: 20},
+		}},
+		{"sub-quantum values rounding to the boundary", []GeoKey{
+			{Lat: 89.99999996, Lon: 179.99999996, T: 1}, // rounds to 90/180
+			{Lat: -89.99999996, Lon: -179.99999996, T: 2},
+		}},
+		{"negative deltas", []GeoKey{
+			{Lat: 10, Lon: 20, T: 1000},
+			{Lat: 9.9999999, Lon: 19.9999999, T: 1001},
+			{Lat: -10, Lon: -20, T: 1002},
+		}},
+		{"duplicate timestamps", []GeoKey{
+			{Lat: 1, Lon: 2, T: 7},
+			{Lat: 1.0000001, Lon: 2.0000001, T: 7},
+			{Lat: 1.0000002, Lon: 2.0000002, T: 7},
+		}},
+		{"decreasing timestamps", []GeoKey{
+			{Lat: 0, Lon: 0, T: 100},
+			{Lat: 0, Lon: 0, T: 50},
+			{Lat: 0, Lon: 0, T: 0},
+		}},
+		{"single key", []GeoKey{{Lat: -45.1234567, Lon: 170.7654321, T: 42}}},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, err := DeltaEncode(tc.keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := DeltaDecode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dec) != len(tc.keys) {
+				t.Fatalf("length %d → %d", len(tc.keys), len(dec))
+			}
+			for i, k := range tc.keys {
+				want := GeoKey{
+					Lat: math.Round(k.Lat*1e7) / 1e7,
+					Lon: math.Round(k.Lon*1e7) / 1e7,
+					T:   k.T,
+				}
+				if dec[i] != want {
+					t.Fatalf("key %d: got %+v, want quantized %+v (original %+v)", i, dec[i], want, k)
+				}
+				// The quantization error is at most half a quantum.
+				if d := math.Abs(dec[i].Lat - k.Lat); d > 0.5e-7 {
+					t.Fatalf("key %d: lat quantization error %g", i, d)
+				}
+				if d := math.Abs(dec[i].Lon - k.Lon); d > 0.5e-7 {
+					t.Fatalf("key %d: lon quantization error %g", i, d)
+				}
+			}
+			// Encoding the quantized keys is a fixed point.
+			enc2, err := DeltaEncode(dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatal("encode(decode(encode(keys))) differs from encode(keys)")
+			}
+		})
+	}
+
+	// Out-of-range and non-finite coordinates must be rejected, not
+	// silently wrapped.
+	for _, bad := range []GeoKey{
+		{Lat: 90 + 1e-6, Lon: 0},
+		{Lat: 0, Lon: -180 - 1e-6},
+		{Lat: math.NaN(), Lon: 0},
+		{Lat: 0, Lon: math.Inf(1)},
+	} {
+		if _, err := DeltaEncode([]GeoKey{bad}); err == nil {
+			t.Errorf("DeltaEncode accepted out-of-range key %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package trajstore
+
+import "sync"
+
+// Persister is the durability hook of the storage layer: finalized
+// (flushed or evicted) session trajectories are handed to it as wire
+// GeoKeys, and Sync acts as a durability barrier — every Append that
+// returned before Sync must survive a crash once Sync returns. The
+// segmentlog package provides the append-only file implementation;
+// tests substitute in-memory fakes. Implementations must be safe for
+// concurrent use (shard workers append concurrently).
+type Persister interface {
+	Append(device string, keys []GeoKey) error
+	Sync() error
+	Close() error
+}
+
+// persistHolder is the optional persister attachment shared by Store
+// wrappers; Sharded embeds one so the engine can thread durability
+// through the existing storage object without new plumbing types.
+type persistHolder struct {
+	mu sync.RWMutex
+	p  Persister
+}
+
+// SetPersister attaches (or, with nil, detaches) the durability hook.
+func (h *persistHolder) SetPersister(p Persister) {
+	h.mu.Lock()
+	h.p = p
+	h.mu.Unlock()
+}
+
+// Persister returns the attached durability hook, nil when none.
+func (h *persistHolder) Persister() Persister {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.p
+}
+
+// Persist forwards a finalized trajectory to the attached persister; a
+// no-op without one or with an empty trajectory.
+func (h *persistHolder) Persist(device string, keys []GeoKey) error {
+	p := h.Persister()
+	if p == nil || len(keys) == 0 {
+		return nil
+	}
+	return p.Append(device, keys)
+}
+
+// SyncPersist is the durability barrier: a no-op without a persister.
+func (h *persistHolder) SyncPersist() error {
+	p := h.Persister()
+	if p == nil {
+		return nil
+	}
+	return p.Sync()
+}
+
+// ClosePersist closes the attached persister, if any, and detaches it.
+func (h *persistHolder) ClosePersist() error {
+	h.mu.Lock()
+	p := h.p
+	h.p = nil
+	h.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Close()
+}
