@@ -1,0 +1,99 @@
+// Command benchjson runs the repository's performance-tracking benchmarks
+// through `go test -bench` and writes the machine-readable report the
+// perf trajectory is built from (the committed BENCH_<pr>.json files and
+// the CI benchmark artifact).
+//
+// Usage:
+//
+//	benchjson [-out BENCH.json] [-bench regexp] [-pkgs ./internal/core,.]
+//	          [-count 3] [-benchtime 1s] [-note "environment note"]
+//
+// With -count > 1 the per-benchmark median run is recorded, which is
+// robust against scheduler noise on CI-class containers. The default
+// benchmark set covers the core per-fix decision loop (CorePush*,
+// QuadrantBounds) and the end-to-end sharded ingest (EngineIngest*); see
+// internal/benchjson for the schema.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output file for the JSON report")
+	bench := flag.String("bench", "BenchmarkCorePush|BenchmarkQuadrantBounds|BenchmarkEngineIngest", "benchmark regexp passed to go test")
+	pkgs := flag.String("pkgs", "./internal/core,.", "comma-separated packages to benchmark")
+	count := flag.Int("count", 3, "benchmark repetitions; the median per name is reported")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	note := flag.String("note", "", "free-form environment note recorded in the report")
+	flag.Parse()
+
+	var runs []benchjson.Result
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+			"-count", strconv.Itoa(*count), "-benchtime", *benchtime, pkg}
+		fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fail(fmt.Errorf("go test %s: %w", pkg, err))
+		}
+		parsed, err := benchjson.Parse(&buf)
+		if err != nil {
+			fail(err)
+		}
+		runs = append(runs, parsed...)
+	}
+	if len(runs) == 0 {
+		fail(fmt.Errorf("no benchmark results matched %q in %q", *bench, *pkgs))
+	}
+
+	rep := benchjson.Report{
+		Schema:     benchjson.Schema,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Note:       *note,
+		Benchmarks: benchjson.Median(runs),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+	for _, b := range rep.Benchmarks {
+		line := fmt.Sprintf("  %-28s %12.1f ns/op  %6d allocs/op", b.Name, b.NsPerOp, b.AllocsPerOp)
+		if b.FixesPerSec > 0 {
+			line += fmt.Sprintf("  %10.0f fixes/s", b.FixesPerSec)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

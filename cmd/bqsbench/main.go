@@ -8,6 +8,7 @@
 //	         [-quick] [-csv dir]
 //	bqsbench -engine [-devices N] [-shards M] [-fixes N] [-compressor name]
 //	         [-tol metres] [-merge metres] [-persist dir]
+//	bqsbench ... [-cpuprofile file] [-memprofile file]
 //
 // -quick shrinks the datasets for a fast smoke run; -csv writes the raw
 // series (plus the Figure 8(a) scatter data) as CSV files for plotting.
@@ -17,6 +18,10 @@
 // additionally opens an append-only segment log in the given directory
 // and measures the same run with durability on (each flushed session is
 // written and fsync'd through the Sync barrier).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run
+// (either mode), for `go tool pprof`; the memory profile is an allocation
+// snapshot taken after the run finishes.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,10 +55,19 @@ func main() {
 	tol := flag.Float64("tol", 10, "engine mode: deviation tolerance in metres")
 	mergeTol := flag.Float64("merge", 5, "engine mode: store merge tolerance in metres (0 disables merging)")
 	persistDir := flag.String("persist", "", "engine mode: segment-log directory for a durable run ('' keeps the run in-memory)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
+
+	if err := startProfiles(*cpuProfile, *memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "bqsbench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *engineMode {
 		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir); err != nil {
+			stopProfiles()
 			fmt.Fprintln(os.Stderr, "bqsbench:", err)
 			os.Exit(1)
 		}
@@ -74,6 +89,7 @@ func main() {
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	fail := func(err error) {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "bqsbench:", err)
 		os.Exit(1)
 	}
@@ -329,6 +345,56 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 		}
 	}
 	return nil
+}
+
+// Profile state between startProfiles and stopProfiles.
+var (
+	cpuProfileFile *os.File
+	memProfilePath string
+)
+
+// startProfiles begins CPU profiling and records the memory-profile
+// destination; either argument may be empty.
+func startProfiles(cpuPath, memPath string) error {
+	memProfilePath = memPath
+	if cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	cpuProfileFile = f
+	return nil
+}
+
+// stopProfiles finishes the CPU profile and writes the allocation profile.
+// It is idempotent so error paths can call it before os.Exit.
+func stopProfiles() {
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+		cpuProfileFile = nil
+	}
+	if memProfilePath == "" {
+		return
+	}
+	path := memProfilePath
+	memProfilePath = ""
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bqsbench: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // flush recent allocations into the profile
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "bqsbench: memprofile:", err)
+	}
 }
 
 func humanBytes(n int) string {

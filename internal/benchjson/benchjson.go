@@ -1,0 +1,150 @@
+// Package benchjson turns `go test -bench` output into the repository's
+// machine-readable benchmark record (the committed BENCH_<pr>.json files
+// and the CI benchmark artifact). The schema is deliberately small:
+//
+//	{
+//	  "schema": "bqs-bench/1",
+//	  "date": "2026-07-26",
+//	  "go_version": "go1.22.0",
+//	  "goos": "linux", "goarch": "amd64", "cpus": 1,
+//	  "note": "free-form environment note",
+//	  "benchmarks": [
+//	    {
+//	      "name": "EngineIngest1kDevices",
+//	      "iterations": 8524,
+//	      "ns_per_op": 557465,
+//	      "mb_per_sec": 43.05,
+//	      "bytes_per_op": 152205,
+//	      "allocs_per_op": 0,
+//	      "fixes_per_sec": 1793750,
+//	      "ns_per_fix": 557.5
+//	    }, ...
+//	  ]
+//	}
+//
+// fixes_per_sec and ns_per_fix are derived for benchmarks that declare
+// their throughput via SetBytes with the repository's 24-byte fix payload
+// (three float64s per point); they are omitted otherwise. With -count > 1
+// the per-name median run (by ns/op) is reported, which is robust against
+// the scheduling noise of CI-class containers.
+package benchjson
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the report format version.
+const Schema = "bqs-bench/1"
+
+// FixBytes is the wire size of one fix (three float64s), the SetBytes
+// unit the repository's throughput benchmarks use.
+const FixBytes = 24
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	FixesPerSec float64 `json:"fixes_per_sec,omitempty"`
+	NsPerFix    float64 `json:"ns_per_fix,omitempty"`
+}
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkCorePushFast-8   8966739   131.1 ns/op   183.10 MB/s   0 B/op   0 allocs/op
+//
+// The MB/s, B/op and allocs/op columns are optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Parse extracts every benchmark result line from r, in order. Repeated
+// names (from -count > 1) yield repeated entries; see Median.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		var err error
+		if res.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+		}
+		if res.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+		}
+		if m[4] != "" {
+			if res.MBPerSec, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+			}
+		}
+		if m[5] != "" {
+			if res.BytesPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+			}
+		}
+		if m[6] != "" {
+			if res.AllocsPerOp, err = strconv.ParseInt(m[6], 10, 64); err != nil {
+				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+			}
+		}
+		res.derive()
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// derive fills the fix-denominated throughput fields for benchmarks that
+// report MB/s over the 24-byte fix payload.
+func (r *Result) derive() {
+	if r.MBPerSec <= 0 {
+		return
+	}
+	r.FixesPerSec = r.MBPerSec * 1e6 / FixBytes
+	r.NsPerFix = 1e9 / r.FixesPerSec
+}
+
+// Median collapses repeated measurements (from -count > 1) to one entry
+// per benchmark name — the run with the median ns/op — preserving the
+// first-seen name order.
+func Median(runs []Result) []Result {
+	byName := make(map[string][]Result)
+	var order []string
+	for _, r := range runs {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		group := byName[name]
+		sort.Slice(group, func(i, j int) bool { return group[i].NsPerOp < group[j].NsPerOp })
+		out = append(out, group[(len(group)-1)/2])
+	}
+	return out
+}

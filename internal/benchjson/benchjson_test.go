@@ -1,0 +1,121 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/trajcomp/bqs
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkCorePushFast   	 8966739	       131.1 ns/op	 183.10 MB/s	       0 B/op	       0 allocs/op
+BenchmarkCorePushFast   	 9066739	       135.0 ns/op	 177.80 MB/s	       0 B/op	       0 allocs/op
+BenchmarkCorePushFast   	 8866739	       128.9 ns/op	 186.20 MB/s	       0 B/op	       0 allocs/op
+BenchmarkQuadrantBounds-8 	26194077	        40.02 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineIngest1kDevices 	    8524	    557465 ns/op	  43.05 MB/s	  152205 B/op	       0 allocs/op
+PASS
+ok  	github.com/trajcomp/bqs	18.369s
+`
+
+func TestParse(t *testing.T) {
+	runs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("parsed %d runs, want 5", len(runs))
+	}
+	first := runs[0]
+	if first.Name != "CorePushFast" || first.Iterations != 8966739 || first.NsPerOp != 131.1 {
+		t.Errorf("first run = %+v", first)
+	}
+	if first.MBPerSec != 183.10 {
+		t.Errorf("MBPerSec = %v", first.MBPerSec)
+	}
+	// -8 GOMAXPROCS suffix is stripped; missing MB/s leaves the derived
+	// fields unset.
+	qb := runs[3]
+	if qb.Name != "QuadrantBounds" || qb.MBPerSec != 0 || qb.FixesPerSec != 0 || qb.NsPerFix != 0 {
+		t.Errorf("quadrant run = %+v", qb)
+	}
+	if qb.NsPerOp != 40.02 {
+		t.Errorf("NsPerOp = %v", qb.NsPerOp)
+	}
+	eng := runs[4]
+	if eng.BytesPerOp != 152205 || eng.AllocsPerOp != 0 {
+		t.Errorf("engine run = %+v", eng)
+	}
+	// 43.05 MB/s over 24-byte fixes.
+	wantFixes := 43.05 * 1e6 / 24
+	if math.Abs(eng.FixesPerSec-wantFixes) > 1e-6 {
+		t.Errorf("FixesPerSec = %v, want %v", eng.FixesPerSec, wantFixes)
+	}
+	if math.Abs(eng.NsPerFix-1e9/wantFixes) > 1e-9 {
+		t.Errorf("NsPerFix = %v", eng.NsPerFix)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	runs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := Median(runs)
+	if len(med) != 3 {
+		t.Fatalf("median groups = %d, want 3", len(med))
+	}
+	// First-seen order is preserved.
+	if med[0].Name != "CorePushFast" || med[1].Name != "QuadrantBounds" || med[2].Name != "EngineIngest1kDevices" {
+		t.Errorf("order = %v %v %v", med[0].Name, med[1].Name, med[2].Name)
+	}
+	// Median of 131.1, 135.0, 128.9 is 131.1.
+	if med[0].NsPerOp != 131.1 {
+		t.Errorf("median ns/op = %v, want 131.1", med[0].NsPerOp)
+	}
+	// Singleton groups pass through.
+	if med[2].NsPerOp != 557465 {
+		t.Errorf("singleton = %v", med[2].NsPerOp)
+	}
+}
+
+func TestReportJSONSchema(t *testing.T) {
+	runs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report{
+		Schema: Schema, Date: "2026-07-26", GoVersion: "go1.22.0",
+		GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		Benchmarks: Median(runs),
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema":"bqs-bench/1"`, `"ns_per_op"`, `"allocs_per_op"`, `"fixes_per_sec"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshalled report missing %s: %s", key, data)
+		}
+	}
+	// Round-trip.
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 3 || back.Schema != Schema {
+		t.Errorf("round-trip = %+v", back)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	runs, err := Parse(strings.NewReader("no benchmarks here\njust noise\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Errorf("parsed %d runs from garbage", len(runs))
+	}
+}

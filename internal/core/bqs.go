@@ -164,7 +164,6 @@ func (c *Compressor) process(e Point) (Point, bool) {
 	// Compute the aggregated bounds over all non-empty quadrants
 	// (Algorithm 1, lines 4-5).
 	le := c.local(e)
-	theta := le.Angle()
 	var dlb, dub float64
 	tracked := 0
 	for i := range c.quads {
@@ -173,7 +172,7 @@ func (c *Compressor) process(e Point) (Point, bool) {
 			continue
 		}
 		tracked += q.n
-		qlb, qub := q.boundsTheta(le, theta, c.cfg.Metric)
+		qlb, qub := q.bounds(le, c.cfg.Metric)
 		dlb = math.Max(dlb, qlb)
 		dub = math.Max(dub, qub)
 	}
@@ -250,7 +249,8 @@ func (c *Compressor) include(e Point) (Point, bool) {
 		return Point{}, false
 	}
 
-	c.quads[quadrantOf(c.local(e))].insert(c.local(e))
+	lv := c.local(e)
+	c.quads[quadrantOf(lv)].insert(lv)
 	if c.cfg.Mode == ModeExact {
 		c.buffer = append(c.buffer, e)
 		if c.cfg.MaxBuffer > 0 && len(c.buffer) >= c.cfg.MaxBuffer {
@@ -281,7 +281,8 @@ func (c *Compressor) finishWarmup() {
 	}
 	c.warmupDone = true
 	for _, w := range c.warmup {
-		c.quads[quadrantOf(c.local(w))].insert(c.local(w))
+		lw := c.local(w)
+		c.quads[quadrantOf(lw)].insert(lw)
 		if c.cfg.Mode == ModeExact {
 			c.buffer = append(c.buffer, w)
 		}

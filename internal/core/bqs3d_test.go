@@ -31,24 +31,30 @@ func TestOctantOf(t *testing.T) {
 }
 
 func TestOctantInclination(t *testing.T) {
+	// inclinationPair represents φ = atan2(a, den); evaluate the angle it
+	// encodes to pin the representation to the paper's definition.
+	phi := func(o *octant, v geom.Vec3) float64 {
+		den, a := o.inclinationPair(v)
+		return math.Atan2(a, den)
+	}
 	var o octant
 	o.reset(0)
 	// A point in the XY plane has inclination 0.
-	if got := o.inclination(geom.V3(1, 1, 0)); !almostEq(got, 0, 1e-12) {
+	if got := phi(&o, geom.V3(1, 1, 0)); !almostEq(got, 0, 1e-12) {
 		t.Errorf("planar inclination = %v", got)
 	}
 	// A point on the z axis has inclination π/2.
-	if got := o.inclination(geom.V3(0, 0, 5)); !almostEq(got, math.Pi/2, 1e-12) {
+	if got := phi(&o, geom.V3(0, 0, 5)); !almostEq(got, math.Pi/2, 1e-12) {
 		t.Errorf("axial inclination = %v", got)
 	}
 	// Symmetric point: z = (x+y)/√2 gives 45°.
-	if got := o.inclination(geom.V3(1, 1, math.Sqrt2)); !almostEq(got, math.Pi/4, 1e-12) {
+	if got := phi(&o, geom.V3(1, 1, math.Sqrt2)); !almostEq(got, math.Pi/4, 1e-12) {
 		t.Errorf("45° inclination = %v", got)
 	}
 	// Bottom octant: negative z maps positively.
 	var ob octant
 	ob.reset(4)
-	if got := ob.inclination(geom.V3(1, 1, -math.Sqrt2)); !almostEq(got, math.Pi/4, 1e-12) {
+	if got := phi(&ob, geom.V3(1, 1, -math.Sqrt2)); !almostEq(got, math.Pi/4, 1e-12) {
 		t.Errorf("bottom 45° inclination = %v", got)
 	}
 }

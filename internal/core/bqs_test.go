@@ -21,6 +21,7 @@ func TestNewCompressorValidation(t *testing.T) {
 		{Tolerance: -1},
 		{Tolerance: math.NaN()},
 		{Tolerance: math.Inf(1)},
+		{Tolerance: 1e-10}, // at/under geom.Eps: clipper-regime tolerances are rejected
 		{Tolerance: 5, Mode: Mode(9)},
 		{Tolerance: 5, Metric: Metric(9)},
 		{Tolerance: 5, MaxBuffer: -1},

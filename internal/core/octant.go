@@ -19,6 +19,15 @@ import (
 //     sign(y)·1, 0), which bound the elevation of every point above the XY
 //     plane.
 //
+// Like the 2-D quadrant, the angular machinery is trig-free: azimuth
+// ordering within one XY quadrant is the cross-product sign of the XY
+// projections, and inclination φ = atan2(√2·|z|, |x|+|y|) is ordered by
+// comparing the (|x|+|y|, √2·|z|) ratio pairs — both components are
+// non-negative inside an octant, so the cross-product sign again decides
+// the atan2 ordering exactly. The bounding-plane normals are later rebuilt
+// directly from the witness coordinates (one Sqrt each) instead of
+// Sincos/Tan of stored angles.
+//
 // The prism clipped by the four plane half-spaces is a convex polyhedron
 // that contains every tracked point; its vertices (the paper's ≤ 17
 // significant points, computed here by polygon clipping as the paper
@@ -32,12 +41,15 @@ type octant struct {
 	// Witness data points attaining each prism extreme.
 	wMinX, wMaxX, wMinY, wMaxY, wMinZ, wMaxZ geom.Vec3
 
-	psiMin, psiMax   float64 // azimuth range (canonical, within the XY quadrant)
-	wPsiMin, wPsiMax geom.Vec3
-	psiSet           bool // at least one off-axis point seen
+	wPsiMin, wPsiMax geom.Vec3 // witnesses attaining the azimuth extremes
+	psiSet           bool      // at least one off-axis point seen
 
-	phiMin, phiMax   float64 // inclination range in [0, π/2]
-	wPhiMin, wPhiMax geom.Vec3
+	// Inclination extremes as (den, a) = (|x|+|y|, √2·|z|) ratio pairs of
+	// the witnesses; tan(φ) = a/den, so the pairs carry everything the
+	// bounding planes need without evaluating an angle.
+	phiMinDen, phiMinA float64
+	phiMaxDen, phiMaxA float64
+	wPhiMin, wPhiMax   geom.Vec3
 
 	// The significant points and witnesses depend only on the structure,
 	// not on the candidate end point; cache them between inserts.
@@ -55,23 +67,26 @@ func octantOf(v geom.Vec3) int {
 	return idx
 }
 
+var (
+	octSX = [4]float64{1, -1, -1, 1}
+	octSY = [4]float64{1, 1, -1, -1}
+)
+
 // signs returns the octant's coordinate signs (+1 or -1).
 func (o *octant) signs() (sx, sy, sz float64) {
-	sx = []float64{1, -1, -1, 1}[o.idx%4]
-	sy = []float64{1, 1, -1, -1}[o.idx%4]
-	sz = 1
+	sx, sy, sz = octSX[o.idx&3], octSY[o.idx&3], 1
 	if o.idx >= 4 {
 		sz = -1
 	}
 	return sx, sy, sz
 }
 
-// inclination returns the signed-normalized elevation angle of p in this
-// octant: atan2(√2·|z|, |x|+|y|) ∈ [0, π/2].
-func (o *octant) inclination(p geom.Vec3) float64 {
+// inclinationPair returns the (den, a) ratio pair representing the
+// elevation angle of p in this octant: φ = atan2(a, den) with
+// a = √2·|z| ≥ 0 and den = |x|+|y| ≥ 0 inside the octant.
+func (o *octant) inclinationPair(p geom.Vec3) (den, a float64) {
 	sx, sy, sz := o.signs()
-	den := sx*p.X + sy*p.Y // = |x| + |y| within the octant
-	return math.Atan2(math.Sqrt2*sz*p.Z, den)
+	return sx*p.X + sy*p.Y, math.Sqrt2 * sz * p.Z
 }
 
 func (o *octant) reset(idx int) {
@@ -105,33 +120,37 @@ func (o *octant) insert(p geom.Vec3) {
 	o.prism.Extend(p)
 
 	// Azimuth: skip points on (or numerically at) the z axis; the vertical
-	// plane constraints hold for them regardless.
-	if p.XY().Norm() > geom.Eps {
-		psi := p.XY().Angle()
+	// plane constraints hold for them regardless. Within one XY quadrant
+	// the azimuth ordering is the cross-product sign of the projections,
+	// exactly as in the 2-D quadrant.
+	xy := p.XY()
+	if xy.Norm() > geom.Eps {
 		if !o.psiSet {
-			o.psiMin, o.psiMax = psi, psi
 			o.wPsiMin, o.wPsiMax = p, p
 			o.psiSet = true
 		} else {
-			if psi < o.psiMin {
-				o.psiMin, o.wPsiMin = psi, p
+			if o.wPsiMin.XY().Cross(xy) < 0 {
+				o.wPsiMin = p
 			}
-			if psi > o.psiMax {
-				o.psiMax, o.wPsiMax = psi, p
+			if o.wPsiMax.XY().Cross(xy) > 0 {
+				o.wPsiMax = p
 			}
 		}
 	}
 
-	phi := o.inclination(p)
+	// Inclination: φ1 < φ2 ⟺ a1·den2 < a2·den1 (cross-product sign of
+	// the first-quadrant ratio pairs).
+	den, a := o.inclinationPair(p)
 	if o.n == 0 {
-		o.phiMin, o.phiMax = phi, phi
+		o.phiMinDen, o.phiMinA = den, a
+		o.phiMaxDen, o.phiMaxA = den, a
 		o.wPhiMin, o.wPhiMax = p, p
 	} else {
-		if phi < o.phiMin {
-			o.phiMin, o.wPhiMin = phi, p
+		if a*o.phiMinDen < o.phiMinA*den {
+			o.phiMinDen, o.phiMinA, o.wPhiMin = den, a, p
 		}
-		if phi > o.phiMax {
-			o.phiMax, o.wPhiMax = phi, p
+		if a*o.phiMaxDen > o.phiMaxA*den {
+			o.phiMaxDen, o.phiMaxA, o.wPhiMax = den, a, p
 		}
 	}
 	o.n++
@@ -140,27 +159,34 @@ func (o *octant) insert(p geom.Vec3) {
 
 // halfSpaces returns the bounding-plane half-space constraints in the form
 // N·p ≤ 0, suitable for ClipPolygonPlane3. Constraints that are vacuous
-// (full azimuth/elevation span to the octant boundary) are omitted.
+// (full azimuth/elevation span to the octant boundary) are omitted. The
+// normals are built from the witness coordinates — sin ψ and cos ψ are the
+// witness's normalized XY components, tan φ is the witness's a/den ratio —
+// and normalized to unit length so the clipper's Eps classification keeps
+// its metric meaning.
 func (o *octant) halfSpaces() []geom.Plane {
 	var hs []geom.Plane
 	if o.psiSet {
 		// Azimuth ψ ≥ ψmin: (−sin ψmin, cos ψmin, 0)·p ≥ 0 → negate.
-		sMin, cMin := math.Sincos(o.psiMin)
-		hs = append(hs, geom.Plane{N: geom.V3(sMin, -cMin, 0)})
+		w := o.wPsiMin.XY()
+		r := math.Hypot(w.X, w.Y)
+		hs = append(hs, geom.Plane{N: geom.V3(w.Y/r, -w.X/r, 0)})
 		// Azimuth ψ ≤ ψmax.
-		sMax, cMax := math.Sincos(o.psiMax)
-		hs = append(hs, geom.Plane{N: geom.V3(-sMax, cMax, 0)})
+		w = o.wPsiMax.XY()
+		r = math.Hypot(w.X, w.Y)
+		hs = append(hs, geom.Plane{N: geom.V3(-w.Y/r, w.X/r, 0)})
 	}
 	sx, sy, sz := o.signs()
-	// Elevation φ ≤ φmax: √2·sz·z − tan(φmax)·(sx·x + sy·y) ≤ 0.
-	if o.phiMax < math.Pi/2-1e-9 {
-		t := math.Tan(o.phiMax)
-		hs = append(hs, geom.Plane{N: geom.V3(-t*sx, -t*sy, math.Sqrt2*sz)})
+	// Elevation φ ≤ φmax: √2·sz·z − tan(φmax)·(sx·x + sy·y) ≤ 0, scaled by
+	// den(φmax) > 0 to avoid the tangent; vacuous as φmax → π/2 (den → 0).
+	if o.phiMaxDen > 1e-9*o.phiMaxA {
+		n := geom.V3(-o.phiMaxA*sx, -o.phiMaxA*sy, math.Sqrt2*sz*o.phiMaxDen)
+		hs = append(hs, geom.Plane{N: n.Unit()})
 	}
-	// Elevation φ ≥ φmin: negated.
-	if o.phiMin > 1e-9 {
-		t := math.Tan(o.phiMin)
-		hs = append(hs, geom.Plane{N: geom.V3(t*sx, t*sy, -math.Sqrt2*sz)})
+	// Elevation φ ≥ φmin: negated; vacuous as φmin → 0 (a → 0).
+	if o.phiMinA > 1e-9*o.phiMinDen {
+		n := geom.V3(o.phiMinA*sx, o.phiMinA*sy, -math.Sqrt2*sz*o.phiMinDen)
+		hs = append(hs, geom.Plane{N: n.Unit()})
 	}
 	return hs
 }

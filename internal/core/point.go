@@ -170,6 +170,14 @@ func (c Config) Validate() (Config, error) {
 	if math.IsNaN(c.Tolerance) || math.IsInf(c.Tolerance, 0) || c.Tolerance <= 0 {
 		return c, errors.New("core: tolerance must be a positive finite number of metres")
 	}
+	if c.Tolerance <= geom.Eps {
+		// The geometry layer resolves degeneracies at geom.Eps (1e-9 m,
+		// far below GPS noise); a tolerance at or under it is meaningless
+		// and would let tracked witness directions fall into the clipper's
+		// epsilon regime. A tolerance this small usually means raw degrees
+		// were fed in instead of projected metre coordinates.
+		return c, errors.New("core: tolerance must exceed 1e-9 m — feed projected metre coordinates, not raw degrees")
+	}
 	if c.Mode != ModeExact && c.Mode != ModeFast {
 		return c, fmt.Errorf("core: unknown mode %d", int(c.Mode))
 	}

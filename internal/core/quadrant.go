@@ -10,16 +10,20 @@ import (
 // tracked points of the current segment that fall into one quadrant of the
 // local (segment-start-anchored, optionally rotated) coordinate system.
 //
-// It maintains the minimal bounding box, the two angular bounding lines
-// (as min/max angle from the +x axis of any origin→point ray, Section V-B)
-// and the extreme-angle witness points used as a numerically robust
-// fallback when a bounding line's clip against the box degenerates.
+// It maintains the minimal bounding box and the two angular bounding lines
+// (Section V-B) represented by their extreme-angle witness data points pMin
+// and pMax: the witness itself is a point on the bounding ray through the
+// origin, so no angle value is ever materialized. Angle ordering within one
+// quadrant is decided by cross-product sign — the angular span of a
+// quadrant is under π/2, so for tracked points u and v the canonical angle
+// of v is smaller than that of u exactly when u × v < 0. This keeps the
+// per-point hot path free of trigonometric calls (no Atan2 on insert, no
+// Sincos when clipping the bounding lines).
 type quadrant struct {
-	idx                int // 0..3, fixed at init
-	n                  int // tracked points
-	box                geom.Box
-	thetaMin, thetaMax float64  // canonical angles in [0, 2π)
-	pMin, pMax         geom.Vec // witness points attaining the extreme angles
+	idx        int // 0..3, fixed at init
+	n          int // tracked points
+	box        geom.Box
+	pMin, pMax geom.Vec // witness points attaining the extreme angles
 
 	// Significant points are a function of the structure only (not of the
 	// candidate end point), so they are cached and recomputed lazily after
@@ -47,25 +51,31 @@ func quadrantOf(v geom.Vec) int {
 	return 3
 }
 
-// reset empties the quadrant.
+// reset empties the quadrant. Only the fields consulted while n == 0 are
+// cleared: witnesses and cached significant points are rewritten before
+// first use (insert seeds them at n == 0, refreshSignificant recomputes
+// them behind sigValid), so a full struct wipe per segment restart would
+// be wasted copying on the cut-heavy hot path.
 func (q *quadrant) reset(idx int) {
-	*q = quadrant{idx: idx, box: geom.EmptyBox()}
+	q.idx = idx
+	q.n = 0
+	q.box = geom.EmptyBox()
+	q.sigValid = false
 }
 
 // insert adds a local point to the bounding structure. Within one quadrant
-// canonical angles are contiguous (no 0/2π wraparound is possible), so the
-// min/max update is safe.
+// canonical angles are contiguous (no 0/2π wraparound is possible) and the
+// angular span is below π/2, so the cross-product sign decides the min/max
+// ordering exactly, with no Atan2.
 func (q *quadrant) insert(v geom.Vec) {
-	a := v.Angle()
 	if q.n == 0 {
-		q.thetaMin, q.thetaMax = a, a
 		q.pMin, q.pMax = v, v
 	} else {
-		if a < q.thetaMin {
-			q.thetaMin, q.pMin = a, v
+		if q.pMin.Cross(v) < 0 {
+			q.pMin = v
 		}
-		if a > q.thetaMax {
-			q.thetaMax, q.pMax = a, v
+		if q.pMax.Cross(v) > 0 {
+			q.pMax = v
 		}
 	}
 	q.box.Extend(v)
@@ -97,16 +107,20 @@ func (q *quadrant) nearFarCorners() (cn, cf geom.Vec) {
 	}
 }
 
-// lineInQuadrant reports whether a path line with direction angle theta
-// (any representative) is "in" this quadrant per the paper's definition:
-// the angle mod π falls inside the quadrant's half-open angular range.
-// A line is therefore in exactly two opposite quadrants.
-func (q *quadrant) lineInQuadrant(theta float64) bool {
-	m := math.Mod(geom.NormalizeAngle(theta), math.Pi)
+// lineInQuadrant reports whether a path line with direction dir (any
+// nonzero representative) is "in" this quadrant per the paper's
+// definition: the direction angle mod π falls inside the quadrant's
+// half-open angular range. A line is therefore in exactly two opposite
+// quadrants. The test is exact sign arithmetic instead of angle folding:
+// the reduced angle lies in [0, π/2) — quadrants 0/2 — iff the components
+// share a sign or the direction is on the x axis, and in [π/2, π) —
+// quadrants 1/3 — iff the signs differ or the direction is on the y axis.
+func (q *quadrant) lineInQuadrant(dir geom.Vec) bool {
+	prod := dir.X * dir.Y
 	if q.idx == 0 || q.idx == 2 {
-		return m < math.Pi/2
+		return prod > 0 || dir.Y == 0
 	}
-	return m >= math.Pi/2
+	return prod < 0 || dir.X == 0
 }
 
 // intersections returns the (cached) entry/exit points of the lower and
@@ -121,17 +135,18 @@ func (q *quadrant) intersections() (l1, l2, u1, u2 geom.Vec, ok bool) {
 	return q.l1, q.l2, q.u1, q.u2, q.clipOK
 }
 
-// computeIntersections clips both bounding lines against the box.
+// computeIntersections clips both bounding lines against the box. The
+// extreme witness points double as the ray directions: the clip is
+// scale-invariant along the ray, so reconstructing a unit direction from
+// the bounding angle (a Sincos per refresh) is unnecessary.
 func (q *quadrant) computeIntersections() (l1, l2, u1, u2 geom.Vec, ok bool) {
 	ok = true
-	dirMin := geom.Vec{X: math.Cos(q.thetaMin), Y: math.Sin(q.thetaMin)}
-	dirMax := geom.Vec{X: math.Cos(q.thetaMax), Y: math.Sin(q.thetaMax)}
 	var okL, okU bool
-	l1, l2, okL = q.box.ClipLineThroughOrigin(dirMin)
+	l1, l2, okL = q.box.ClipLineThroughOrigin(q.pMin)
 	if !okL {
 		l1, l2, ok = q.pMin, q.pMin, false
 	}
-	u1, u2, okU = q.box.ClipLineThroughOrigin(dirMax)
+	u1, u2, okU = q.box.ClipLineThroughOrigin(q.pMax)
 	if !okU {
 		u1, u2, ok = q.pMax, q.pMax, false
 	}
@@ -149,83 +164,129 @@ func (q *quadrant) computeIntersections() (l1, l2, u1, u2 geom.Vec, ok bool) {
 // points per Equation 11, which together span the convex hull that contains
 // every tracked point.
 //
+// The path line passes through the local origin, so the point-to-line
+// distance is |le × p| / |le|; the 1/|le| factor is hoisted and the ~10
+// distance evaluations are written out inline — the closure-based
+// formulation kept the compiler from flattening them and is the other
+// reason (besides the trig) this function used to dominate the decision
+// loop.
+//
 // An empty quadrant contributes (0, 0).
 func (q *quadrant) bounds(le geom.Vec, metric Metric) (dlb, dub float64) {
-	return q.boundsTheta(le, le.Angle(), metric)
-}
-
-// boundsTheta is bounds with the path-line angle precomputed by the caller
-// (it is shared across all four quadrants, so the compressor computes it
-// once per point).
-func (q *quadrant) boundsTheta(le geom.Vec, theta float64, metric Metric) (dlb, dub float64) {
 	if q.n == 0 {
 		return 0, 0
 	}
-	// The path line passes through the local origin, so the point-to-line
-	// distance is |le × p| / |le|; hoist the 1/|le| factor out of the ~10
-	// distance evaluations this function performs.
 	norm := math.Hypot(le.X, le.Y)
-	degenerate := norm < geom.Eps
-	var inv float64
-	if !degenerate {
-		inv = 1 / norm
-	}
-	distLine := func(p geom.Vec) float64 {
-		if degenerate {
-			return math.Hypot(p.X, p.Y)
-		}
-		return math.Abs(le.X*p.Y-le.Y*p.X) * inv
-	}
-	distUB := distLine
-	if metric == MetricSegment {
-		distUB = func(p geom.Vec) float64 { return geom.DistToSegment(p, geom.Vec{}, le) }
+	if norm < geom.Eps {
+		return q.boundsDegenerate()
 	}
 	if !q.sigValid {
 		q.refreshSignificant()
 	}
-	cn, cf := q.cn, q.cf
-	l1, l2, u1, u2, clipOK := q.l1, q.l2, q.u1, q.u2, q.clipOK
+	inv := 1 / norm
+
+	dl1 := lineDist(le, inv, q.l1)
+	dl2 := lineDist(le, inv, q.l2)
+	du1 := lineDist(le, inv, q.u1)
+	du2 := lineDist(le, inv, q.u2)
 
 	// Lower bound: a data point lies on each bounding line's chord and on
 	// each box edge, all on one side of any line through the origin (two
 	// origin lines only meet at the origin), so the distance function is
 	// affine over each chord/edge and endpoint minima are valid witnesses.
 	dlb = math.Max(
-		math.Min(distLine(l1), distLine(l2)),
-		math.Min(distLine(u1), distLine(u2)),
+		math.Min(dl1, dl2),
+		math.Min(du1, du2),
 	)
 
-	corners := q.box.Corners()
-	if !degenerate && q.lineInQuadrant(theta) {
+	if q.lineInQuadrant(le) {
 		// Theorems 5.3 / 5.4: line in the quadrant.
-		dlb = math.Max(dlb, math.Max(distLine(cn), distLine(cf)))
-		if clipOK {
-			dub = max4(distUB(l1), distUB(l2), distUB(u1), distUB(u2))
-			if metric == MetricSegment {
-				dub = math.Max(dub, math.Max(distUB(cn), distUB(cf)))
-			}
-		} else {
+		dcn := lineDist(le, inv, q.cn)
+		dcf := lineDist(le, inv, q.cf)
+		dlb = math.Max(dlb, math.Max(dcn, dcf))
+		if !q.clipOK {
 			// Clip fallback: the substituted witness points are not hull
 			// vertices, so revert to the always-valid Theorem 5.2 corners.
-			dub = max4(distUB(corners[0]), distUB(corners[1]), distUB(corners[2]), distUB(corners[3]))
+			return dlb, q.cornerUB(le, inv, metric)
 		}
-		return dlb, dub
+		if metric == MetricSegment {
+			dub = max4(
+				geom.DistToSegment(q.l1, geom.Vec{}, le),
+				geom.DistToSegment(q.l2, geom.Vec{}, le),
+				geom.DistToSegment(q.u1, geom.Vec{}, le),
+				geom.DistToSegment(q.u2, geom.Vec{}, le),
+			)
+			dub = math.Max(dub, math.Max(
+				geom.DistToSegment(q.cn, geom.Vec{}, le),
+				geom.DistToSegment(q.cf, geom.Vec{}, le),
+			))
+			return dlb, dub
+		}
+		return dlb, max4(dl1, dl2, du1, du2)
 	}
 
-	// Theorem 5.5: line not in the quadrant (or degenerate path line, for
-	// which only the convex corner bound is safe).
-	d0, d1, d2, d3 := distLine(corners[0]), distLine(corners[1]), distLine(corners[2]), distLine(corners[3])
-	if !degenerate {
-		dlb = math.Max(dlb, thirdLargest(d0, d1, d2, d3))
-	} else {
-		// Degenerate path line: distances are to the origin point; the
-		// chord-endpoint argument no longer applies. Within one quadrant
-		// the near corner is the closest point of the whole box region to
-		// the origin, so it floors every tracked point's distance.
-		dlb = distLine(cn)
+	// Theorem 5.5: line not in the quadrant.
+	c1 := geom.Vec{X: q.box.Max.X, Y: q.box.Min.Y}
+	c3 := geom.Vec{X: q.box.Min.X, Y: q.box.Max.Y}
+	d0 := lineDist(le, inv, q.box.Min)
+	d1 := lineDist(le, inv, c1)
+	d2 := lineDist(le, inv, q.box.Max)
+	d3 := lineDist(le, inv, c3)
+	dlb = math.Max(dlb, thirdLargest(d0, d1, d2, d3))
+	if metric == MetricSegment {
+		return dlb, q.cornerUB(le, inv, metric)
 	}
-	dub = max4(distUB(corners[0]), distUB(corners[1]), distUB(corners[2]), distUB(corners[3]))
+	return dlb, max4(d0, d1, d2, d3)
+}
+
+// boundsDegenerate handles a degenerate path line (|le| below Eps), for
+// which only the convex corner bound is safe: every distance degrades to
+// the distance from the origin point — both metrics agree there, since the
+// point-to-segment distance of a sub-Eps segment is its anchor distance.
+// The chord-endpoint argument no longer applies, but within one quadrant
+// the near corner is the closest point of the whole box region to the
+// origin, so it floors every tracked point's distance.
+func (q *quadrant) boundsDegenerate() (dlb, dub float64) {
+	if !q.sigValid {
+		q.refreshSignificant()
+	}
+	dlb = math.Hypot(q.cn.X, q.cn.Y)
+	dub = max4(
+		math.Hypot(q.box.Min.X, q.box.Min.Y),
+		math.Hypot(q.box.Max.X, q.box.Min.Y),
+		math.Hypot(q.box.Max.X, q.box.Max.Y),
+		math.Hypot(q.box.Min.X, q.box.Max.Y),
+	)
 	return dlb, dub
+}
+
+// lineDist is the point-to-line distance |le × p| / |le| with the 1/|le|
+// factor hoisted by the caller; small enough to inline, so the bound
+// evaluations stay straight-line code while the formula lives in one
+// place.
+func lineDist(le geom.Vec, inv float64, p geom.Vec) float64 {
+	return math.Abs(le.X*p.Y-le.Y*p.X) * inv
+}
+
+// cornerUB is the always-valid Theorem 5.2 upper bound over the four box
+// corners under the active metric, with 1/|le| precomputed by the caller.
+func (q *quadrant) cornerUB(le geom.Vec, inv float64, metric Metric) float64 {
+	c1 := geom.Vec{X: q.box.Max.X, Y: q.box.Min.Y}
+	c3 := geom.Vec{X: q.box.Min.X, Y: q.box.Max.Y}
+	if metric == MetricSegment {
+		return max4(
+			geom.DistToSegment(q.box.Min, geom.Vec{}, le),
+			geom.DistToSegment(c1, geom.Vec{}, le),
+			geom.DistToSegment(q.box.Max, geom.Vec{}, le),
+			geom.DistToSegment(c3, geom.Vec{}, le),
+		)
+	}
+	return max4(
+		lineDist(le, inv, q.box.Min),
+		lineDist(le, inv, c1),
+		lineDist(le, inv, q.box.Max),
+		lineDist(le, inv, c3),
+	)
 }
 
 // significantPoints returns the up-to-eight significant points of the
@@ -242,10 +303,6 @@ func (q *quadrant) significantPoints() []geom.Vec {
 
 func max4(a, b, c, d float64) float64 {
 	return math.Max(math.Max(a, b), math.Max(c, d))
-}
-
-func min4(a, b, c, d float64) float64 {
-	return math.Min(math.Min(a, b), math.Min(c, d))
 }
 
 // thirdLargest returns the third largest of four values.

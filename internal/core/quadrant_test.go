@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
@@ -40,13 +39,11 @@ func TestQuadrantInsertMaintainsExtremes(t *testing.T) {
 	if q.n != 4 {
 		t.Fatalf("n = %d", q.n)
 	}
-	wantMin := geom.V(4, 1).Angle()
-	wantMax := geom.V(1, 4).Angle()
-	if !almostEq(q.thetaMin, wantMin, 1e-12) || q.pMin != geom.V(4, 1) {
-		t.Errorf("thetaMin = %v pMin = %v", q.thetaMin, q.pMin)
+	if q.pMin != geom.V(4, 1) {
+		t.Errorf("pMin = %v, want (4,1)", q.pMin)
 	}
-	if !almostEq(q.thetaMax, wantMax, 1e-12) || q.pMax != geom.V(1, 4) {
-		t.Errorf("thetaMax = %v pMax = %v", q.thetaMax, q.pMax)
+	if q.pMax != geom.V(1, 4) {
+		t.Errorf("pMax = %v, want (1,4)", q.pMax)
 	}
 	if !q.box.Contains(geom.V(2, 2)) {
 		t.Error("box misses interior point")
@@ -89,32 +86,43 @@ func TestLineInQuadrant(t *testing.T) {
 	q0.reset(0)
 	q1.reset(1)
 	// 45° line: in Q0 (and Q2), not in Q1 (or Q3).
-	if !q0.lineInQuadrant(math.Pi / 4) {
+	if !q0.lineInQuadrant(geom.V(1, 1)) {
 		t.Error("45° line should be in Q0")
 	}
-	if q1.lineInQuadrant(math.Pi / 4) {
+	if q1.lineInQuadrant(geom.V(1, 1)) {
 		t.Error("45° line should not be in Q1")
 	}
 	// 135° line: in Q1/Q3 only.
-	if q0.lineInQuadrant(3 * math.Pi / 4) {
+	if q0.lineInQuadrant(geom.V(-1, 1)) {
 		t.Error("135° line should not be in Q0")
 	}
-	if !q1.lineInQuadrant(3 * math.Pi / 4) {
+	if !q1.lineInQuadrant(geom.V(-1, 1)) {
 		t.Error("135° line should be in Q1")
 	}
 	// Opposite representative (225° ≡ 45° mod π).
-	if !q0.lineInQuadrant(5 * math.Pi / 4) {
+	if !q0.lineInQuadrant(geom.V(-1, -1)) {
 		t.Error("225° representative should be in Q0")
 	}
 	// Boundary: 0° in Q0/Q2; 90° in Q1/Q3 (half-open ranges).
-	if !q0.lineInQuadrant(0) {
+	if !q0.lineInQuadrant(geom.V(1, 0)) {
 		t.Error("0° should be in Q0")
 	}
-	if q0.lineInQuadrant(math.Pi / 2) {
+	if q0.lineInQuadrant(geom.V(0, 1)) {
 		t.Error("90° should not be in Q0")
 	}
-	if !q1.lineInQuadrant(math.Pi / 2) {
+	if !q1.lineInQuadrant(geom.V(0, 1)) {
 		t.Error("90° should be in Q1")
+	}
+	// The opposite y-axis representative (270°) must also read as 90°.
+	if q0.lineInQuadrant(geom.V(0, -1)) {
+		t.Error("270° representative should not be in Q0")
+	}
+	if !q1.lineInQuadrant(geom.V(0, -1)) {
+		t.Error("270° representative should be in Q1")
+	}
+	// And the 180° x-axis representative as 0°.
+	if !q0.lineInQuadrant(geom.V(-1, 0)) {
+		t.Error("180° representative should be in Q0")
 	}
 }
 

@@ -118,6 +118,13 @@ type Engine struct {
 	stores *trajstore.Sharded
 	pool   sync.Pool // recycled stream.Compressor values (all Resetters)
 
+	// Ingest staging: per-shard fix slices and the scatter table that
+	// distributes a caller batch over them are pooled, so the steady-state
+	// ingest path performs no allocation — shard workers return each batch
+	// to batchPool once it has been drained.
+	batchPool   sync.Pool // *fixBatch
+	scatterPool sync.Pool // *scatter, byShard sized to len(shards)
+
 	mu     sync.RWMutex // guards closed against Ingest/Sync racing Close
 	closed bool
 	wg     sync.WaitGroup
@@ -156,11 +163,42 @@ type shard struct {
 
 // shardMsg is a unit of work for a shard worker. Exactly one of the
 // fields drives an action; barrier (when non-nil) is closed once the
-// message — and everything queued before it — has been processed.
+// message — and everything queued before it — has been processed. batch,
+// when non-nil, is the pooled buffer backing fixes; the worker returns it
+// to the engine's batch pool after draining.
 type shardMsg struct {
 	fixes   []Fix
+	batch   *fixBatch
 	evict   bool
 	barrier chan struct{}
+}
+
+// fixBatch is a pooled per-shard staging buffer for Ingest.
+type fixBatch struct {
+	fixes []Fix
+}
+
+// scatter is a pooled table distributing one caller batch over the shards.
+type scatter struct {
+	byShard []*fixBatch
+}
+
+// getBatch returns a pooled (or fresh) staging buffer, emptied.
+func (e *Engine) getBatch() *fixBatch {
+	if v := e.batchPool.Get(); v != nil {
+		b := v.(*fixBatch)
+		b.fixes = b.fixes[:0]
+		return b
+	}
+	return &fixBatch{}
+}
+
+// getScatter returns a pooled (or fresh) scatter table with all-nil slots.
+func (e *Engine) getScatter() *scatter {
+	if v := e.scatterPool.Get(); v != nil {
+		return v.(*scatter)
+	}
+	return &scatter{byShard: make([]*fixBatch, len(e.shards))}
 }
 
 // New returns a started engine; callers must Close it to flush sessions
@@ -255,20 +293,27 @@ func (e *Engine) Ingest(fixes []Fix) error {
 		return ErrClosed
 	}
 	if len(e.shards) == 1 {
-		batch := make([]Fix, len(fixes))
-		copy(batch, fixes)
-		e.shards[0].in <- shardMsg{fixes: batch}
+		b := e.getBatch()
+		b.fixes = append(b.fixes, fixes...)
+		e.shards[0].in <- shardMsg{fixes: b.fixes, batch: b}
 	} else {
-		groups := make([][]Fix, len(e.shards))
+		sc := e.getScatter()
 		for _, f := range fixes {
 			i := e.shardIndex(f.Device)
-			groups[i] = append(groups[i], f)
+			b := sc.byShard[i]
+			if b == nil {
+				b = e.getBatch()
+				sc.byShard[i] = b
+			}
+			b.fixes = append(b.fixes, f)
 		}
-		for i, g := range groups {
-			if len(g) > 0 {
-				e.shards[i].in <- shardMsg{fixes: g}
+		for i, b := range sc.byShard {
+			if b != nil {
+				sc.byShard[i] = nil
+				e.shards[i].in <- shardMsg{fixes: b.fixes, batch: b}
 			}
 		}
+		e.scatterPool.Put(sc)
 	}
 	e.fixes.Add(uint64(len(fixes)))
 	return nil
@@ -398,8 +443,11 @@ func (sh *shard) run() {
 			if msg.evict {
 				sh.evictIdle()
 			}
-			for _, f := range msg.fixes {
-				sh.ingest(f)
+			if len(msg.fixes) > 0 {
+				sh.ingestBatch(msg.fixes)
+			}
+			if msg.batch != nil {
+				sh.eng.batchPool.Put(msg.batch)
 			}
 			if msg.barrier != nil {
 				close(msg.barrier)
@@ -410,19 +458,33 @@ func (sh *shard) run() {
 	}
 }
 
-// ingest feeds one fix into its session, creating the session on first
-// contact.
-func (sh *shard) ingest(f Fix) {
-	s := sh.sessions[f.Device]
-	if s == nil {
-		s = sh.newSession()
-		sh.sessions[f.Device] = s
-		sh.active.Add(1)
-		sh.eng.opened.Add(1)
-	}
-	s.lastSeen = sh.eng.clock()
-	if kp, ok := s.comp.Push(f.Point); ok {
-		sh.emit(f.Device, s, kp)
+// ingestBatch feeds a shard batch into its sessions, creating sessions on
+// first contact. The clock is read once per batch — idle eviction only
+// needs batch-level granularity — and the session lookup is hoisted
+// across runs of consecutive fixes for the same device, so a device
+// reporting a burst of fixes costs a single map hit.
+func (sh *shard) ingestBatch(fixes []Fix) {
+	now := sh.eng.clock()
+	var (
+		device string
+		s      *session
+	)
+	for i := range fixes {
+		f := &fixes[i]
+		if s == nil || f.Device != device {
+			device = f.Device
+			s = sh.sessions[device]
+			if s == nil {
+				s = sh.newSession()
+				sh.sessions[device] = s
+				sh.active.Add(1)
+				sh.eng.opened.Add(1)
+			}
+		}
+		s.lastSeen = now
+		if kp, ok := s.comp.Push(f.Point); ok {
+			sh.emit(device, s, kp)
+		}
 	}
 }
 

@@ -5,17 +5,28 @@ import "math"
 // EarthRadius is the mean Earth radius in metres (IUGG).
 const EarthRadius = 6371008.8
 
+// degToRad converts degrees to radians; hoisted to package level so every
+// conversion site shares the one constant.
+const degToRad = math.Pi / 180
+
 // Haversine returns the great-circle distance in metres between two WGS-84
 // coordinates. It is used for travel-distance bookkeeping, not for the
 // compression metric (which lives in the projected plane).
 func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
-	const deg = math.Pi / 180
-	phi1, phi2 := lat1*deg, lat2*deg
-	dPhi := (lat2 - lat1) * deg
-	dLam := (lon2 - lon1) * deg
+	return haversineCos(math.Cos(lat1*degToRad), math.Cos(lat2*degToRad), lat2-lat1, lon2-lon1)
+}
+
+// haversineCos is the haversine kernel with the latitude cosines
+// precomputed by the caller and the deltas still in degrees. PathLength
+// feeds it one fresh cosine per step, reusing the previous step's — the
+// arithmetic is ordered exactly as in Haversine, so the incremental sum
+// is bit-identical to summing Haversine calls.
+func haversineCos(cosPhi1, cosPhi2, dLatDeg, dLonDeg float64) float64 {
+	dPhi := dLatDeg * degToRad
+	dLam := dLonDeg * degToRad
 	s1 := math.Sin(dPhi / 2)
 	s2 := math.Sin(dLam / 2)
-	h := s1*s1 + math.Cos(phi1)*math.Cos(phi2)*s2*s2
+	h := s1*s1 + cosPhi1*cosPhi2*s2*s2
 	if h > 1 {
 		h = 1
 	}
@@ -24,13 +35,18 @@ func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
 
 // PathLength returns the summed haversine length in metres of a lat/lon
 // polyline given as parallel slices. Mismatched or short inputs yield 0.
+// Each step reuses the previous point's latitude cosine, halving the
+// trigonometric work of the naive per-pair evaluation.
 func PathLength(lats, lons []float64) float64 {
 	if len(lats) != len(lons) || len(lats) < 2 {
 		return 0
 	}
 	var total float64
+	cosPrev := math.Cos(lats[0] * degToRad)
 	for i := 1; i < len(lats); i++ {
-		total += Haversine(lats[i-1], lons[i-1], lats[i], lons[i])
+		cosCur := math.Cos(lats[i] * degToRad)
+		total += haversineCos(cosPrev, cosCur, lats[i]-lats[i-1], lons[i]-lons[i-1])
+		cosPrev = cosCur
 	}
 	return total
 }
@@ -38,8 +54,7 @@ func PathLength(lats, lons []float64) float64 {
 // MetersPerDegree returns the approximate metres per degree of latitude and
 // longitude at a given latitude; handy for quick synthetic-data scaling.
 func MetersPerDegree(lat float64) (perLatDeg, perLonDeg float64) {
-	const deg = math.Pi / 180
-	perLatDeg = 111132.92 - 559.82*math.Cos(2*lat*deg) + 1.175*math.Cos(4*lat*deg)
-	perLonDeg = 111412.84*math.Cos(lat*deg) - 93.5*math.Cos(3*lat*deg)
+	perLatDeg = 111132.92 - 559.82*math.Cos(2*lat*degToRad) + 1.175*math.Cos(4*lat*degToRad)
+	perLonDeg = 111412.84*math.Cos(lat*degToRad) - 93.5*math.Cos(3*lat*degToRad)
 	return perLatDeg, perLonDeg
 }

@@ -111,7 +111,9 @@ func (b Box) Corners() [4]Vec {
 // inside the box and ok=false when the ray misses the box entirely.
 // A zero direction yields ok=false.
 func (b Box) ClipRay(origin, dir Vec) (t0, t1 float64, ok bool) {
-	if b.Empty() || dir.Norm() < Eps {
+	// Norm2 spares the Hypot: |dir| < Eps ⟺ |dir|² < Eps², and the clip
+	// runs on the hot bound-refresh path.
+	if b.Empty() || dir.Norm2() < Eps*Eps {
 		return 0, 0, false
 	}
 	t0, t1 = 0, math.Inf(1)

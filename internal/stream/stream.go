@@ -37,10 +37,14 @@ type MultiEmitter interface {
 }
 
 // multiAdapter converts a MultiEmitter into a Compressor by queueing
-// multi-point emissions.
+// multi-point emissions. The queue is drained by a moving head index and
+// its backing array is reused once empty — re-slicing the front off
+// (queue = queue[1:]) would strand the consumed prefix's capacity and
+// force a fresh allocation per emission burst.
 type multiAdapter struct {
 	inner MultiEmitter
 	queue []core.Point
+	head  int
 }
 
 // Adapt wraps a MultiEmitter as a queue-draining Compressor. Each Push
@@ -49,14 +53,26 @@ type multiAdapter struct {
 // caller drains with Flush at the end).
 func Adapt(m MultiEmitter) Compressor { return &multiAdapter{inner: m} }
 
-func (a *multiAdapter) Push(p core.Point) (core.Point, bool) {
-	a.queue = append(a.queue, a.inner.Push(p)...)
-	if len(a.queue) == 0 {
+// pop surfaces the next queued key point, recycling the buffer when the
+// queue empties.
+func (a *multiAdapter) pop() (core.Point, bool) {
+	if a.head >= len(a.queue) {
+		a.queue = a.queue[:0]
+		a.head = 0
 		return core.Point{}, false
 	}
-	kp := a.queue[0]
-	a.queue = a.queue[1:]
+	kp := a.queue[a.head]
+	a.head++
+	if a.head == len(a.queue) {
+		a.queue = a.queue[:0]
+		a.head = 0
+	}
 	return kp, true
+}
+
+func (a *multiAdapter) Push(p core.Point) (core.Point, bool) {
+	a.queue = append(a.queue, a.inner.Push(p)...)
+	return a.pop()
 }
 
 // Flush surfaces one queued key point per call (the wrapped flush may
@@ -65,12 +81,7 @@ func (a *multiAdapter) Push(p core.Point) (core.Point, bool) {
 // repeated calls are safe.
 func (a *multiAdapter) Flush() (core.Point, bool) {
 	a.queue = append(a.queue, a.inner.Flush()...)
-	if len(a.queue) == 0 {
-		return core.Point{}, false
-	}
-	kp := a.queue[0]
-	a.queue = a.queue[1:]
-	return kp, true
+	return a.pop()
 }
 
 // FlushAll drains a Compressor completely: it calls Flush repeatedly until
@@ -125,7 +136,7 @@ func Run(ctx context.Context, c Compressor, in <-chan core.Point, out chan<- cor
 // Compress is the batch convenience wrapper: it runs the compressor over
 // pts and returns all key points including the flush.
 func Compress(c Compressor, pts []core.Point) []core.Point {
-	var out []core.Point
+	out := make([]core.Point, 0, min(len(pts)/8+2, 1024))
 	for _, p := range pts {
 		if kp, ok := c.Push(p); ok {
 			out = append(out, kp)

@@ -8,73 +8,108 @@ import (
 
 // gridIndex is a uniform-grid spatial index over segment bounding boxes.
 // Cells map to the IDs whose boxes overlap them; queries return candidate
-// IDs (callers re-check geometry). It is not safe for concurrent use; the
-// Store serializes access.
+// IDs (callers re-check geometry). Cell coordinates are packed into one
+// uint64 key so every map operation takes the runtime's fast 64-bit path —
+// the insert is on the engine's per-key-point hot path. It is not safe for
+// concurrent use; the Store serializes access.
 type gridIndex struct {
 	cell  float64
-	cells map[[2]int32][]uint64
+	cells map[uint64][]uint64
 }
 
 func newGridIndex(cellSize float64) *gridIndex {
-	return &gridIndex{cell: cellSize, cells: make(map[[2]int32][]uint64)}
+	return &gridIndex{cell: cellSize, cells: make(map[uint64][]uint64)}
 }
 
-func (g *gridIndex) cellOf(x, y float64) [2]int32 {
-	return [2]int32{int32(math.Floor(x / g.cell)), int32(math.Floor(y / g.cell))}
+// cellKey packs a cell coordinate pair into one map key.
+func cellKey(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
 }
 
-// cellRange iterates the grid cells covered by box, calling fn for each.
-func (g *gridIndex) cellRange(box geom.Box, fn func([2]int32)) {
+func (g *gridIndex) cellOf(x, y float64) (int32, int32) {
+	return int32(math.Floor(x / g.cell)), int32(math.Floor(y / g.cell))
+}
+
+// span returns the clamped cell-coordinate range covered by box; ok is
+// false for an empty box.
+func (g *gridIndex) span(box geom.Box) (lox, loy, hix, hiy int32, ok bool) {
 	if box.Empty() {
-		return
+		return 0, 0, 0, 0, false
 	}
-	lo := g.cellOf(box.Min.X, box.Min.Y)
-	hi := g.cellOf(box.Max.X, box.Max.Y)
+	lox, loy = g.cellOf(box.Min.X, box.Min.Y)
+	hix, hiy = g.cellOf(box.Max.X, box.Max.Y)
 	// Guard against pathological boxes flooding the map.
 	const maxSpan = 1 << 10
-	if int64(hi[0])-int64(lo[0]) > maxSpan || int64(hi[1])-int64(lo[1]) > maxSpan {
-		hi = [2]int32{lo[0] + maxSpan, lo[1] + maxSpan}
+	if int64(hix)-int64(lox) > maxSpan {
+		hix = lox + maxSpan
 	}
-	for cx := lo[0]; cx <= hi[0]; cx++ {
-		for cy := lo[1]; cy <= hi[1]; cy++ {
-			fn([2]int32{cx, cy})
-		}
+	if int64(hiy)-int64(loy) > maxSpan {
+		hiy = loy + maxSpan
 	}
+	return lox, loy, hix, hiy, true
 }
 
 func (g *gridIndex) insert(id uint64, box geom.Box) {
-	g.cellRange(box, func(c [2]int32) {
-		g.cells[c] = append(g.cells[c], id)
-	})
+	lox, loy, hix, hiy, ok := g.span(box)
+	if !ok {
+		return
+	}
+	for cx := lox; cx <= hix; cx++ {
+		for cy := loy; cy <= hiy; cy++ {
+			k := cellKey(cx, cy)
+			g.cells[k] = append(g.cells[k], id)
+		}
+	}
 }
 
 func (g *gridIndex) remove(id uint64, box geom.Box) {
-	g.cellRange(box, func(c [2]int32) {
-		ids := g.cells[c]
-		for i, v := range ids {
-			if v == id {
-				ids[i] = ids[len(ids)-1]
-				g.cells[c] = ids[:len(ids)-1]
-				break
+	lox, loy, hix, hiy, ok := g.span(box)
+	if !ok {
+		return
+	}
+	for cx := lox; cx <= hix; cx++ {
+		for cy := loy; cy <= hiy; cy++ {
+			k := cellKey(cx, cy)
+			ids := g.cells[k]
+			for i, v := range ids {
+				if v == id {
+					ids[i] = ids[len(ids)-1]
+					ids = ids[:len(ids)-1]
+					break
+				}
+			}
+			if len(ids) == 0 {
+				delete(g.cells, k)
+			} else {
+				g.cells[k] = ids
 			}
 		}
-		if len(g.cells[c]) == 0 {
-			delete(g.cells, c)
-		}
-	})
+	}
 }
 
 // query returns the deduplicated candidate IDs whose cells overlap box.
+// For a single-cell box — the common case for segment-sized queries — the
+// cell's slice is returned directly without copying; callers must not
+// mutate or retain the result past the Store lock.
 func (g *gridIndex) query(box geom.Box) []uint64 {
+	lox, loy, hix, hiy, ok := g.span(box)
+	if !ok {
+		return nil
+	}
+	if lox == hix && loy == hiy {
+		return g.cells[cellKey(lox, loy)]
+	}
 	seen := make(map[uint64]bool)
 	var out []uint64
-	g.cellRange(box, func(c [2]int32) {
-		for _, id := range g.cells[c] {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
+	for cx := lox; cx <= hix; cx++ {
+		for cy := loy; cy <= hiy; cy++ {
+			for _, id := range g.cells[cellKey(cx, cy)] {
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
 			}
 		}
-	})
+	}
 	return out
 }

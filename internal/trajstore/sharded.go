@@ -27,7 +27,7 @@ func (st *Store) Snapshot() Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return Stats{
-		Segments: len(st.segs),
+		Segments: st.live,
 		Inserted: st.inserted,
 		Merged:   st.merged,
 	}

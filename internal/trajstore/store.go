@@ -40,15 +40,67 @@ type Config struct {
 
 // Store is an in-memory historical trajectory database with error-bounded
 // merging and ageing. It is safe for concurrent use.
+//
+// Segment IDs are allocated sequentially, so the segment table is a dense
+// chunked vector indexed by ID-1 rather than a map: the per-key-point
+// insert on the ingestion hot path is an append into a fixed-size chunk
+// (no reallocation ever copies existing segments, unlike a flat slice
+// whose growth would move the whole table) and ID lookups from the
+// spatial index are two direct loads. A deleted slot keeps a zero Segment
+// (ID 0) as a tombstone; only ageing deletes, so tombstones stay rare and
+// bounded by the segments ever replaced.
 type Store struct {
 	mu     sync.RWMutex
 	cfg    Config
 	nextID uint64
-	segs   map[uint64]Segment
+	segs   [][]Segment // chunks of segChunkSize; slot for ID at (id-1)>>bits, (id-1)&mask
+	live   int         // segments currently stored (allocated slots minus tombstones)
 	index  *gridIndex
 
 	inserted int
 	merged   int
+}
+
+const (
+	segChunkBits = 12
+	segChunkSize = 1 << segChunkBits // 4096 segments (256 KiB) per chunk
+)
+
+// segAt returns a pointer to the live segment with the given ID, or nil.
+// Callers hold the lock.
+func (st *Store) segAt(id uint64) *Segment {
+	if id == 0 || id > st.nextID {
+		return nil
+	}
+	i := id - 1
+	s := &st.segs[i>>segChunkBits][i&(segChunkSize-1)]
+	if s.ID == 0 {
+		return nil
+	}
+	return s
+}
+
+// appendSeg stores s under the just-allocated st.nextID. Callers hold the
+// lock and have incremented nextID.
+func (st *Store) appendSeg(s Segment) {
+	if n := len(st.segs); n == 0 || len(st.segs[n-1]) == segChunkSize {
+		st.segs = append(st.segs, make([]Segment, 0, segChunkSize))
+	}
+	n := len(st.segs) - 1
+	st.segs[n] = append(st.segs[n], s)
+	st.live++
+}
+
+// forEachSeg calls fn for every live segment. Callers hold the lock; fn
+// may tombstone the segment it is handed but must not append.
+func (st *Store) forEachSeg(fn func(*Segment)) {
+	for _, chunk := range st.segs {
+		for i := range chunk {
+			if chunk[i].ID != 0 {
+				fn(&chunk[i])
+			}
+		}
+	}
 }
 
 // NewStore returns an empty store.
@@ -61,7 +113,6 @@ func NewStore(cfg Config) (*Store, error) {
 	}
 	return &Store{
 		cfg:   cfg,
-		segs:  make(map[uint64]Segment),
 		index: newGridIndex(cfg.CellSize),
 	}, nil
 }
@@ -70,7 +121,7 @@ func NewStore(cfg Config) (*Store, error) {
 func (st *Store) Len() int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return len(st.segs)
+	return st.live
 }
 
 // Stats returns how many segments were inserted and how many of those were
@@ -101,40 +152,39 @@ func (st *Store) Insert(a, b core.Point) bool {
 	defer st.mu.Unlock()
 	st.inserted++
 	if st.cfg.MergeTolerance > 0 {
-		if id, ok := st.findSimilar(a, b); ok {
-			s := st.segs[id]
+		if s := st.findSimilar(a, b); s != nil {
 			s.Weight++
 			s.FirstT = math.Min(s.FirstT, a.T)
 			s.LastT = math.Max(s.LastT, b.T)
-			st.segs[id] = s
 			st.merged++
 			return true
 		}
 	}
 	st.nextID++
-	s := Segment{ID: st.nextID, A: a, B: b, Weight: 1, FirstT: a.T, LastT: b.T}
-	st.segs[s.ID] = s
-	st.index.insert(s.ID, segBox(a, b))
+	st.appendSeg(Segment{ID: st.nextID, A: a, B: b, Weight: 1, FirstT: a.T, LastT: b.T})
+	st.index.insert(st.nextID, segBox(a, b))
 	return false
 }
 
 // findSimilar looks for a stored segment that represents the same path as
 // (a, b) within the merge tolerance: endpoints within tolerance of the
 // stored segment (and vice versa for the stored endpoints), i.e. a
-// symmetric Hausdorff-style test on the two 2-point polylines.
-func (st *Store) findSimilar(a, b core.Point) (uint64, bool) {
+// symmetric Hausdorff-style test on the two 2-point polylines. It returns
+// the resolved live segment (nil when none matches) so the caller does
+// not repeat the table lookup.
+func (st *Store) findSimilar(a, b core.Point) *Segment {
 	tol := st.cfg.MergeTolerance
 	box := segBox(a, b).Inflate(tol)
 	for _, id := range st.index.query(box) {
-		s, ok := st.segs[id]
-		if !ok {
+		s := st.segAt(id)
+		if s == nil {
 			continue
 		}
 		if symmetricSegmentDistance(a.Vec(), b.Vec(), s.A.Vec(), s.B.Vec()) <= tol {
-			return id, true
+			return s
 		}
 	}
-	return 0, false
+	return nil
 }
 
 // symmetricSegmentDistance returns the symmetric Hausdorff distance
@@ -163,12 +213,12 @@ func (st *Store) Query(minX, minY, maxX, maxY float64) []Segment {
 	box := geom.Box{Min: geom.V(minX, minY), Max: geom.V(maxX, maxY)}
 	var out []Segment
 	for _, id := range st.index.query(box) {
-		s, ok := st.segs[id]
-		if !ok {
+		s := st.segAt(id)
+		if s == nil {
 			continue
 		}
 		if segBox(s.A, s.B).Intersects(box) {
-			out = append(out, s)
+			out = append(out, *s)
 		}
 	}
 	return out
@@ -180,11 +230,11 @@ func (st *Store) QueryTime(t0, t1 float64) []Segment {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var out []Segment
-	for _, s := range st.segs {
+	st.forEachSeg(func(s *Segment) {
 		if s.FirstT <= t1 && s.LastT >= t0 {
-			out = append(out, s)
+			out = append(out, *s)
 		}
-	}
+	})
 	return out
 }
 
@@ -192,10 +242,8 @@ func (st *Store) QueryTime(t0, t1 float64) []Segment {
 func (st *Store) Segments() []Segment {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	out := make([]Segment, 0, len(st.segs))
-	for _, s := range st.segs {
-		out = append(out, s)
-	}
+	out := make([]Segment, 0, st.live)
+	st.forEachSeg(func(s *Segment) { out = append(out, *s) })
 	return out
 }
 
@@ -213,20 +261,27 @@ func (st *Store) Age(cutoffT, tolerance float64) (dropped int, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 
-	// Collect aged segments and chain them by shared endpoints.
+	// Collect aged segments and chain them by shared endpoints. The aged
+	// subset is gathered once; the chain growing re-scans only it.
+	var aged []*Segment
+	st.forEachSeg(func(s *Segment) {
+		if s.LastT < cutoffT {
+			aged = append(aged, s)
+		}
+	})
 	var chains [][]core.Point
 	used := make(map[uint64]bool)
-	for id, s := range st.segs {
-		if used[id] || s.LastT >= cutoffT {
+	for _, s := range aged {
+		if used[s.ID] {
 			continue
 		}
 		// Grow a chain forward and backward through matching endpoints.
 		chain := []core.Point{s.A, s.B}
-		used[id] = true
+		used[s.ID] = true
 		for extended := true; extended; {
 			extended = false
-			for id2, s2 := range st.segs {
-				if used[id2] || s2.LastT >= cutoffT {
+			for _, s2 := range aged {
+				if used[s2.ID] {
 					continue
 				}
 				last := chain[len(chain)-1]
@@ -234,11 +289,11 @@ func (st *Store) Age(cutoffT, tolerance float64) (dropped int, err error) {
 				switch {
 				case s2.A.Equal(last):
 					chain = append(chain, s2.B)
-					used[id2] = true
+					used[s2.ID] = true
 					extended = true
 				case s2.B.Equal(first):
 					chain = append([]core.Point{s2.A}, chain...)
-					used[id2] = true
+					used[s2.ID] = true
 					extended = true
 				}
 			}
@@ -256,10 +311,9 @@ func (st *Store) Age(cutoffT, tolerance float64) (dropped int, err error) {
 		st.removeChainLocked(chain)
 		for i := 0; i+1 < len(kept); i++ {
 			st.nextID++
-			s := Segment{ID: st.nextID, A: kept[i], B: kept[i+1], Weight: 1,
-				FirstT: kept[i].T, LastT: kept[i+1].T}
-			st.segs[s.ID] = s
-			st.index.insert(s.ID, segBox(s.A, s.B))
+			st.appendSeg(Segment{ID: st.nextID, A: kept[i], B: kept[i+1], Weight: 1,
+				FirstT: kept[i].T, LastT: kept[i+1].T})
+			st.index.insert(st.nextID, segBox(kept[i], kept[i+1]))
 		}
 	}
 	return dropped, nil
@@ -269,12 +323,13 @@ func (st *Store) Age(cutoffT, tolerance float64) (dropped int, err error) {
 // consecutive points of the chain. Callers hold the write lock.
 func (st *Store) removeChainLocked(chain []core.Point) {
 	for i := 0; i+1 < len(chain); i++ {
-		for id, s := range st.segs {
+		st.forEachSeg(func(s *Segment) {
 			if s.A.Equal(chain[i]) && s.B.Equal(chain[i+1]) {
-				st.index.remove(id, segBox(s.A, s.B))
-				delete(st.segs, id)
+				st.index.remove(s.ID, segBox(s.A, s.B))
+				*s = Segment{} // tombstone
+				st.live--
 			}
-		}
+		})
 	}
 }
 
@@ -285,9 +340,9 @@ func (st *Store) StorageBytes() int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	// Count distinct endpoints: consecutive segments share points.
-	seen := make(map[[3]float64]bool, len(st.segs)*2)
+	seen := make(map[[3]float64]bool, st.live*2)
 	n := 0
-	for _, s := range st.segs {
+	st.forEachSeg(func(s *Segment) {
 		for _, p := range [2]core.Point{s.A, s.B} {
 			k := [3]float64{p.X, p.Y, p.T}
 			if !seen[k] {
@@ -295,13 +350,18 @@ func (st *Store) StorageBytes() int {
 				n++
 			}
 		}
-	}
+	})
 	return n * WireSize
 }
 
 func segBox(a, b core.Point) geom.Box {
-	box := geom.EmptyBox()
-	box.Extend(a.Vec())
-	box.Extend(b.Vec())
-	return box
+	minX, maxX := a.X, b.X
+	if minX > maxX {
+		minX, maxX = maxX, minX
+	}
+	minY, maxY := a.Y, b.Y
+	if minY > maxY {
+		minY, maxY = maxY, minY
+	}
+	return geom.Box{Min: geom.Vec{X: minX, Y: minY}, Max: geom.Vec{X: maxX, Y: maxY}}
 }
