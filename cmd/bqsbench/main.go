@@ -55,6 +55,9 @@ func main() {
 	tol := flag.Float64("tol", 10, "engine mode: deviation tolerance in metres")
 	mergeTol := flag.Float64("merge", 5, "engine mode: store merge tolerance in metres (0 disables merging)")
 	persistDir := flag.String("persist", "", "engine mode: segment-log directory for a durable run ('' keeps the run in-memory)")
+	trailKeys := flag.Int("trail", 0, "engine mode: MaxTrailKeys per session (0 = engine default; small values force chunked records)")
+	segBytes := flag.Int64("segbytes", 0, "engine mode with -persist: segment rotation threshold in bytes (0 = log default; small values seal segments for -compact)")
+	compact := flag.Bool("compact", false, "engine mode with -persist: compact the log after the run and report before/after disk bytes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
@@ -66,7 +69,7 @@ func main() {
 	defer stopProfiles()
 
 	if *engineMode {
-		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir); err != nil {
+		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *compact); err != nil {
 			stopProfiles()
 			fmt.Fprintln(os.Stderr, "bqsbench:", err)
 			os.Exit(1)
@@ -75,6 +78,10 @@ func main() {
 	}
 	if *persistDir != "" {
 		fmt.Fprintln(os.Stderr, "bqsbench: -persist requires -engine")
+		os.Exit(2)
+	}
+	if *compact {
+		fmt.Fprintln(os.Stderr, "bqsbench: -compact requires -engine -persist")
 		os.Exit(2)
 	}
 
@@ -240,9 +247,12 @@ func main() {
 // throughput plus compression and storage statistics. With persistDir
 // set, flushed sessions are also appended to a segment log there and
 // the final Sync is a durability barrier.
-func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string) error {
+func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string, trailKeys int, segBytes int64, compact bool) error {
 	if devices <= 0 || fixesPer <= 0 {
 		return fmt.Errorf("devices and fixes must be positive")
+	}
+	if compact && persistDir == "" {
+		return fmt.Errorf("-compact requires -persist")
 	}
 	durability := "off"
 	if persistDir != "" {
@@ -255,15 +265,16 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 	// log directory fails before the (possibly large) workload is
 	// generated.
 	cfg := engine.Config{
-		Compressor: compName,
-		Tolerance:  tol,
-		Shards:     shards,
-		Store:      trajstore.Config{MergeTolerance: mergeTol},
+		Compressor:   compName,
+		Tolerance:    tol,
+		Shards:       shards,
+		MaxTrailKeys: trailKeys,
+		Store:        trajstore.Config{MergeTolerance: mergeTol},
 	}
 	var lg *segmentlog.Log
 	if persistDir != "" {
 		var err error
-		lg, err = segmentlog.Open(persistDir, segmentlog.Options{})
+		lg, err = segmentlog.Open(persistDir, segmentlog.Options{MaxSegmentBytes: segBytes})
 		if err != nil {
 			return err
 		}
@@ -329,7 +340,7 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 	if lg != nil {
 		// The log was closed by e.Close; reopen it to report what landed
 		// on disk (also a cheap recovery self-check).
-		rl, err := segmentlog.Open(persistDir, segmentlog.Options{})
+		rl, err := segmentlog.Open(persistDir, segmentlog.Options{MaxSegmentBytes: segBytes})
 		if err != nil {
 			return fmt.Errorf("reopening log: %w", err)
 		}
@@ -342,6 +353,21 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 			float64(s.Fixes)/total.Seconds())
 		if ls.Truncated != 0 {
 			return fmt.Errorf("log reopen truncated %d bytes after a clean close", ls.Truncated)
+		}
+		if compact {
+			// Chunk-merge plus ageing at twice the ingest tolerance —
+			// the standard "old data may be coarser" configuration.
+			res, err := rl.Compact(segmentlog.CompactionPolicy{
+				MergeChunks:     true,
+				CoarseTolerance: 2 * tol,
+			})
+			if err != nil {
+				return fmt.Errorf("compacting log: %w", err)
+			}
+			after := rl.Stats()
+			fmt.Printf("compaction: disk bytes %d before, %d after (saved %.1f%%); %d merged, %d deduped, %d aged, generation %d\n",
+				ls.Bytes, after.Bytes, 100*float64(ls.Bytes-after.Bytes)/float64(ls.Bytes),
+				res.Merged, res.Deduped, res.Aged, res.Gen)
 		}
 	}
 	return nil

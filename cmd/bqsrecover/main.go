@@ -1,7 +1,7 @@
-// Command bqsrecover reloads a segment-log directory written by the
-// durable ingestion engine (bqs.OpenDurableEngine, bqsbench -persist),
-// recovering from any crash-torn tail, and answers device/time-range
-// queries straight from disk.
+// Command bqsrecover inspects and maintains a segment-log directory
+// written by the durable ingestion engine (bqs.OpenDurableEngine,
+// bqsbench -persist): it lists devices, decodes trajectories, and runs
+// the merge/ageing compactor.
 //
 // Usage:
 //
@@ -9,12 +9,20 @@
 //	bqsrecover -dir logdir -device ID         # decode one device's trajectories
 //	bqsrecover -dir logdir -device ID -t0 N -t1 M   # restrict to a time window
 //	bqsrecover -dir logdir -device ID -csv    # lat,lon,t CSV on stdout
+//	bqsrecover -dir logdir -repair            # truncate a crash-torn tail in place
+//	bqsrecover -dir logdir -compact [-merge-chunks=false]
+//	          [-age 24h -coarse-tol 50]       # merge + age sealed segments
+//
+// By default the directory is opened READ-ONLY: nothing on disk is
+// touched, no lock is taken, and a crash-torn tail is reported but left
+// in place — safe to point at a directory a live engine owns. -repair
+// performs the engine's own recovery (truncating the torn tail) and
+// -compact rewrites sealed segments; both take the directory's exclusive
+// write lock and refuse to run while another process holds it.
 //
 // Timestamps are the wire format's uint32 seconds. The exit status is
 // non-zero if the directory is missing or cannot be interpreted as a
-// segment log. Opening a crash-damaged log performs the same recovery
-// the engine would — the torn tail is truncated in place — and the
-// dropped byte count is reported (recovery is not an error).
+// segment log.
 package main
 
 import (
@@ -32,6 +40,11 @@ func main() {
 	t0 := flag.Uint64("t0", 0, "window start, seconds")
 	t1 := flag.Uint64("t1", math.MaxUint32, "window end, seconds")
 	csv := flag.Bool("csv", false, "with -device: emit lat,lon,t CSV instead of a listing")
+	repair := flag.Bool("repair", false, "open read-write: truncate any crash-torn tail in place (takes the directory lock)")
+	compact := flag.Bool("compact", false, "compact sealed segments (implies -repair)")
+	mergeChunks := flag.Bool("merge-chunks", true, "with -compact: merge consecutive chunked records of a device")
+	age := flag.Duration("age", 0, "with -compact: re-compress records older than this at -coarse-tol (0 with a tolerance set ages everything)")
+	coarseTol := flag.Float64("coarse-tol", 0, "with -compact: ageing tolerance in metres (0 disables ageing)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -52,19 +65,37 @@ func main() {
 		fail(fmt.Errorf("%s is not a directory", *dir))
 	}
 
-	lg, err := segmentlog.Open(*dir, segmentlog.Options{})
+	writable := *repair || *compact
+	lg, err := segmentlog.Open(*dir, segmentlog.Options{ReadOnly: !writable})
 	if err != nil {
 		fail(err)
 	}
 	defer lg.Close()
 
 	s := lg.Stats()
-	fmt.Fprintf(os.Stderr, "bqsrecover: %d segment file(s), %d records, %d devices, %d bytes",
-		s.Segments, s.Records, s.Devices, s.Bytes)
+	fmt.Fprintf(os.Stderr, "bqsrecover: %d segment file(s), %d records, %d devices, %d bytes, generation %d",
+		s.Segments, s.Records, s.Devices, s.Bytes, s.Gen)
 	if s.Truncated > 0 {
-		fmt.Fprintf(os.Stderr, " (recovered: dropped %d torn tail bytes)", s.Truncated)
+		if writable {
+			fmt.Fprintf(os.Stderr, " (recovered: dropped %d torn tail bytes)", s.Truncated)
+		} else {
+			fmt.Fprintf(os.Stderr, " (detected %d torn tail bytes; rerun with -repair to truncate)", s.Truncated)
+		}
 	}
 	fmt.Fprintln(os.Stderr)
+
+	if *compact {
+		res, err := lg.Compact(segmentlog.CompactionPolicy{
+			MinAge:          *age,
+			CoarseTolerance: *coarseTol,
+			MergeChunks:     *mergeChunks,
+		})
+		if err != nil {
+			fail(err)
+		}
+		reportCompaction(res)
+		return
+	}
 
 	if *device == "" {
 		for _, dev := range lg.Devices() {
@@ -94,6 +125,27 @@ func main() {
 			fmt.Printf("  %.7f,%.7f,%d\n", k.Lat, k.Lon, k.T)
 		}
 	}
+}
+
+// reportCompaction prints a one-pass compaction summary.
+func reportCompaction(res segmentlog.CompactionResult) {
+	if res.Gen == 0 {
+		if res.SegmentsIn == 0 {
+			fmt.Println("compaction: nothing to do (no sealed segments)")
+		} else {
+			fmt.Printf("compaction: already compact (%d records, %d bytes unchanged)\n",
+				res.RecordsIn, res.BytesIn)
+		}
+		return
+	}
+	saved := res.BytesIn - res.BytesOut
+	pct := 0.0
+	if res.BytesIn > 0 {
+		pct = 100 * float64(saved) / float64(res.BytesIn)
+	}
+	fmt.Printf("compaction: %d → %d records, %d → %d bytes (saved %d, %.1f%%), %d merged, %d deduped, %d aged, generation %d\n",
+		res.RecordsIn, res.RecordsOut, res.BytesIn, res.BytesOut, saved, pct,
+		res.Merged, res.Deduped, res.Aged, res.Gen)
 }
 
 func fail(err error) {

@@ -83,8 +83,10 @@ func TestSmokeRecoverQueryCSV(t *testing.T) {
 	}
 }
 
-// TestSmokeRecoverTornTail runs the command against a crash-damaged log:
-// it must recover, report the drop, and still answer queries.
+// TestSmokeRecoverTornTail runs the command against a crash-damaged log.
+// The default read-only mode must report the torn tail WITHOUT touching
+// the file (it could belong to a live engine about to flush); -repair
+// must truncate it in place.
 func TestSmokeRecoverTornTail(t *testing.T) {
 	bin := buildCmd(t)
 	dir := seedLog(t)
@@ -93,7 +95,8 @@ func TestSmokeRecoverTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+	torn := fi.Size() - 5
+	if err := os.Truncate(seg, torn); err != nil {
 		t.Fatal(err)
 	}
 	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
@@ -101,8 +104,64 @@ func TestSmokeRecoverTornTail(t *testing.T) {
 		t.Fatalf("bqsrecover on torn log: %v\n%s", err, out)
 	}
 	s := string(out)
-	if !strings.Contains(s, "recovered") || !strings.Contains(s, "alpha") || strings.Contains(s, "beta") {
-		t.Fatalf("torn-tail recovery output wrong:\n%s", s)
+	if !strings.Contains(s, "detected") || !strings.Contains(s, "alpha") || strings.Contains(s, "beta") {
+		t.Fatalf("torn-tail read-only output wrong:\n%s", s)
+	}
+	if fi, err = os.Stat(seg); err != nil || fi.Size() != torn {
+		t.Fatalf("read-only run modified the segment file (size %d, want %d): %v", fi.Size(), torn, err)
+	}
+
+	out, err = exec.Command(bin, "-dir", dir, "-repair").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsrecover -repair: %v\n%s", err, out)
+	}
+	if s := string(out); !strings.Contains(s, "recovered") || !strings.Contains(s, "alpha") {
+		t.Fatalf("torn-tail repair output wrong:\n%s", s)
+	}
+	if fi, err = os.Stat(seg); err != nil || fi.Size() >= torn {
+		t.Fatalf("-repair did not truncate the torn tail (size %d): %v", fi.Size(), err)
+	}
+}
+
+// TestSmokeRecoverCompact exercises -compact end to end: chunked records
+// merge, disk bytes shrink, and the compacted log still answers queries.
+func TestSmokeRecoverCompact(t *testing.T) {
+	bin := buildCmd(t)
+	dir := t.TempDir()
+	// Tiny rotation threshold so the chunked records land in sealed
+	// segments the compactor may rewrite.
+	lg, err := segmentlog.Open(dir, segmentlog.Options{MaxSegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]trajstore.GeoKey, 13)
+	for i := range keys {
+		keys[i] = trajstore.GeoKey{Lat: float64(i) / 1e7, Lon: float64(2*i) / 1e7, T: uint32(100 + i)}
+	}
+	// Three chunks overlapping by one key, the engine's trail shape.
+	for _, c := range [][2]int{{0, 5}, {4, 9}, {8, 13}} {
+		if err := lg.Append("gamma", keys[c[0]:c[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "-dir", dir, "-compact").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsrecover -compact: %v\n%s", err, out)
+	}
+	if s := string(out); !strings.Contains(s, "merged") {
+		t.Fatalf("compaction report missing:\n%s", s)
+	}
+
+	out, err = exec.Command(bin, "-dir", dir, "-device", "gamma", "-csv").Output()
+	if err != nil {
+		t.Fatalf("query after compaction: %v", err)
+	}
+	if lines := strings.Count(string(out), "\n"); lines != len(keys) {
+		t.Fatalf("compacted log returned %d CSV points, want %d:\n%s", lines, len(keys), out)
 	}
 }
 

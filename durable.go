@@ -32,10 +32,34 @@ type SegmentLogRecord = segmentlog.Record
 // SegmentLogStats is a snapshot of a log's contents.
 type SegmentLogStats = segmentlog.Stats
 
+// CompactionPolicy parameterizes segment-log compaction: MinAge and
+// CoarseTolerance drive error-bounded ageing, MergeChunks re-joins the
+// engine's chunked session records. See segmentlog.CompactionPolicy.
+type CompactionPolicy = segmentlog.CompactionPolicy
+
+// CompactionResult reports what one compaction pass did.
+type CompactionResult = segmentlog.CompactionResult
+
+// ErrLogLocked reports that another process holds a log directory's
+// write lock.
+var ErrLogLocked = segmentlog.ErrLocked
+
+// ErrLogReadOnly reports a mutating operation on a read-only log.
+var ErrLogReadOnly = segmentlog.ErrReadOnly
+
 // OpenSegmentLog opens (creating if necessary) a segment log directory,
-// recovering from any crash-torn tail.
+// recovering from any crash-torn tail. Writable opens take the
+// directory's exclusive lock; set SegmentLogOptions.ReadOnly to inspect
+// a directory another process owns.
 func OpenSegmentLog(dir string, opts SegmentLogOptions) (*SegmentLog, error) {
 	return segmentlog.Open(dir, opts)
+}
+
+// CompactLog runs one merge/dedup/ageing compaction pass over the log's
+// sealed segments and atomically publishes the smaller generation.
+// Queries and appends on the same log proceed concurrently.
+func CompactLog(lg *SegmentLog, policy CompactionPolicy) (CompactionResult, error) {
+	return lg.Compact(policy)
 }
 
 // OpenDurableEngine opens a segment log in dir and starts an ingestion
@@ -43,7 +67,15 @@ func OpenSegmentLog(dir string, opts SegmentLogOptions) (*SegmentLog, error) {
 // Close durably lands on disk, Sync is the durability barrier, and
 // Close closes the log. Any Persister already set in cfg is replaced.
 func OpenDurableEngine(dir string, cfg EngineConfig) (*Engine, error) {
-	lg, err := segmentlog.Open(dir, segmentlog.Options{})
+	return OpenDurableEngineWithLog(dir, SegmentLogOptions{}, cfg)
+}
+
+// OpenDurableEngineWithLog is OpenDurableEngine with explicit log
+// options. With logOpts.Compaction set and cfg.CompactInterval > 0 the
+// engine periodically compacts the log in the background, reclaiming
+// disk while preserving the error bound.
+func OpenDurableEngineWithLog(dir string, logOpts SegmentLogOptions, cfg EngineConfig) (*Engine, error) {
+	lg, err := segmentlog.Open(dir, logOpts)
 	if err != nil {
 		return nil, fmt.Errorf("bqs: %w", err)
 	}

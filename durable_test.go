@@ -33,7 +33,9 @@ func TestOpenDurableEngineRestart(t *testing.T) {
 		t.Fatalf("Persisted = %d, want %d", s.Persisted, devices)
 	}
 
-	lg, err := OpenSegmentLog(dir, SegmentLogOptions{})
+	// Read-only: the handle stays open across the second engine below,
+	// which needs the directory's write lock for itself.
+	lg, err := OpenSegmentLog(dir, SegmentLogOptions{ReadOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,5 +81,61 @@ func TestOpenDurableEngineRestart(t *testing.T) {
 	}
 	if len(recs) != 2 {
 		t.Fatalf("dev-0 has %d records after restart, want 2", len(recs))
+	}
+}
+
+// TestCompactLogFacade exercises the public compaction path: a durable
+// engine with chunked sessions, CompactLog merging the chunks back, and
+// the log staying queryable with fewer bytes.
+func TestCompactLogFacade(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurableEngineWithLog(dir,
+		SegmentLogOptions{MaxSegmentBytes: 512},
+		EngineConfig{Compressor: "fbqs", Tolerance: 5, Shards: 1, MaxTrailKeys: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultWalkConfig(42)
+	cfg.N = 4000
+	for _, p := range GenerateWalk(cfg).Points() {
+		if err := e.IngestOne("roamer", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := OpenSegmentLog(dir, SegmentLogOptions{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	before := lg.Stats()
+	res, err := CompactLog(lg, CompactionPolicy{MergeChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged == 0 {
+		t.Fatalf("no chunked records merged: %+v", res)
+	}
+	after := lg.Stats()
+	if after.Bytes >= before.Bytes || after.Records >= before.Records {
+		t.Fatalf("compaction did not shrink the log: %+v → %+v", before, after)
+	}
+	recs, err := lg.Query("roamer", 0, ^uint32(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("compacted log lost the device")
+	}
+	total := 0
+	for _, r := range recs {
+		total += len(r.Keys)
+	}
+	if total < 8 {
+		t.Fatalf("suspiciously few keys after compaction: %d", total)
 	}
 }

@@ -72,6 +72,15 @@ type Config struct {
 	// the default 1e5 m/° stores positions at 1 cm resolution with a
 	// ±9000 km range).
 	MetersPerDegree float64
+	// CompactInterval, when > 0 and the Persister implements
+	// trajstore.Compacter (segmentlog.Log does, when opened with a
+	// compaction policy), runs a background compaction pass on the
+	// persister this often. A failed pass leaves the published data
+	// intact, so it does not poison the Sync durability barrier; it is
+	// reported by CompactErr (self-healing on the next successful pass)
+	// and by Close if still standing. Zero disables periodic
+	// compaction; CompactNow remains available.
+	CompactInterval time.Duration
 	// MaxTrailKeys bounds the per-session key-point trail kept for
 	// persistence: a session that accumulates this many key points is
 	// chunked — the trail is persisted as a record and restarted from
@@ -129,6 +138,13 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// stopCompact ends the periodic compaction goroutine (nil when
+	// CompactInterval is 0); the goroutine is counted in wg. compactWG
+	// tracks external CompactNow callers so Close can wait for them
+	// before closing the persister.
+	stopCompact chan struct{}
+	compactWG   sync.WaitGroup
+
 	opened    atomic.Uint64
 	evicted   atomic.Uint64
 	fixes     atomic.Uint64
@@ -138,6 +154,12 @@ type Engine struct {
 	// persistErr latches the first asynchronous persister failure (shard
 	// workers append during eviction); Sync and Close surface it.
 	persistErr atomic.Pointer[error]
+	// compactErr holds the most recent background-compaction failure.
+	// Unlike persistErr it does NOT poison Sync — a failed compaction
+	// pass leaves the published generation (and every durable record)
+	// intact, so it is no durability event. It self-heals: a later
+	// successful pass clears it. Close reports a still-standing one.
+	compactErr atomic.Pointer[error]
 	persisting bool    // cfg.Persister != nil, cached for the hot path
 	mPerDegree float64 // metres per degree for GeoKey conversion
 }
@@ -218,6 +240,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.IdleTimeout < 0 {
 		return nil, errors.New("engine: IdleTimeout must be ≥ 0")
 	}
+	if cfg.CompactInterval < 0 {
+		return nil, errors.New("engine: CompactInterval must be ≥ 0")
+	}
 	probe, err := stream.New(cfg.Compressor, cfg.Tolerance)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
@@ -261,7 +286,63 @@ func New(cfg Config) (*Engine, error) {
 		e.wg.Add(1)
 		go sh.run()
 	}
+	if cfg.CompactInterval > 0 && e.persisting {
+		e.stopCompact = make(chan struct{})
+		e.wg.Add(1)
+		go e.compactLoop(cfg.CompactInterval)
+	}
 	return e, nil
+}
+
+// compactLoop periodically compacts the persister until Close. A failed
+// pass is latched like an asynchronous persist failure — the log's
+// published generation is unaffected, so the engine keeps running.
+func (e *Engine) compactLoop(every time.Duration) {
+	defer e.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := e.stores.CompactPersist(); err != nil {
+				e.compactErr.Store(&err)
+			} else {
+				e.compactErr.Store(nil)
+			}
+		case <-e.stopCompact:
+			return
+		}
+	}
+}
+
+// CompactErr returns the most recent background-compaction failure, nil
+// after a subsequent successful pass. Compaction failures do not affect
+// durability (the published generation is untouched), so they are
+// reported here and from Close rather than poisoning the Sync barrier.
+func (e *Engine) CompactErr() error {
+	if p := e.compactErr.Load(); p != nil {
+		return fmt.Errorf("engine: compact: %w", *p)
+	}
+	return nil
+}
+
+// CompactNow runs one synchronous compaction pass on the persister; a
+// no-op when there is no persister or it cannot compact. The engine
+// lock is NOT held across the pass — a compaction can take minutes and
+// holding even the read lock would let a pending Close writer stall
+// every Ingest/Sync behind it. In-flight passes are tracked in
+// compactWG (registered under the same lock as the closed check) so
+// Close can wait for them before closing the persister.
+func (e *Engine) CompactNow() error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	e.compactWG.Add(1)
+	e.mu.RUnlock()
+	defer e.compactWG.Done()
+	return e.stores.CompactPersist()
 }
 
 // shardIndex routes a device ID to a shard by FNV-1a (inlined to keep
@@ -412,15 +493,23 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	if e.stopCompact != nil {
+		close(e.stopCompact)
+	}
 	for _, sh := range e.shards {
 		close(sh.in)
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
-	if err := e.stores.ClosePersist(); err != nil {
-		return fmt.Errorf("engine: persister close: %w", err)
+	e.compactWG.Wait() // external CompactNow callers still in flight
+	// Join the persister's close error with any latched asynchronous
+	// persist failure: a failed ClosePersist must not mask the (often
+	// root-cause) append error latched earlier, and vice versa.
+	closeErr := e.stores.ClosePersist()
+	if closeErr != nil {
+		closeErr = fmt.Errorf("engine: persister close: %w", closeErr)
 	}
-	return e.loadPersistErr()
+	return errors.Join(closeErr, e.loadPersistErr(), e.CompactErr())
 }
 
 // run is the shard worker loop: single-goroutine ownership of the

@@ -304,3 +304,192 @@ func TestEnginePersistValidation(t *testing.T) {
 		t.Fatal("negative MaxTrailKeys accepted")
 	}
 }
+
+// closeFailPersister fails Append after n successes AND fails Close,
+// to prove neither error masks the other.
+type closeFailPersister struct {
+	failingPersister
+}
+
+var errPersistClose = errors.New("close boom")
+
+func (f *closeFailPersister) Close() error { return errPersistClose }
+
+// TestEngineCloseJoinsErrors is the swallowed-error bugfix test: when a
+// shard worker latched an async persist failure AND the persister's
+// Close fails, Engine.Close must report both.
+func TestEngineCloseJoinsErrors(t *testing.T) {
+	fp := &closeFailPersister{}
+	e, err := New(Config{Compressor: "fbqs", Tolerance: 10, Shards: 2, Persister: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		for i := 0; i < 3; i++ {
+			if err := e.IngestOne(fmt.Sprintf("d%d", d), core.Point{X: float64(i * 30), Y: float64(d), T: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	err = e.Close()
+	if !errors.Is(err, errPersistBoom) {
+		t.Fatalf("Close = %v, does not surface the latched append failure", err)
+	}
+	if !errors.Is(err, errPersistClose) {
+		t.Fatalf("Close = %v, does not surface the close failure", err)
+	}
+}
+
+// compactingPersister counts CompactNow calls (trajstore.Compacter).
+type compactingPersister struct {
+	compactions atomic.Int64
+	fail        atomic.Bool
+}
+
+var errCompactBoom = errors.New("compact boom")
+
+func (p *compactingPersister) Append(string, []trajstore.GeoKey) error { return nil }
+func (p *compactingPersister) Sync() error                             { return nil }
+func (p *compactingPersister) Close() error                            { return nil }
+func (p *compactingPersister) CompactNow() error {
+	p.compactions.Add(1)
+	if p.fail.Load() {
+		return errCompactBoom
+	}
+	return nil
+}
+
+// TestEngineCompactInterval checks the periodic compaction hook fires,
+// CompactNow works on demand, and a compaction failure is latched and
+// surfaced like any persister failure.
+func TestEngineCompactInterval(t *testing.T) {
+	p := &compactingPersister{}
+	e, err := New(Config{
+		Compressor:      "fbqs",
+		Tolerance:       10,
+		Shards:          1,
+		Persister:       p,
+		CompactInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.compactions.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.compactions.Load() == 0 {
+		t.Fatal("periodic compaction never fired")
+	}
+	if err := e.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	p.fail.Store(true)
+	for e.CompactErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.CompactErr(); !errors.Is(err, errCompactBoom) {
+		t.Fatalf("CompactErr = %v, want the compaction failure", err)
+	}
+	// A compaction failure is NOT a durability event: Sync stays clean.
+	if err := e.Sync(); err != nil {
+		t.Fatalf("Sync poisoned by a compaction failure: %v", err)
+	}
+	// It self-heals once a pass succeeds again...
+	p.fail.Store(false)
+	for e.CompactErr() != nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.CompactErr(); err != nil {
+		t.Fatalf("CompactErr did not clear after a successful pass: %v", err)
+	}
+	// ...and a still-standing one is reported by Close.
+	p.fail.Store(true)
+	for e.CompactErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.Close(); !errors.Is(err, errCompactBoom) {
+		t.Fatalf("Close = %v, want standing compaction failure", err)
+	}
+
+	// Validation of the new field.
+	if _, err := New(Config{Compressor: "fbqs", Tolerance: 10, CompactInterval: -time.Second}); err == nil {
+		t.Fatal("negative CompactInterval accepted")
+	}
+}
+
+// TestEngineDurableCompaction is the end-to-end periodic path: a real
+// segment log with a compaction policy, chunked sessions, and the
+// engine's own hook shrinking it.
+func TestEngineDurableCompaction(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := segmentlog.Open(dir, segmentlog.Options{
+		MaxSegmentBytes: 256,
+		Compaction:      &segmentlog.CompactionPolicy{MergeChunks: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Compressor:   "fbqs",
+		Tolerance:    5,
+		Shards:       1,
+		Persister:    lg,
+		MaxTrailKeys: 8, // force chunked records
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	track := deviceTrack(21, 3000)
+	for _, p := range track {
+		if err := e.IngestOne("long", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := lg.Stats()
+	if before.Segments < 2 {
+		t.Fatalf("no sealed segments to compact: %+v", before)
+	}
+	if err := e.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	after := lg.Stats()
+	if after.Records >= before.Records || after.Bytes >= before.Bytes {
+		t.Fatalf("compaction did not shrink the log: %+v → %+v", before, after)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged log still reproduces the reference compression.
+	lg2, err := segmentlog.Open(dir, segmentlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg2.Close()
+	recs, err := lg2.Query("long", 0, ^uint32(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectGeo(t, "fbqs", 5, track)
+	var got []trajstore.GeoKey
+	for i, r := range recs {
+		keys := r.Keys
+		if i > 0 && len(got) > 0 && len(keys) > 0 && keys[0] == got[len(got)-1] {
+			keys = keys[1:]
+		}
+		got = append(got, keys...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stitched %d keys after compaction, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key %d diverged after compaction: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -15,6 +15,15 @@ type Persister interface {
 	Close() error
 }
 
+// Compacter is optionally implemented by Persisters that can rewrite
+// their sealed storage smaller (merging, ageing — see
+// segmentlog.Compact). CompactNow runs one compaction pass with the
+// implementation's configured policy; it must be safe to call
+// concurrently with Append/Sync.
+type Compacter interface {
+	CompactNow() error
+}
+
 // persistHolder is the optional persister attachment shared by Store
 // wrappers; Sharded embeds one so the engine can thread durability
 // through the existing storage object without new plumbing types.
@@ -54,6 +63,15 @@ func (h *persistHolder) SyncPersist() error {
 		return nil
 	}
 	return p.Sync()
+}
+
+// CompactPersist runs one compaction pass on the attached persister; a
+// no-op when none is attached or it does not implement Compacter.
+func (h *persistHolder) CompactPersist() error {
+	if c, ok := h.Persister().(Compacter); ok {
+		return c.CompactNow()
+	}
+	return nil
 }
 
 // ClosePersist closes the attached persister, if any, and detaches it.

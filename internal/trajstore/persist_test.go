@@ -1,0 +1,83 @@
+package trajstore
+
+import (
+	"errors"
+	"testing"
+)
+
+// recPersister records calls; optionally a Compacter.
+type recPersister struct {
+	appends, syncs, closes, compacts int
+	err                              error
+}
+
+func (p *recPersister) Append(string, []GeoKey) error { p.appends++; return p.err }
+func (p *recPersister) Sync() error                   { p.syncs++; return p.err }
+func (p *recPersister) Close() error                  { p.closes++; return p.err }
+func (p *recPersister) CompactNow() error             { p.compacts++; return p.err }
+
+// plainPersister does not implement Compacter.
+type plainPersister struct{ recPersister }
+
+func (p *plainPersister) CompactNow() {} // wrong signature: not a Compacter
+
+func TestPersistHolder(t *testing.T) {
+	var h persistHolder
+
+	// Detached: every operation is a successful no-op.
+	if err := h.Persist("d", []GeoKey{{T: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SyncPersist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CompactPersist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := &recPersister{}
+	h.SetPersister(p)
+	if h.Persister() != Persister(p) {
+		t.Fatal("Persister() did not return the attachment")
+	}
+	if err := h.Persist("d", nil); err != nil || p.appends != 0 {
+		t.Fatalf("empty trajectory reached the persister (%d appends)", p.appends)
+	}
+	if err := h.Persist("d", []GeoKey{{T: 1}}); err != nil || p.appends != 1 {
+		t.Fatalf("Persist: err=%v appends=%d", err, p.appends)
+	}
+	if err := h.SyncPersist(); err != nil || p.syncs != 1 {
+		t.Fatalf("SyncPersist: err=%v syncs=%d", err, p.syncs)
+	}
+	if err := h.CompactPersist(); err != nil || p.compacts != 1 {
+		t.Fatalf("CompactPersist: err=%v compacts=%d", err, p.compacts)
+	}
+
+	// Errors propagate.
+	boom := errors.New("boom")
+	p.err = boom
+	if err := h.Persist("d", []GeoKey{{T: 2}}); !errors.Is(err, boom) {
+		t.Fatalf("Persist error lost: %v", err)
+	}
+	if err := h.CompactPersist(); !errors.Is(err, boom) {
+		t.Fatalf("CompactPersist error lost: %v", err)
+	}
+
+	// Close detaches.
+	p.err = nil
+	if err := h.ClosePersist(); err != nil || p.closes != 1 {
+		t.Fatalf("ClosePersist: err=%v closes=%d", err, p.closes)
+	}
+	if h.Persister() != nil {
+		t.Fatal("ClosePersist did not detach")
+	}
+
+	// A non-Compacter persister makes CompactPersist a no-op.
+	h.SetPersister(&plainPersister{})
+	if err := h.CompactPersist(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,646 @@
+// Compaction: the paper's Section V-F maintenance procedures applied to
+// the durable log. Closed (sealed) segment files are immutable, so a
+// compactor can re-read them wholesale, rewrite their contents smaller,
+// and atomically swap the result in via the MANIFEST — while appends
+// keep flowing into the active segment and queries keep reading either
+// generation.
+//
+// Three error-bounded rewrites run per device, in order:
+//
+//   - Chunk merging: the engine's MaxTrailKeys chunking splits one long
+//     session into consecutive records that overlap by exactly one key
+//     point (engine.persistTrail). Merging re-joins them, dropping the
+//     duplicated boundary keys — a pure dedup, the polyline is
+//     unchanged.
+//   - Overlap dedup: a record whose key points appear as a contiguous
+//     run inside another record of the same device (a re-ingested
+//     historical trajectory, an exact duplicate) is dropped — the
+//     paper's merge procedure specialized to the exact-overlap case the
+//     wire format can prove.
+//   - Ageing: records older than CompactionPolicy.MinAge are decoded
+//     and re-run through a registry compressor at CoarseTolerance
+//     (Liu et al.'s amnesic compression: fidelity decays with age, but
+//     stays error-bounded). The compressor emits a subset of the input
+//     points, so retained keys are bit-identical and every dropped key
+//     lies within CoarseTolerance of the aged polyline.
+//
+// Publish protocol (crash-safe at every step):
+//
+//  1. write new segment files under fresh sequence numbers — they are
+//     not in the MANIFEST yet, so a crash leaves garbage that the next
+//     Open removes;
+//  2. fsync the new files and the directory;
+//  3. write MANIFEST.tmp, fsync, rename over MANIFEST, fsync the
+//     directory — the atomic commit point;
+//  4. delete the superseded files — a crash in between leaves
+//     unreferenced old files that the next Open removes.
+//
+// Recovery therefore always lands on exactly one generation: the old one
+// before the rename, the new one after.
+package segmentlog
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/stream"
+	"github.com/trajcomp/bqs/internal/trajstore"
+)
+
+// CompactionPolicy parameterizes Compact.
+type CompactionPolicy struct {
+	// MinAge: only records whose newest key point (T1) is at least this
+	// old — relative to Now — are aged. Zero ages every sealed record
+	// (when CoarseTolerance enables ageing at all).
+	MinAge time.Duration
+	// CoarseTolerance, when > 0, enables ageing: qualifying records are
+	// re-compressed at this tolerance, in metres of the MetersPerDegree
+	// plane. Zero disables ageing.
+	CoarseTolerance float64
+	// MergeChunks enables re-joining consecutive same-device records
+	// that share their boundary key point.
+	MergeChunks bool
+	// NoDedup disables the overlap-dedup pass. Dedup compares each of a
+	// device's records against the kept set — time-window prefiltered
+	// but quadratic per device in the worst case — so a deployment with
+	// huge per-device record counts and no duplicated history can turn
+	// it off.
+	NoDedup bool
+	// AgeCompressor names the registry compressor used for ageing;
+	// empty means "fbqs".
+	AgeCompressor string
+	// MetersPerDegree maps wire-format degrees to the metric plane the
+	// ageing compressor runs in. Default 1e5, matching the engine.
+	MetersPerDegree float64
+	// Now substitutes the ageing clock; nil means time.Now. Tests use
+	// it to age deterministically.
+	Now func() time.Time
+}
+
+// CompactionResult reports what one Compact call did.
+type CompactionResult struct {
+	SegmentsIn  int    // sealed segments consumed
+	SegmentsOut int    // segments written in their place
+	RecordsIn   int    // records read from sealed segments
+	RecordsOut  int    // records written
+	BytesIn     int64  // on-disk bytes of the consumed segments, headers included
+	BytesOut    int64  // on-disk bytes of the written segments
+	Merged      int    // records removed by chunk-merging
+	Deduped     int    // records dropped as fully overlapped
+	Aged        int    // records re-compressed at CoarseTolerance
+	Gen         uint64 // generation published (0 when there was nothing to do)
+}
+
+// compactRecord is one logical record flowing through the rewrite.
+type compactRecord struct {
+	device string
+	t0, t1 uint32
+	keys   []trajstore.GeoKey
+}
+
+// fire invokes the test-only crash-injection hook.
+func (l *Log) fire(step string) error {
+	if l.compactHook != nil {
+		return l.compactHook(step)
+	}
+	return nil
+}
+
+// CompactNow runs Compact with the policy configured in
+// Options.Compaction; a no-op when none was configured. It is the
+// entry point for the engine's periodic compaction hook
+// (trajstore.Compacter).
+func (l *Log) CompactNow() error {
+	p := l.opts.Compaction
+	if p == nil {
+		return nil
+	}
+	_, err := l.Compact(*p)
+	return err
+}
+
+// Compact rewrites every sealed segment (all but the active one) through
+// the merge/dedup/ageing pipeline and atomically publishes the result as
+// a new manifest generation. Appends and queries proceed concurrently;
+// compactions serialize with each other. On any failure — including a
+// sealed record that no longer validates (bit rot since open) — the
+// published generation is untouched; partially written output files are
+// swept by the next Open.
+//
+// Memory: the pass decodes every sealed record into memory at once
+// (merging needs a device's consecutive records side by side), so peak
+// usage is proportional to the sealed data. Fine for the multi-GB logs
+// the default 64 MiB rotation produces over a long run; a streaming
+// per-device rewrite for truly huge logs is a known follow-up (see
+// ROADMAP).
+func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
+	var res CompactionResult
+	if p.MetersPerDegree == 0 {
+		p.MetersPerDegree = 1e5
+	}
+	if !(p.MetersPerDegree > 0) || math.IsInf(p.MetersPerDegree, 0) {
+		return res, fmt.Errorf("segmentlog: MetersPerDegree must be a finite positive number")
+	}
+	if math.IsNaN(p.CoarseTolerance) || p.CoarseTolerance < 0 {
+		return res, fmt.Errorf("segmentlog: CoarseTolerance must be ≥ 0")
+	}
+	if p.AgeCompressor == "" {
+		p.AgeCompressor = "fbqs"
+	}
+	if p.CoarseTolerance > 0 {
+		// Validate the (name, tolerance) pair up front so a bad policy
+		// fails before any IO.
+		if _, err := stream.New(p.AgeCompressor, p.CoarseTolerance); err != nil {
+			return res, fmt.Errorf("segmentlog: age compressor: %w", err)
+		}
+	}
+	now := time.Now
+	if p.Now != nil {
+		now = p.Now
+	}
+
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+
+	// Snapshot the sealed segments. They are immutable from here on:
+	// appends only touch the active segment, rotation only adds files,
+	// and competing compactions are excluded by compactMu.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return res, ErrClosed
+	}
+	if l.ro {
+		l.mu.Unlock()
+		return res, ErrReadOnly
+	}
+	sealed := append([]segmentFile(nil), l.segs[:len(l.segs)-1]...)
+	genAtSnap := l.gen
+	l.mu.Unlock()
+	if len(sealed) == 0 {
+		return res, nil
+	}
+
+	// Memo fast path: if the previous pass (same policy) already saw
+	// this exact generation and no record has aged into eligibility
+	// since, this pass is guaranteed to change nothing — skip even the
+	// read+decode work, so a periodic tick on a quiet log is O(1).
+	cutoff := ageCutoff(now(), p.MinAge)
+	m := &l.lastCompact
+	if m.valid && m.gen == genAtSnap &&
+		m.policy.CoarseTolerance == p.CoarseTolerance &&
+		m.policy.MergeChunks == p.MergeChunks &&
+		m.policy.NoDedup == p.NoDedup &&
+		m.policy.AgeCompressor == p.AgeCompressor &&
+		m.policy.MetersPerDegree == p.MetersPerDegree &&
+		(p.CoarseTolerance == 0 || cutoff < m.nextAgeT1) {
+		return res, nil
+	}
+
+	// Read every sealed record, grouped per device in append order.
+	perDev := make(map[string][]compactRecord)
+	for _, sf := range sealed {
+		res.SegmentsIn++
+		res.BytesIn += sf.size
+		if err := readSealed(sf, perDev, &res.RecordsIn); err != nil {
+			return res, err
+		}
+	}
+	if err := l.fire("scan"); err != nil {
+		return res, err
+	}
+
+	// Rewrite per device. Device order is sorted for deterministic
+	// output; per-device record order is preserved (Query contract).
+	// nextAgeT1 tracks the earliest not-yet-eligible record timestamp
+	// for the memo above.
+	nextAgeT1 := uint32(math.MaxUint32)
+	devices := make([]string, 0, len(perDev))
+	for dev := range perDev {
+		devices = append(devices, dev)
+	}
+	sort.Strings(devices)
+	var out []compactRecord
+	for _, dev := range devices {
+		recs := perDev[dev]
+		if p.MergeChunks {
+			var merged int
+			recs, merged = mergeChunks(recs)
+			res.Merged += merged
+		}
+		if !p.NoDedup {
+			var deduped int
+			recs, deduped = dedupContained(recs)
+			res.Deduped += deduped
+		}
+		if p.CoarseTolerance > 0 {
+			for i := range recs {
+				if recs[i].t1 > cutoff && recs[i].t1 < nextAgeT1 {
+					nextAgeT1 = recs[i].t1
+				}
+				aged, err := ageKeys(recs[i].keys, recs[i].t1, cutoff, p)
+				if err != nil {
+					return res, err
+				}
+				if aged != nil {
+					recs[i].keys = aged
+					res.Aged++
+				}
+			}
+		}
+		out = append(out, recs...)
+	}
+
+	// Nothing changed at the record level: skip the rewrite entirely so
+	// a periodic compaction tick on an already-compacted (or
+	// incompressible) log costs one read pass, not a full-log rewrite,
+	// fsync storm and generation bump every interval. (RecordsIn == 0
+	// with sealed segments present still rewrites, to drop the empty
+	// files.)
+	if res.Merged == 0 && res.Deduped == 0 && res.Aged == 0 && res.RecordsIn > 0 {
+		res.RecordsOut = res.RecordsIn
+		res.SegmentsOut = res.SegmentsIn
+		res.BytesOut = res.BytesIn
+		l.lastCompact.valid = true
+		l.lastCompact.gen = genAtSnap // a rotation since the snapshot makes this miss: conservative
+		l.lastCompact.policy = p
+		l.lastCompact.nextAgeT1 = nextAgeT1
+		return res, nil
+	}
+
+	// Write the replacement segments (unreferenced until the manifest
+	// rename below).
+	newSegs, newRefs, err := l.writeCompacted(out)
+	if err != nil {
+		return res, err
+	}
+	res.RecordsOut = len(out)
+	res.SegmentsOut = len(newSegs)
+	for _, s := range newSegs {
+		res.BytesOut += s.size
+	}
+	if err := l.fire("segments"); err != nil {
+		return res, err
+	}
+
+	// Publish: swap the sealed prefix for the new segments in one
+	// manifest generation, then rebuild the in-memory view to match.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return res, ErrClosed
+	}
+	S := len(sealed)
+	tail := l.segs[S:] // active segment + any sealed during compaction
+	tailOnlyActive := len(tail) == 1
+	names := make([]string, 0, len(newSegs)+len(tail))
+	for _, s := range newSegs {
+		names = append(names, filepath.Base(s.path))
+	}
+	for _, s := range tail {
+		names = append(names, filepath.Base(s.path))
+	}
+	if err := writeManifest(l.dir, manifest{Gen: l.gen + 1, Segs: names}); err != nil {
+		l.mu.Unlock()
+		return res, err
+	}
+	l.gen++
+	res.Gen = l.gen
+
+	shift := len(newSegs) - S
+	newIndex := make(map[string][]recordRef, len(l.index))
+	for dev, refs := range newRefs {
+		newIndex[dev] = refs
+	}
+	records := 0
+	for dev, refs := range l.index {
+		for _, r := range refs {
+			if r.seg >= S {
+				r.seg += shift
+				newIndex[dev] = append(newIndex[dev], r)
+			}
+		}
+	}
+	l.segs = append(append([]segmentFile(nil), newSegs...), tail...)
+	l.index = newIndex
+	var bytes int64
+	for i, s := range l.segs {
+		if i == len(l.segs)-1 {
+			bytes += l.off // active logical size includes buffered appends
+		} else {
+			bytes += s.size
+		}
+	}
+	for _, refs := range newIndex {
+		records += len(refs)
+	}
+	l.stats.Records = records
+	l.stats.Bytes = bytes
+	l.mu.Unlock()
+
+	if err := l.fire("manifest"); err != nil {
+		return res, err
+	}
+
+	// Delete the superseded generation. Failures (and crashes) here are
+	// benign: the files are unreferenced and the next Open sweeps them.
+	for i, sf := range sealed {
+		if err := l.fire(fmt.Sprintf("delete:%d", i)); err != nil {
+			return res, err
+		}
+		if err := os.Remove(sf.path); err != nil && !os.IsNotExist(err) {
+			return res, fmt.Errorf("segmentlog: removing superseded %s: %w", sf.path, err)
+		}
+	}
+	if err := syncDir(l.dir); err != nil {
+		return res, err
+	}
+	// The published generation is now the compactor's own output; if no
+	// rotation sealed fresh segments mid-pass, the next same-policy tick
+	// can skip until new data (or a newly eligible record) appears.
+	if tailOnlyActive {
+		l.lastCompact.valid = true
+		l.lastCompact.gen = res.Gen
+		l.lastCompact.policy = p
+		l.lastCompact.nextAgeT1 = nextAgeT1
+	} else {
+		l.lastCompact.valid = false
+	}
+	return res, nil
+}
+
+// readSealed decodes every record of one sealed segment into perDev.
+// Every byte up to sf.size was a valid record when Open scanned the
+// file, so anything that fails to parse now is bit rot — readSealed
+// must error (aborting the compaction and leaving the old generation
+// untouched) rather than stop early: treating a mid-file failure as
+// end-of-data would silently drop every later record and then delete
+// their only copy.
+func readSealed(sf segmentFile, perDev map[string][]compactRecord, count *int) error {
+	data, err := os.ReadFile(sf.path)
+	if err != nil {
+		return fmt.Errorf("segmentlog: compact: %w", err)
+	}
+	if int64(len(data)) < sf.size {
+		return fmt.Errorf("%w: %s shrank below its indexed size", ErrCorrupt, sf.path)
+	}
+	data = data[:sf.size] // ignore bytes past the recovered size
+	if len(data) < headerSize {
+		return nil
+	}
+	pos := headerSize
+	for pos < len(data) {
+		body, _, next, ok := nextRecord(data, pos)
+		if !ok {
+			return fmt.Errorf("%w: %s: record at offset %d no longer validates (bit rot since open?)", ErrCorrupt, sf.path, pos)
+		}
+		dev, t0, t1, payload, err := splitBody(body)
+		if err != nil {
+			return fmt.Errorf("%w: %s: record at offset %d unreadable: %v", ErrCorrupt, sf.path, pos, err)
+		}
+		keys, err := trajstore.DeltaDecode(payload)
+		if err != nil {
+			return fmt.Errorf("segmentlog: compact: decoding sealed record: %w", err)
+		}
+		perDev[dev] = append(perDev[dev], compactRecord{device: dev, t0: t0, t1: t1, keys: keys})
+		*count++
+		pos = next
+	}
+	return nil
+}
+
+// mergeChunks re-joins consecutive records that overlap by exactly one
+// key point (the engine's chunking invariant: each chunk restarts from
+// the previous chunk's last key). Merging stops before a record would
+// exceed the record-size cap.
+func mergeChunks(recs []compactRecord) (out []compactRecord, merged int) {
+	// Conservative per-key bound for the delta-varint encoding: ≤ 5
+	// bytes per coordinate delta and timestamp delta, plus slack for
+	// the absolute first key and the record header.
+	const perKey, slack = 16, 96
+	out = recs[:0]
+	for _, r := range recs {
+		if len(out) > 0 {
+			prev := &out[len(out)-1]
+			if len(prev.keys) > 0 && len(r.keys) > 0 &&
+				prev.keys[len(prev.keys)-1] == r.keys[0] &&
+				(len(prev.keys)+len(r.keys))*perKey+slack+len(r.device) <= MaxRecordBytes {
+				prev.keys = append(prev.keys, r.keys[1:]...)
+				if r.t0 < prev.t0 {
+					prev.t0 = r.t0
+				}
+				if r.t1 > prev.t1 {
+					prev.t1 = r.t1
+				}
+				merged++
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out, merged
+}
+
+// dedupContained drops records fully overlapped by another record of the
+// same device: the record's key points appear as a contiguous run inside
+// the other's. Exact duplicates are the len-equal special case. When an
+// already-kept record is contained in a newer one, the kept record is
+// replaced instead.
+func dedupContained(recs []compactRecord) (out []compactRecord, dropped int) {
+	var kept []compactRecord
+	for _, r := range recs {
+		contained := false
+		filtered := kept[:0]
+		for _, k := range kept {
+			switch {
+			case !contained && k.t0 <= r.t0 && r.t1 <= k.t1 && containsRun(k.keys, r.keys):
+				contained = true
+				filtered = append(filtered, k)
+			case r.t0 <= k.t0 && k.t1 <= r.t1 && containsRun(r.keys, k.keys):
+				dropped++ // k is swallowed by the newer r
+			default:
+				filtered = append(filtered, k)
+			}
+		}
+		kept = filtered
+		if contained {
+			dropped++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	return kept, dropped
+}
+
+// containsRun reports whether needle appears as a contiguous subsequence
+// of hay.
+func containsRun(hay, needle []trajstore.GeoKey) bool {
+	if len(needle) == 0 || len(needle) > len(hay) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		if hay[i] != needle[0] {
+			continue
+		}
+		match := true
+		for j := 1; j < len(needle); j++ {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// ageCutoff converts (now, MinAge) to a uint32 seconds threshold:
+// records whose t1 ≤ cutoff qualify for ageing.
+func ageCutoff(now time.Time, minAge time.Duration) uint32 {
+	c := now.Unix() - int64(minAge/time.Second)
+	if c < 0 {
+		return 0
+	}
+	if c > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(c)
+}
+
+// ageKeys re-compresses one record's key points at the coarse tolerance.
+// It returns nil (and no error) when the record does not qualify — too
+// young, too short, or the compressor kept every key. The compressors
+// emit a subset of their input points, so each retained key is returned
+// bit-identical to the original (preserving the wire bytes exactly);
+// every dropped key is within CoarseTolerance of the aged polyline, the
+// bound the compressor guarantees for all input points.
+func ageKeys(keys []trajstore.GeoKey, t1, cutoff uint32, p CompactionPolicy) ([]trajstore.GeoKey, error) {
+	if t1 > cutoff || len(keys) <= 2 {
+		return nil, nil
+	}
+	comp, err := stream.New(p.AgeCompressor, p.CoarseTolerance)
+	if err != nil {
+		return nil, fmt.Errorf("segmentlog: age compressor: %w", err)
+	}
+	m := p.MetersPerDegree
+	pts := make([]core.Point, len(keys))
+	for i, k := range keys {
+		pts[i] = core.Point{X: k.Lon * m, Y: k.Lat * m, T: float64(k.T)}
+	}
+	kps := stream.Compress(comp, pts)
+	if len(kps) >= len(keys) {
+		return nil, nil // nothing gained
+	}
+	out := make([]trajstore.GeoKey, 0, len(kps))
+	j := 0
+	for _, kp := range kps {
+		// Key points are emitted in input order; advance to the source
+		// point and keep its exact original GeoKey.
+		matched := false
+		for j < len(pts) {
+			if pts[j] == kp {
+				out = append(out, keys[j])
+				j++
+				matched = true
+				break
+			}
+			j++
+		}
+		if !matched {
+			// Defensive: a compressor that synthesizes points (none of
+			// the built-ins do) still round-trips through the plane.
+			t := kp.T
+			if t < 0 {
+				t = 0
+			}
+			out = append(out, trajstore.GeoKey{Lat: kp.Y / m, Lon: kp.X / m, T: uint32(t)})
+		}
+	}
+	if len(out) < 2 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// writeCompacted packs records into fresh segment files (respecting the
+// rotation threshold), fsyncs them, and returns the files plus the
+// per-device index refs (seg indices relative to the returned slice).
+func (l *Log) writeCompacted(recs []compactRecord) ([]segmentFile, map[string][]recordRef, error) {
+	var segs []segmentFile
+	refs := make(map[string][]recordRef)
+	var f *os.File
+	var off int64
+	var buf []byte
+	closeCurrent := func() error {
+		if f == nil {
+			return nil
+		}
+		segs[len(segs)-1].size = off
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("segmentlog: compact: %w", err)
+		}
+		err := f.Close()
+		f = nil
+		return err
+	}
+	for _, r := range recs {
+		var err error
+		buf, err = encodeRecord(buf[:0], r.device, r.t0, r.t1, r.keys)
+		if err != nil {
+			closeCurrent()
+			return nil, nil, err
+		}
+		if f != nil && off > headerSize && off+int64(len(buf)) > l.opts.MaxSegmentBytes {
+			if err := closeCurrent(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if f == nil {
+			l.mu.Lock()
+			seq := l.nextSeq
+			l.nextSeq++
+			l.mu.Unlock()
+			path := filepath.Join(l.dir, segName(seq))
+			nf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+			if err != nil {
+				return nil, nil, fmt.Errorf("segmentlog: compact: %w", err)
+			}
+			if err := writeHeader(nf); err != nil {
+				nf.Close()
+				return nil, nil, err
+			}
+			f = nf
+			off = headerSize
+			segs = append(segs, segmentFile{path: path, size: headerSize})
+		}
+		if _, err := f.Write(buf); err != nil {
+			closeCurrent()
+			return nil, nil, fmt.Errorf("segmentlog: compact: %w", err)
+		}
+		refs[r.device] = append(refs[r.device], recordRef{
+			seg:     len(segs) - 1,
+			off:     off + recordHeaderSize,
+			bodyLen: len(buf) - recordHeaderSize,
+			t0:      r.t0,
+			t1:      r.t1,
+		})
+		off += int64(len(buf))
+	}
+	if err := closeCurrent(); err != nil {
+		return nil, nil, err
+	}
+	if len(segs) > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return nil, nil, err
+		}
+	}
+	return segs, refs, nil
+}

@@ -1,0 +1,649 @@
+package segmentlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/geom"
+	"github.com/trajcomp/bqs/internal/trajstore"
+)
+
+// chunkKeys splits keys into engine-style chunks of at most n keys that
+// overlap by exactly one key point (persistTrail's invariant).
+func chunkKeys(keys []trajstore.GeoKey, n int) [][]trajstore.GeoKey {
+	var out [][]trajstore.GeoKey
+	for lo := 0; lo < len(keys); {
+		hi := lo + n
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		out = append(out, keys[lo:hi])
+		if hi == len(keys) {
+			break
+		}
+		lo = hi - 1 // next chunk restarts from this chunk's last key
+	}
+	return out
+}
+
+// stitch re-joins chunked records by dropping each subsequent record's
+// overlap key.
+func stitch(recs []Record) []trajstore.GeoKey {
+	var out []trajstore.GeoKey
+	for i, r := range recs {
+		keys := r.Keys
+		if i > 0 && len(out) > 0 && len(keys) > 0 && keys[0] == out[len(out)-1] {
+			keys = keys[1:]
+		}
+		out = append(out, keys...)
+	}
+	return out
+}
+
+// TestCompactMergeChunks: chunked records of one device merge back into
+// fewer records with the identical polyline, smaller on disk, and the
+// result survives a reopen.
+func TestCompactMergeChunks(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 256})
+	keys := genKeys(3, 120)
+	for _, chunk := range chunkKeys(keys, 10) {
+		if err := l.Append("dev", chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats()
+	if before.Segments < 3 {
+		t.Fatalf("workload too small to seal segments: %+v", before)
+	}
+
+	res, err := l.Compact(CompactionPolicy{MergeChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged == 0 {
+		t.Fatalf("no chunks merged: %+v", res)
+	}
+	if res.BytesOut >= res.BytesIn {
+		t.Fatalf("compaction grew sealed bytes: %+v", res)
+	}
+	after := l.Stats()
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("disk bytes did not shrink: %d → %d", before.Bytes, after.Bytes)
+	}
+	if got := stitch(queryAll(t, l, "dev")); !reflect.DeepEqual(got, keys) {
+		t.Fatalf("stitched polyline changed after compaction:\nwant %v\ngot  %v", keys, got)
+	}
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{MaxSegmentBytes: 256})
+	defer l2.Close()
+	if got := stitch(queryAll(t, l2, "dev")); !reflect.DeepEqual(got, keys) {
+		t.Fatal("compacted log differs after reopen")
+	}
+	if s := l2.Stats(); s.Truncated != 0 {
+		t.Fatalf("reopen truncated a compacted log: %+v", s)
+	}
+}
+
+// TestCompactDedup: exact duplicates and fully-contained records of the
+// same device are dropped; partial overlaps and other devices survive.
+func TestCompactDedup(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 256})
+	keys := genKeys(5, 40)
+	appendAll := func(dev string, trajs ...[]trajstore.GeoKey) {
+		for _, tr := range trajs {
+			if err := l.Append(dev, tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	appendAll("dup", keys, keys)                           // exact duplicate
+	appendAll("sub", keys, keys[10:30])                    // contained run
+	appendAll("other", genKeys(9, 12))                     // untouched bystander
+	appendAll("rev", keys[5:15], keys)                     // earlier record swallowed by later
+	if err := l.Append("dup", genKeys(7, 8)); err != nil { // force a final rotation point
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := l.Compact(CompactionPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deduped < 3 {
+		t.Fatalf("expected ≥ 3 deduped records, got %+v", res)
+	}
+	if l.Dir() != dir {
+		t.Fatalf("Dir() = %q", l.Dir())
+	}
+	if devs := l.Devices(); len(devs) != 4 {
+		t.Fatalf("Devices() after dedup = %v", devs)
+	}
+	if n, _, _, ok := l.DeviceSpan("dup"); !ok || n != 2 {
+		t.Fatalf("DeviceSpan(dup) = %d, %v", n, ok)
+	}
+	for dev, want := range map[string][][]trajstore.GeoKey{
+		"dup":   {keys, genKeys(7, 8)},
+		"sub":   {keys},
+		"other": {genKeys(9, 12)},
+		"rev":   {keys},
+	} {
+		recs := queryAll(t, l, dev)
+		if len(recs) != len(want) {
+			t.Fatalf("%s: %d records after dedup, want %d", dev, len(recs), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(recs[i].Keys, want[i]) {
+				t.Fatalf("%s record %d corrupted by dedup", dev, i)
+			}
+		}
+	}
+	l.Close()
+}
+
+// TestCompactAgeingBound is the error-bound acceptance test: every aged
+// record's retained keys are a subset of the originals, and every
+// dropped original key stays within CoarseTolerance of the aged
+// polyline (measured in the same metric plane the compressor ran in).
+// Records younger than MinAge are untouched.
+func TestCompactAgeingBound(t *testing.T) {
+	const (
+		mpd     = 1e5  // metres per degree
+		coarse  = 50.0 // metres
+		nowSec  = 1_000_000
+		oldT    = 100_000 // well past MinAge
+		youngT  = 999_000 // inside MinAge
+		nPoints = 400
+	)
+	// A wiggly but 1e-7°-exact trajectory: a sine-like walk where many
+	// points are within 50 m of the overall path, so ageing has slack to
+	// remove.
+	mk := func(baseT uint32) []trajstore.GeoKey {
+		keys := make([]trajstore.GeoKey, nPoints)
+		for i := range keys {
+			lat := int64(i) * 30      // 3 µ° steps ≈ 0.3 m northing
+			lon := int64(i%7-3) * 100 // ±300 µ° wiggle ≈ ±30 m easting
+			keys[i] = trajstore.GeoKey{
+				Lat: float64(lat) / 1e7,
+				Lon: float64(lon) / 1e7,
+				T:   baseT + uint32(i),
+			}
+		}
+		return keys
+	}
+	oldKeys, youngKeys := mk(oldT), mk(youngT)
+
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 2048})
+	if err := l.Append("old", oldKeys); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("young", youngKeys); err != nil {
+		t.Fatal(err)
+	}
+	// Roll the active segment over so both records are sealed.
+	for i := 0; i < 4; i++ {
+		if err := l.Append("filler", genKeys(20+i, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := l.Compact(CompactionPolicy{
+		MinAge:          100_000 * time.Second, // cutoff = 900 000
+		CoarseTolerance: coarse,
+		MetersPerDegree: mpd,
+		Now:             func() time.Time { return time.Unix(nowSec, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aged == 0 {
+		t.Fatalf("nothing aged: %+v", res)
+	}
+
+	oldRecs := queryAll(t, l, "old")
+	if len(oldRecs) != 1 {
+		t.Fatalf("old device has %d records", len(oldRecs))
+	}
+	aged := oldRecs[0].Keys
+	if len(aged) >= len(oldKeys) {
+		t.Fatalf("ageing kept all %d keys", len(aged))
+	}
+	// Retained keys are a subset (bit-identical) of the originals, in order.
+	j := 0
+	for _, k := range aged {
+		for j < len(oldKeys) && oldKeys[j] != k {
+			j++
+		}
+		if j == len(oldKeys) {
+			t.Fatalf("aged key %+v is not an original key point", k)
+		}
+		j++
+	}
+	// Error bound: every original key is within coarse of the aged
+	// polyline in the metric plane.
+	toVec := func(k trajstore.GeoKey) geom.Vec { return geom.V(k.Lon*mpd, k.Lat*mpd) }
+	for _, k := range oldKeys {
+		p := toVec(k)
+		best := p.Dist(toVec(aged[0]))
+		for i := 0; i+1 < len(aged); i++ {
+			if d := geom.DistToSegment(p, toVec(aged[i]), toVec(aged[i+1])); d < best {
+				best = d
+			}
+		}
+		if best > coarse+1e-6 {
+			t.Fatalf("original key %+v deviates %.3f m from aged polyline (bound %g)", k, best, coarse)
+		}
+	}
+	// Aged record keeps its original indexed time span.
+	if oldRecs[0].T0 != oldKeys[0].T || oldRecs[0].T1 != oldKeys[len(oldKeys)-1].T {
+		t.Fatalf("aged record time bounds changed: [%d,%d]", oldRecs[0].T0, oldRecs[0].T1)
+	}
+
+	// The young record is byte-identical.
+	youngRecs := queryAll(t, l, "young")
+	if len(youngRecs) != 1 || !reflect.DeepEqual(youngRecs[0].Keys, youngKeys) {
+		t.Fatal("record younger than MinAge was modified")
+	}
+	l.Close()
+}
+
+// compactionFixture builds a deterministic chunked multi-device log and
+// returns the directory plus the expected per-device stitched polylines.
+func compactionFixture(t *testing.T) (string, map[string][]trajstore.GeoKey) {
+	t.Helper()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+	want := map[string][]trajstore.GeoKey{}
+	for d := 0; d < 3; d++ {
+		dev := fmt.Sprintf("dev-%d", d)
+		keys := genKeys(d*11+1, 90)
+		want[dev] = keys
+		for _, chunk := range chunkKeys(keys, 8) {
+			if err := l.Append(dev, chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.Segments < 3 {
+		t.Fatalf("fixture sealed too few segments: %+v", s)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, want
+}
+
+// verifyFixture checks a reopened log holds exactly the fixture content.
+func verifyFixture(t *testing.T, dir string, want map[string][]trajstore.GeoKey, ctx string) {
+	t.Helper()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+	defer l.Close()
+	for dev, keys := range want {
+		if got := stitch(queryAll(t, l, dev)); !reflect.DeepEqual(got, keys) {
+			t.Fatalf("%s: %s polyline diverged after recovery", ctx, dev)
+		}
+	}
+	// Recovered log accepts appends and they survive another cycle.
+	extra := genKeys(77, 9)
+	if err := l.Append("post", extra); err != nil {
+		t.Fatalf("%s: append after recovery: %v", ctx, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("%s: close: %v", ctx, err)
+	}
+	l2 := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+	defer l2.Close()
+	if recs := queryAll(t, l2, "post"); len(recs) != 1 || !reflect.DeepEqual(recs[0].Keys, extra) {
+		t.Fatalf("%s: post-recovery append lost", ctx)
+	}
+}
+
+// TestCompactCrashAtEveryStep kills compaction at each protocol step and
+// verifies reopen recovers exactly one consistent generation with every
+// committed record intact: the old generation before the MANIFEST
+// rename, the new one after.
+func TestCompactCrashAtEveryStep(t *testing.T) {
+	// Discover the step sequence with a probe run.
+	probeDir, _ := compactionFixture(t)
+	probe := mustOpen(t, probeDir, Options{MaxSegmentBytes: 512})
+	var steps []string
+	probe.compactHook = func(step string) error {
+		steps = append(steps, step)
+		return nil
+	}
+	if _, err := probe.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	if len(steps) < 4 {
+		t.Fatalf("expected several compaction steps, got %v", steps)
+	}
+
+	errBoom := fmt.Errorf("injected crash")
+	for _, crashAt := range steps {
+		t.Run(strings.ReplaceAll(crashAt, ":", "_"), func(t *testing.T) {
+			dir, want := compactionFixture(t)
+			l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+			l.compactHook = func(step string) error {
+				if step == crashAt {
+					return errBoom
+				}
+				return nil
+			}
+			if _, err := l.Compact(CompactionPolicy{MergeChunks: true}); err != errBoom {
+				t.Fatalf("Compact = %v, want injected crash", err)
+			}
+			// "Crash": drop the process state without a clean close (a
+			// clean Close would flush, which a real crash wouldn't; the
+			// fixture synced, so nothing is pending anyway).
+			l.Close()
+			verifyFixture(t, dir, want, crashAt)
+		})
+	}
+}
+
+// TestCompactConcurrentQuery runs merge-only compactions while readers
+// hammer Query and a writer appends — the -race acceptance test. Every
+// query must observe the full, correct polyline regardless of which
+// generation serves it.
+func TestCompactConcurrentQuery(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+	defer l.Close()
+	keys := genKeys(4, 200)
+	for _, chunk := range chunkKeys(keys, 8) {
+		if err := l.Append("dev", chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recs, err := l.Query("dev", 0, ^uint32(0))
+				if err != nil {
+					t.Errorf("Query during compaction: %v", err)
+					return
+				}
+				if got := stitch(recs); !reflect.DeepEqual(got, keys) {
+					t.Errorf("query observed a broken polyline (%d keys)", len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if err := l.Append("writer", genKeys(100+i, 12)); err != nil {
+				t.Errorf("Append during compaction: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
+			t.Fatalf("Compact %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if recs := queryAll(t, l, "writer"); len(recs) != 30 {
+		t.Fatalf("writer records lost during compaction: %d", len(recs))
+	}
+}
+
+// TestCompactReadOnlyRefused: a read-only handle cannot compact.
+func TestCompactReadOnlyRefused(t *testing.T) {
+	dir, _ := compactionFixture(t)
+	l := mustOpen(t, dir, Options{ReadOnly: true})
+	defer l.Close()
+	if _, err := l.Compact(CompactionPolicy{MergeChunks: true}); err != ErrReadOnly {
+		t.Fatalf("Compact on read-only log = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestCompactNowPolicy: CompactNow applies Options.Compaction and is a
+// no-op without one.
+func TestCompactNowPolicy(t *testing.T) {
+	dir, want := compactionFixture(t)
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+	if err := l.CompactNow(); err != nil { // no policy: no-op
+		t.Fatal(err)
+	}
+	g0 := l.Stats().Gen
+	l.Close()
+
+	l = mustOpen(t, dir, Options{
+		MaxSegmentBytes: 512,
+		Compaction:      &CompactionPolicy{MergeChunks: true},
+	})
+	defer l.Close()
+	if err := l.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if g := l.Stats().Gen; g <= g0 {
+		t.Fatalf("CompactNow did not publish a new generation (%d → %d)", g0, g)
+	}
+	for dev, keys := range want {
+		if got := stitch(queryAll(t, l, dev)); !reflect.DeepEqual(got, keys) {
+			t.Fatalf("%s polyline diverged after CompactNow", dev)
+		}
+	}
+}
+
+// TestManifestRoundTrip pins format(parse) as the identity on the
+// canonical form.
+func TestManifestRoundTrip(t *testing.T) {
+	m := manifest{Gen: 42, Segs: []string{"seg-00000009.log", "seg-00000003.log"}}
+	got, err := parseManifest(formatManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip changed manifest: %+v → %+v", m, got)
+	}
+	// Corruption of any byte must be detected.
+	data := formatManifest(m)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if parsed, err := parseManifest(mut); err == nil && !reflect.DeepEqual(parsed, m) {
+			t.Fatalf("flipping byte %d yielded a different valid manifest: %+v", i, parsed)
+		}
+	}
+}
+
+// TestManifestLegacyAdopt: a pre-manifest directory is adopted on open,
+// and afterwards unreferenced segment files are swept.
+func TestManifestLegacyAdopt(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 128})
+	for i := 0; i < 8; i++ {
+		if err := l.Append("dev", genKeys(i+1, 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a legacy directory: no MANIFEST.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{MaxSegmentBytes: 256})
+	if recs := queryAll(t, l2, "dev"); len(recs) != 8 {
+		t.Fatalf("legacy adopt lost records: %d", len(recs))
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("open did not adopt the legacy directory: %v", err)
+	}
+
+	// An unreferenced (crashed-compaction) segment file is swept.
+	stray := filepath.Join(dir, segName(900))
+	if err := os.WriteFile(stray, []byte("BQSLOG\x01\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, manifestTmpName)
+	if err := os.WriteFile(tmp, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3 := mustOpen(t, dir, Options{MaxSegmentBytes: 256})
+	defer l3.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("unreferenced segment not swept: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale MANIFEST.tmp not swept: %v", err)
+	}
+	if recs := queryAll(t, l3, "dev"); len(recs) != 8 {
+		t.Fatalf("sweep lost records: %d", len(recs))
+	}
+}
+
+// TestManifestCorruptRejected: a damaged manifest must fail the open
+// loudly instead of silently reordering the log.
+func TestManifestCorruptRejected(t *testing.T) {
+	dir, _ := compactionFixture(t)
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+// TestCompactBitRotAborts: a sealed record that no longer validates
+// (bit rot after Open) must abort the compaction with ErrCorrupt and
+// leave the published generation — and every still-readable record —
+// untouched, never silently drop the records after it and delete their
+// only copy.
+func TestCompactBitRotAborts(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 128})
+	for i := 0; i < 8; i++ {
+		if err := l.Append("dev", genKeys(i+1, 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats()
+	if before.Segments < 3 {
+		t.Fatalf("fixture sealed too few segments: %+v", before)
+	}
+
+	// Flip a byte inside the FIRST sealed segment's record area.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+recordHeaderSize+4] ^= 0x10
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := l.Compact(CompactionPolicy{MergeChunks: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Compact on bit-rotted segment = %v, want ErrCorrupt", err)
+	}
+	// Old generation intact: no file was deleted, no manifest bumped.
+	if s := l.Stats(); s.Gen != before.Gen || s.Segments != before.Segments {
+		t.Fatalf("failed compaction mutated the log: %+v → %+v", before, s)
+	}
+	l.Close()
+}
+
+// TestCompactNoopSkipsRewrite: a pass that merges, dedups and ages
+// nothing must not rewrite segments or publish a new generation —
+// periodic ticks on an already-compacted log stay cheap.
+func TestCompactNoopSkipsRewrite(t *testing.T) {
+	dir, want := compactionFixture(t)
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+	defer l.Close()
+	scans := 0
+	l.compactHook = func(step string) error {
+		if step == "scan" {
+			scans++
+		}
+		return nil
+	}
+	if _, err := l.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
+		t.Fatal(err)
+	}
+	g1 := l.Stats().Gen
+	res, err := l.Compact(CompactionPolicy{MergeChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != 0 || res.Merged+res.Deduped+res.Aged != 0 {
+		t.Fatalf("second pass was not a no-op: %+v", res)
+	}
+	// The second pass must hit the generation memo and skip even the
+	// read+decode phase (no "scan" step fired).
+	if scans != 1 {
+		t.Fatalf("expected 1 scan across both passes (memo fast path), got %d", scans)
+	}
+	if g := l.Stats().Gen; g != g1 {
+		t.Fatalf("no-op pass published a generation: %d → %d", g1, g)
+	}
+	for dev, keys := range want {
+		if got := stitch(queryAll(t, l, dev)); !reflect.DeepEqual(got, keys) {
+			t.Fatalf("%s polyline diverged across no-op pass", dev)
+		}
+	}
+	// A changed policy invalidates the memo: this pass scans again (and
+	// may legitimately rewrite, since ageing is now enabled).
+	if _, err := l.Compact(CompactionPolicy{MergeChunks: true, CoarseTolerance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if scans != 2 {
+		t.Fatalf("policy change did not invalidate the memo: %d scans", scans)
+	}
+}

@@ -86,3 +86,42 @@ func FuzzRecover(f *testing.F) {
 		}
 	})
 }
+
+// FuzzManifest feeds arbitrary bytes to the manifest parser: it must
+// never panic, and whatever it accepts must round-trip — re-rendering a
+// parsed manifest and parsing it again yields the identical value, the
+// invariant Open's "manifest is the source of truth" logic rests on.
+func FuzzManifest(f *testing.F) {
+	f.Add(formatManifest(manifest{Gen: 1, Segs: []string{"seg-00000001.log"}}))
+	f.Add(formatManifest(manifest{Gen: 7, Segs: []string{"seg-00000009.log", "seg-00000003.log"}}))
+	f.Add(formatManifest(manifest{Gen: 0}))
+	f.Add([]byte("BQSMANIFEST 1\ngen 1\nseg seg-00000001.log\ncrc 00000000\n"))
+	f.Add([]byte("BQSMANIFEST 1\ngen 1\nseg ../escape.log\ncrc 00000000\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest(data)
+		if err != nil {
+			return // structurally rejected is fine
+		}
+		re := formatManifest(m)
+		m2, err := parseManifest(re)
+		if err != nil {
+			t.Fatalf("re-rendered manifest rejected: %v\n%q", err, re)
+		}
+		if m2.Gen != m.Gen || len(m2.Segs) != len(m.Segs) {
+			t.Fatalf("round trip changed manifest: %+v → %+v", m, m2)
+		}
+		for i := range m.Segs {
+			if m.Segs[i] != m2.Segs[i] {
+				t.Fatalf("round trip changed segment %d: %q → %q", i, m.Segs[i], m2.Segs[i])
+			}
+			// Accepted names must be directory-local canonical segment
+			// names (no path traversal).
+			if _, ok := parseSegName(m.Segs[i]); !ok {
+				t.Fatalf("parser accepted non-canonical segment name %q", m.Segs[i])
+			}
+		}
+	})
+}

@@ -6,17 +6,23 @@
 // the ROADMAP's server-side north star at once: writes are single-pass
 // and sequential (one buffered append per finalized trajectory, fsync
 // only on an explicit Sync barrier), files rotate at a size threshold so
-// retention and later compaction can operate on whole segments, and
-// recovery is a forward scan that rebuilds the sparse in-memory index
+// retention and compaction can operate on whole segments, and recovery
+// is a forward scan that rebuilds the sparse in-memory index
 // (device → record offsets + time bounds) and truncates a torn tail left
 // by a crash mid-write. Everything before the last completed Sync is
 // durable; a torn record after it is detected by length/CRC validation
 // and dropped.
 //
-// On-disk layout. A log directory holds numbered segment files
-// "seg-00000001.log", "seg-00000002.log", ... Each file starts with an
-// 8-byte header — magic "BQSLOG" plus a version byte and a zero pad —
-// followed by length-prefixed records:
+// On-disk layout. A log directory holds a MANIFEST (see manifest.go)
+// naming the live segment files in logical order, numbered segment files
+// "seg-00000001.log", "seg-00000002.log", ..., and a LOCK file granting
+// the owning process exclusive write access. Segment numbers are
+// allocated from a monotonic sequence and never reused while referenced;
+// after compaction (see compact.go) a low-numbered file may be
+// superseded by a higher-numbered one holding older data, which is why
+// the MANIFEST — not directory order — defines the log. Each segment
+// file starts with an 8-byte header — magic "BQSLOG" plus a version byte
+// and a zero pad — followed by length-prefixed records:
 //
 //	u32  bodyLen   little-endian length of body
 //	u32  crc32c    Castagnoli CRC of body
@@ -36,9 +42,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -59,6 +68,9 @@ const (
 	// DefaultMaxSegmentBytes is the rotation threshold when Options
 	// leaves it zero.
 	DefaultMaxSegmentBytes = 64 << 20
+	// lockName is the advisory lock file granting a process exclusive
+	// write access to the directory.
+	lockName = "LOCK"
 )
 
 var magic = [6]byte{'B', 'Q', 'S', 'L', 'O', 'G'}
@@ -68,10 +80,18 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ErrClosed reports an operation on a closed log.
 var ErrClosed = errors.New("segmentlog: closed")
 
-// ErrCorrupt reports a structurally invalid segment file (bad magic or
-// unsupported version) that recovery cannot interpret at all; torn or
-// checksum-failing records are recovered from silently and do not raise
-// it.
+// ErrReadOnly reports a mutating operation on a log opened with
+// Options.ReadOnly.
+var ErrReadOnly = errors.New("segmentlog: read-only")
+
+// ErrLocked reports that another process holds the directory's write
+// lock (a live engine, another bqsrecover -repair, ...).
+var ErrLocked = errors.New("segmentlog: directory locked by another process")
+
+// ErrCorrupt reports a structurally invalid segment file or manifest
+// (bad magic, unsupported version, sealed CRC mismatch) that recovery
+// cannot interpret at all; torn or checksum-failing records are
+// recovered from silently and do not raise it.
 var ErrCorrupt = errors.New("segmentlog: corrupt segment file")
 
 // Options parameterizes Open.
@@ -83,6 +103,18 @@ type Options struct {
 	// completed segment file is always fully durable. Default true is
 	// expressed inverted so the zero value keeps it on.
 	NoSyncOnRotate bool
+	// ReadOnly opens the log purely for inspection: no directory lock is
+	// taken and nothing on disk is modified — a torn tail is skipped
+	// (reported in Stats.Truncated) instead of truncated in place, and
+	// Append/Sync/Compact return ErrReadOnly. This is the safe mode for
+	// looking at a directory a live engine may own; bqsrecover uses it
+	// by default.
+	ReadOnly bool
+	// Compaction, when non-nil, is the policy CompactNow applies — the
+	// engine's periodic compaction hook reaches the log through it.
+	// Explicit Compact calls pass their own policy and ignore this
+	// field.
+	Compaction *CompactionPolicy
 }
 
 // Record is one persisted trajectory, decoded.
@@ -109,34 +141,64 @@ type segmentFile struct {
 
 // Stats is a point-in-time snapshot of the log's contents.
 type Stats struct {
-	Segments  int   // segment files
-	Records   int   // records indexed
-	Devices   int   // distinct device IDs
-	Bytes     int64 // total valid bytes on disk, headers included
-	Truncated int64 // torn/corrupt tail bytes dropped by recovery on Open
+	Segments  int    // segment files
+	Records   int    // records indexed
+	Devices   int    // distinct device IDs
+	Bytes     int64  // total valid bytes on disk, headers included
+	Truncated int64  // torn/corrupt tail bytes dropped by recovery on Open (detected, not dropped, in read-only mode)
+	Gen       uint64 // manifest generation currently published
 }
 
 // Log is an open segment log. All methods are safe for concurrent use;
 // appends are serialized, queries read committed records directly from
-// disk.
+// disk, and Compact rewrites sealed segments concurrently with both.
 type Log struct {
 	dir  string
 	opts Options
+	ro   bool
+	lock *os.File // flock'd LOCK file handle (nil in read-only mode)
 
-	mu     sync.Mutex
-	closed bool
-	segs   []segmentFile
-	active *os.File // write handle of segs[len(segs)-1]
-	wbuf   []byte   // record assembly buffer, reused across appends
-	pend   []byte   // appended but not yet written-through bytes
-	off    int64    // logical size of the active segment (incl. pend)
-	index  map[string][]recordRef
-	stats  Stats
+	// compactMu serializes compactions; it is never held together with
+	// mu except for the brief publish step.
+	compactMu sync.Mutex
+	// compactHook, when non-nil, is called at each compaction step; a
+	// non-nil return aborts Compact mid-flight with on-disk state
+	// exactly as a crash at that step would leave it. Test-only: after
+	// an injected abort the log must be closed and reopened.
+	compactHook func(step string) error
+	// lastCompact memoizes the previous pass (guarded by compactMu) so
+	// a periodic tick on an unchanged log returns without re-reading
+	// and re-decoding every sealed segment. gen is the generation the
+	// pass left behind; nextAgeT1 is the smallest record timestamp not
+	// yet old enough to age (MaxUint32 when none) — a later pass with
+	// the same policy can only differ once the cutoff reaches it.
+	lastCompact struct {
+		valid     bool
+		gen       uint64
+		policy    CompactionPolicy // Now is ignored in comparisons
+		nextAgeT1 uint32
+	}
+
+	mu      sync.Mutex
+	closed  bool
+	gen     uint64 // last manifest generation written (or read, in RO mode)
+	nextSeq uint64 // next segment file number to allocate
+	segs    []segmentFile
+	active  *os.File // write handle of segs[len(segs)-1] (nil in RO mode)
+	wbuf    []byte   // record assembly buffer, reused across appends
+	pend    []byte   // appended but not yet written-through bytes
+	off     int64    // logical size of the active segment (incl. pend)
+	index   map[string][]recordRef
+	stats   Stats
 }
 
-// Open opens (creating if necessary) the segment log in dir, scans every
+// Open opens (creating if necessary) the segment log in dir: it acquires
+// the directory's write lock, loads the MANIFEST (falling back to a
+// lexical scan for pre-manifest directories, which it then adopts),
+// removes files a crashed compaction left unreferenced, scans every live
 // segment to rebuild the index, truncates any torn tail, and readies the
-// last segment for appending.
+// last segment for appending. With Options.ReadOnly it does none of the
+// mutating parts — no lock, no cleanup, no truncation, no appending.
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
@@ -144,25 +206,90 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.MaxSegmentBytes < headerSize+recordHeaderSize {
 		return nil, fmt.Errorf("segmentlog: MaxSegmentBytes %d too small", opts.MaxSegmentBytes)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("segmentlog: %w", err)
-	}
-	l := &Log{dir: dir, opts: opts, index: make(map[string][]recordRef)}
-
-	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
-	if err != nil {
-		return nil, fmt.Errorf("segmentlog: %w", err)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if err := l.scanSegment(name); err != nil {
+	l := &Log{dir: dir, opts: opts, ro: opts.ReadOnly, index: make(map[string][]recordRef)}
+	if l.ro {
+		fi, err := os.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("segmentlog: %w", err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("segmentlog: %s is not a directory", dir)
+		}
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("segmentlog: %w", err)
+		}
+		lock, err := acquireLock(dir)
+		if err != nil {
 			return nil, err
 		}
+		l.lock = lock
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			l.releaseLock()
+		}
+	}()
+
+	man, found, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	if found {
+		l.gen = man.Gen
+		for _, name := range man.Segs {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	} else {
+		// Legacy (pre-manifest) directory: lexical order was logical
+		// order back when files were only ever appended in sequence.
+		globbed, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+		if err != nil {
+			return nil, fmt.Errorf("segmentlog: %w", err)
+		}
+		sort.Strings(globbed)
+		for _, p := range globbed {
+			if _, ok := parseSegName(filepath.Base(p)); ok {
+				paths = append(paths, p)
+			}
+		}
+	}
+	for i, path := range paths {
+		if err := l.scanSegment(path, i == len(paths)-1); err != nil {
+			return nil, err
+		}
+		if n, ok := parseSegName(filepath.Base(path)); ok && n >= l.nextSeq {
+			l.nextSeq = n + 1
+		}
+	}
+	if l.nextSeq == 0 {
+		l.nextSeq = 1
+	}
+	// Sweep crashed-compaction leftovers only AFTER the referenced set
+	// scanned clean: if a referenced segment turns out unreadable, an
+	// unpublished compactor output may be the only intact copy of its
+	// data — deleting it first would destroy the salvage option.
+	if found && !l.ro {
+		if err := cleanUnreferenced(dir, man); err != nil {
+			return nil, err
+		}
+	}
+
+	if l.ro {
+		ok = true
+		return l, nil
 	}
 	if len(l.segs) == 0 {
-		if err := l.createSegmentLocked(); err != nil {
+		f, seg, err := l.newSegmentFileLocked()
+		if err != nil {
 			return nil, err
 		}
+		l.segs = append(l.segs, seg)
+		l.active = f
+		l.off = headerSize
+		l.stats.Bytes += headerSize
 	} else {
 		// Reopen the last segment for appending at its recovered size.
 		last := &l.segs[len(l.segs)-1]
@@ -177,12 +304,116 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.active = f
 		l.off = last.size
 	}
+	// Publish the live set: after a successful writable Open the
+	// MANIFEST always exists and matches memory (adopting legacy
+	// directories and sealing any recovery edits under a fresh
+	// generation).
+	if err := l.writeManifestLocked(); err != nil {
+		l.active.Close()
+		return nil, err
+	}
+	ok = true
 	return l, nil
 }
 
+// acquireLock takes the directory's advisory write lock: an flock(2) on
+// the LOCK file, which the kernel releases automatically if the process
+// dies, so a crashed owner never wedges the directory. The holder's PID
+// is written into the file purely as a diagnostic.
+func acquireLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segmentlog: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+			// Not contention (e.g. a filesystem without flock support):
+			// report the real error, not a phantom lock holder.
+			f.Close()
+			return nil, fmt.Errorf("segmentlog: flock %s: %w", dir, err)
+		}
+		pid := make([]byte, 32)
+		n, _ := f.ReadAt(pid, 0)
+		f.Close()
+		holder := strings.TrimSpace(string(pid[:n]))
+		if holder == "" {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		return nil, fmt.Errorf("%w: %s (held by pid %s)", ErrLocked, dir, holder)
+	}
+	if err := f.Truncate(0); err == nil {
+		f.WriteAt([]byte(strconv.Itoa(os.Getpid())+"\n"), 0)
+	}
+	return f, nil
+}
+
+// releaseLock drops the directory lock; a no-op in read-only mode or
+// after release.
+func (l *Log) releaseLock() {
+	if l.lock == nil {
+		return
+	}
+	syscall.Flock(int(l.lock.Fd()), syscall.LOCK_UN)
+	l.lock.Close()
+	l.lock = nil
+}
+
+// cleanUnreferenced removes files a crashed compaction or rotation left
+// behind: a stale manifest temp file, and canonical segment files the
+// manifest does not reference (either a new generation that was never
+// published, or a superseded generation whose deletion was interrupted).
+// Only called on writable opens with a validated manifest in hand.
+func cleanUnreferenced(dir string, man manifest) error {
+	live := make(map[string]bool, len(man.Segs))
+	for _, s := range man.Segs {
+		live[s] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("segmentlog: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := name == manifestTmpName
+		if _, ok := parseSegName(name); ok && !live[name] {
+			stale = true
+		}
+		if stale {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("segmentlog: removing unreferenced %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeManifestLocked atomically publishes the current live segment list
+// under the next generation number. Callers hold mu (or are inside
+// Open/publish).
+func (l *Log) writeManifestLocked() error {
+	m := manifest{Gen: l.gen + 1, Segs: make([]string, len(l.segs))}
+	for i, s := range l.segs {
+		m.Segs[i] = filepath.Base(s.path)
+	}
+	if err := writeManifest(l.dir, m); err != nil {
+		return err
+	}
+	l.gen = m.Gen
+	return nil
+}
+
 // scanSegment reads one segment file, indexes its valid records and
-// truncates it at the first invalid one.
-func (l *Log) scanSegment(path string) error {
+// handles an invalid tail. Dropping bytes after the first invalid
+// record is only sound where a crash could actually tear a write: the
+// final (active-to-be) segment, or a genuinely record-free tail left by
+// an unsynced rotation. A *non-final* segment whose bad record is
+// followed by more valid records is mid-file corruption of data that
+// was once durable — now that compaction makes sealed segments
+// long-lived archives, that must fail the open (ErrCorrupt) rather
+// than silently destroy everything after the rotten byte. Read-only
+// opens stay lenient throughout: they modify nothing and exist to
+// salvage whatever is readable.
+func (l *Log) scanSegment(path string, final bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("segmentlog: %w", err)
@@ -190,6 +421,14 @@ func (l *Log) scanSegment(path string) error {
 	if len(data) < headerSize {
 		// A crash can leave a freshly rotated file with a partial
 		// header; rewrite it as empty rather than failing the open.
+		if l.ro {
+			l.segs = append(l.segs, segmentFile{path: path, size: int64(len(data))})
+			l.stats.Truncated += int64(len(data))
+			return nil
+		}
+		if !final {
+			return fmt.Errorf("%w: %s: sealed segment shorter than its header", ErrCorrupt, filepath.Base(path))
+		}
 		return l.rewriteEmpty(path)
 	}
 	if [6]byte(data[:6]) != magic {
@@ -219,8 +458,20 @@ func (l *Log) scanSegment(path string) error {
 		pos = next
 	}
 	if torn := int64(len(data)) - valid; torn > 0 {
-		if err := os.Truncate(path, valid); err != nil {
-			return fmt.Errorf("segmentlog: truncating torn tail: %w", err)
+		if !l.ro && !final {
+			// Distinguish an unsynced-rotation torn tail (nothing valid
+			// after the cut — safe to drop) from mid-file corruption
+			// (valid records still follow the bad one — refusing is the
+			// only non-destructive option).
+			if off := resyncScan(data, int(valid)); off >= 0 {
+				return fmt.Errorf("%w: %s: invalid record at offset %d but valid data at %d — refusing to truncate a sealed segment mid-file",
+					ErrCorrupt, filepath.Base(path), valid, off)
+			}
+		}
+		if !l.ro {
+			if err := os.Truncate(path, valid); err != nil {
+				return fmt.Errorf("segmentlog: truncating torn tail: %w", err)
+			}
 		}
 		l.stats.Truncated += torn
 	}
@@ -228,6 +479,21 @@ func (l *Log) scanSegment(path string) error {
 	l.stats.Records += records
 	l.stats.Bytes += valid
 	return nil
+}
+
+// resyncScan looks for a valid, decodable record anywhere after from;
+// it returns the offset of the first one, or -1. Used to tell mid-file
+// corruption apart from a torn tail (a false positive needs random
+// bytes to pass both plausibility checks and CRC-32C, ~2^-32).
+func resyncScan(data []byte, from int) int {
+	for pos := from + 1; pos+recordHeaderSize <= len(data); pos++ {
+		if body, _, _, ok := nextRecord(data, pos); ok {
+			if _, _, _, _, err := splitBody(body); err == nil {
+				return pos
+			}
+		}
+	}
+	return -1
 }
 
 // nextRecord validates the record starting at pos and returns its body,
@@ -275,6 +541,48 @@ func splitBody(body []byte) (device string, t0, t1 uint32, payload []byte, err e
 	return device, t0, t1, rest[8:], nil
 }
 
+// encodeRecord appends the full wire form of one record — length prefix,
+// CRC, body — to dst. Shared by the append path and the compactor so the
+// two can never drift apart on format.
+func encodeRecord(dst []byte, device string, t0, t1 uint32, keys []trajstore.GeoKey) ([]byte, error) {
+	if len(device) > int(^uint16(0)) {
+		return dst, fmt.Errorf("segmentlog: device ID longer than %d bytes", ^uint16(0))
+	}
+	payload, err := trajstore.DeltaEncode(keys)
+	if err != nil {
+		return dst, fmt.Errorf("segmentlog: %w", err)
+	}
+	bodyLen := 2 + len(device) + 8 + len(payload)
+	if bodyLen > MaxRecordBytes {
+		return dst, fmt.Errorf("segmentlog: record body %d bytes exceeds MaxRecordBytes", bodyLen)
+	}
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // CRC backpatched below
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(device)))
+	dst = append(dst, device...)
+	dst = binary.LittleEndian.AppendUint32(dst, t0)
+	dst = binary.LittleEndian.AppendUint32(dst, t1)
+	dst = append(dst, payload...)
+	body := dst[start+recordHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(body, castagnoli))
+	return dst, nil
+}
+
+// timeBounds returns the min/max timestamps of a non-empty trajectory.
+func timeBounds(keys []trajstore.GeoKey) (t0, t1 uint32) {
+	t0, t1 = keys[0].T, keys[0].T
+	for _, k := range keys[1:] {
+		if k.T < t0 {
+			t0 = k.T
+		}
+		if k.T > t1 {
+			t1 = k.T
+		}
+	}
+	return t0, t1
+}
+
 // rewriteEmpty resets path to a bare header (crash during file creation).
 func (l *Log) rewriteEmpty(path string) error {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)
@@ -300,29 +608,31 @@ func writeHeader(f *os.File) error {
 	return nil
 }
 
-// createSegmentLocked starts the next numbered segment file and makes it
-// active. Callers hold mu (or are inside Open). The directory is fsync'd
-// after the create: a file whose directory entry is not durable can
+// newSegmentFileLocked creates the next numbered segment file with a
+// header and fsyncs the directory entry. The file is NOT yet published:
+// callers append it to l.segs and rewrite the manifest — until then
+// recovery treats it as unreferenced garbage, so a crash in between
+// loses nothing. Callers hold mu (or are inside Open). The directory
+// fsync matters because a file whose directory entry is not durable can
 // vanish wholesale in a crash, taking "synced" records with it.
-func (l *Log) createSegmentLocked() error {
-	path := filepath.Join(l.dir, fmt.Sprintf("seg-%08d.log", len(l.segs)+1))
+func (l *Log) newSegmentFileLocked() (*os.File, segmentFile, error) {
+	path := filepath.Join(l.dir, segName(l.nextSeq))
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
-		return fmt.Errorf("segmentlog: %w", err)
+		return nil, segmentFile{}, fmt.Errorf("segmentlog: %w", err)
 	}
 	if err := writeHeader(f); err != nil {
 		f.Close()
-		return err
+		os.Remove(path)
+		return nil, segmentFile{}, err
 	}
 	if err := syncDir(l.dir); err != nil {
 		f.Close()
-		return err
+		os.Remove(path)
+		return nil, segmentFile{}, err
 	}
-	l.segs = append(l.segs, segmentFile{path: path, size: headerSize})
-	l.active = f
-	l.off = headerSize
-	l.stats.Bytes += headerSize
-	return nil
+	l.nextSeq++
+	return f, segmentFile{path: path, size: headerSize}, nil
 }
 
 // syncDir fsyncs a directory so entries for newly created files are
@@ -343,60 +653,44 @@ func syncDir(dir string) error {
 // Append persists one finalized trajectory for device. The record is
 // buffered in the process; it reaches the OS on the next flush and is
 // durable after the next Sync. Empty trajectories are ignored.
+//
+// When the append fills the active segment, rotation happens inline. A
+// failed rotation is reported but does NOT invalidate the append: the
+// record already lives in the (still-active) old segment, which remains
+// writable, and rotation is retried by the next append.
 func (l *Log) Append(device string, keys []trajstore.GeoKey) error {
 	if len(keys) == 0 {
 		return nil
 	}
-	if len(device) > int(^uint16(0)) {
-		return fmt.Errorf("segmentlog: device ID longer than %d bytes", ^uint16(0))
-	}
-	payload, err := trajstore.DeltaEncode(keys)
-	if err != nil {
-		return fmt.Errorf("segmentlog: %w", err)
-	}
-	t0, t1 := keys[0].T, keys[0].T
-	for _, k := range keys[1:] {
-		if k.T < t0 {
-			t0 = k.T
-		}
-		if k.T > t1 {
-			t1 = k.T
-		}
-	}
+	t0, t1 := timeBounds(keys)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-
-	bodyLen := 2 + len(device) + 8 + len(payload)
-	if bodyLen > MaxRecordBytes {
-		return fmt.Errorf("segmentlog: record body %d bytes exceeds MaxRecordBytes", bodyLen)
+	if l.ro {
+		return ErrReadOnly
 	}
-	l.wbuf = l.wbuf[:0]
-	l.wbuf = binary.LittleEndian.AppendUint32(l.wbuf, uint32(bodyLen))
-	l.wbuf = binary.LittleEndian.AppendUint32(l.wbuf, 0) // CRC backpatched below
-	l.wbuf = binary.LittleEndian.AppendUint16(l.wbuf, uint16(len(device)))
-	l.wbuf = append(l.wbuf, device...)
-	l.wbuf = binary.LittleEndian.AppendUint32(l.wbuf, t0)
-	l.wbuf = binary.LittleEndian.AppendUint32(l.wbuf, t1)
-	l.wbuf = append(l.wbuf, payload...)
-	body := l.wbuf[recordHeaderSize:]
-	binary.LittleEndian.PutUint32(l.wbuf[4:], crc32.Checksum(body, castagnoli))
+
+	wbuf, err := encodeRecord(l.wbuf[:0], device, t0, t1, keys)
+	l.wbuf = wbuf[:0] // keep the (possibly grown) buffer for reuse
+	if err != nil {
+		return err
+	}
 
 	ref := recordRef{
 		seg:     len(l.segs) - 1,
 		off:     l.off + recordHeaderSize,
-		bodyLen: bodyLen,
+		bodyLen: len(wbuf) - recordHeaderSize,
 		t0:      t0,
 		t1:      t1,
 	}
-	l.pend = append(l.pend, l.wbuf...)
-	l.off += int64(len(l.wbuf))
+	l.pend = append(l.pend, wbuf...)
+	l.off += int64(len(wbuf))
 	l.index[device] = append(l.index[device], ref)
 	l.stats.Records++
-	l.stats.Bytes += int64(len(l.wbuf))
+	l.stats.Bytes += int64(len(wbuf))
 
 	if l.off >= l.opts.MaxSegmentBytes {
 		return l.rotateLocked()
@@ -417,7 +711,10 @@ func (l *Log) flushLocked() error {
 	return nil
 }
 
-// rotateLocked seals the active segment and starts the next one.
+// rotateLocked seals the active segment and starts the next one. The
+// new segment is created and published in the manifest BEFORE the old
+// handle is closed, so a failure at any step leaves the old segment
+// active and writable — the log never points at a closed file.
 func (l *Log) rotateLocked() error {
 	if err := l.flushLocked(); err != nil {
 		return err
@@ -427,10 +724,32 @@ func (l *Log) rotateLocked() error {
 			return fmt.Errorf("segmentlog: %w", err)
 		}
 	}
-	if err := l.active.Close(); err != nil {
-		return fmt.Errorf("segmentlog: %w", err)
+	f, seg, err := l.newSegmentFileLocked()
+	if err != nil {
+		return err
 	}
-	return l.createSegmentLocked()
+	l.segs = append(l.segs, seg)
+	if err := l.writeManifestLocked(); err != nil {
+		// Unpublishable: keep appending to the old segment. The new
+		// (empty) file is left on disk — the write may have reached the
+		// rename before failing, so deleting it could orphan a manifest
+		// entry; whether referenced or not, an empty segment is
+		// harmless and the next successful publish or Open sweeps it.
+		// Its number is not reused.
+		l.segs = l.segs[:len(l.segs)-1]
+		f.Close()
+		return err
+	}
+	old := l.active
+	l.active = f
+	l.off = headerSize
+	l.stats.Bytes += headerSize
+	if err := old.Close(); err != nil {
+		// The new segment is already active and the old one was flushed
+		// and fsync'd above, so nothing is lost; surface the failure.
+		return fmt.Errorf("segmentlog: closing rotated segment: %w", err)
+	}
+	return nil
 }
 
 // Sync flushes buffered records and fsyncs the active segment: every
@@ -442,6 +761,9 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.ro {
+		return ErrReadOnly
+	}
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
@@ -451,15 +773,24 @@ func (l *Log) Sync() error {
 	return nil
 }
 
-// Close flushes, fsyncs and closes the log. Further operations return
-// ErrClosed; Close is idempotent.
+// Close flushes, fsyncs and closes the log, releasing the directory
+// lock. It waits for an in-flight Compact to finish first — the lock
+// must not be released while a compactor is still creating files in
+// the directory, or a new owner could collide with the zombie's
+// writes. Further operations return ErrClosed; Close is idempotent.
 func (l *Log) Close() error {
+	l.compactMu.Lock() // compactMu before mu, matching Compact
+	defer l.compactMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
 	l.closed = true
+	if l.ro {
+		return nil
+	}
+	defer l.releaseLock()
 	if err := l.flushLocked(); err != nil {
 		l.active.Close()
 		return err
@@ -478,6 +809,7 @@ func (l *Log) Stats() Stats {
 	s := l.stats
 	s.Segments = len(l.segs)
 	s.Devices = len(l.index)
+	s.Gen = l.gen
 	return s
 }
 
@@ -519,13 +851,33 @@ func (l *Log) DeviceSpan(device string) (records int, t0, t1 uint32, ok bool) {
 
 // Query returns the decoded trajectories of device whose time bounds
 // overlap [t0, t1], in append order. Records are read back from disk and
-// CRC-verified.
+// CRC-verified. A query racing a concurrent compaction may find a
+// superseded segment already deleted between snapshotting the index and
+// opening the file; it transparently re-snapshots against the newly
+// published generation.
 func (l *Log) Query(device string, t0, t1 uint32) ([]Record, error) {
+	for attempt := 0; ; attempt++ {
+		out, retry, err := l.queryOnce(device, t0, t1)
+		if err != nil && retry && attempt < 4 {
+			continue
+		}
+		if err != nil && retry && l.ro {
+			// A read-only handle's index is a static snapshot: it cannot
+			// re-discover the new generation a live writer published, so
+			// retrying is futile. Say what actually happened.
+			return out, fmt.Errorf("segmentlog: log rewritten by a concurrent compaction; reopen to read the new generation: %w", err)
+		}
+		return out, err
+	}
+}
+
+// queryOnce is one snapshot-and-read pass; retry is true when the error
+// was a segment file vanishing under a concurrent compaction.
+func (l *Log) queryOnce(device string, t0, t1 uint32) (out []Record, retry bool, err error) {
 	refs, paths, err := l.snapshotRefs(device, t0, t1)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	var out []Record
 	files := make(map[int]*os.File)
 	defer func() {
 		for _, f := range files {
@@ -537,7 +889,7 @@ func (l *Log) Query(device string, t0, t1 uint32) ([]Record, error) {
 		if f == nil {
 			f, err = os.Open(paths[ref.seg])
 			if err != nil {
-				return nil, fmt.Errorf("segmentlog: %w", err)
+				return nil, errors.Is(err, fs.ErrNotExist), fmt.Errorf("segmentlog: %w", err)
 			}
 			files[ref.seg] = f
 		}
@@ -546,26 +898,26 @@ func (l *Log) Query(device string, t0, t1 uint32) ([]Record, error) {
 		// between Open and the read.
 		rec := make([]byte, recordHeaderSize+ref.bodyLen)
 		if _, err := f.ReadAt(rec, ref.off-recordHeaderSize); err != nil {
-			return nil, fmt.Errorf("segmentlog: reading record: %w", err)
+			return nil, false, fmt.Errorf("segmentlog: reading record: %w", err)
 		}
 		body := rec[recordHeaderSize:]
 		if got := int(binary.LittleEndian.Uint32(rec)); got != ref.bodyLen {
-			return nil, fmt.Errorf("%w: record length changed on disk (%d != %d)", ErrCorrupt, got, ref.bodyLen)
+			return nil, false, fmt.Errorf("%w: record length changed on disk (%d != %d)", ErrCorrupt, got, ref.bodyLen)
 		}
 		if crc := binary.LittleEndian.Uint32(rec[4:]); crc32.Checksum(body, castagnoli) != crc {
-			return nil, fmt.Errorf("%w: record checksum mismatch at offset %d", ErrCorrupt, ref.off)
+			return nil, false, fmt.Errorf("%w: record checksum mismatch at offset %d", ErrCorrupt, ref.off)
 		}
 		dev, rt0, rt1, payload, err := splitBody(body)
 		if err != nil {
-			return nil, fmt.Errorf("segmentlog: indexed record unreadable: %w", err)
+			return nil, false, fmt.Errorf("segmentlog: indexed record unreadable: %w", err)
 		}
 		keys, err := trajstore.DeltaDecode(payload)
 		if err != nil {
-			return nil, fmt.Errorf("segmentlog: %w", err)
+			return nil, false, fmt.Errorf("segmentlog: %w", err)
 		}
 		out = append(out, Record{Device: dev, T0: rt0, T1: rt1, Keys: keys})
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // snapshotRefs collects, under the lock, the matching refs and the
