@@ -11,7 +11,8 @@
 // With -count > 1 the per-benchmark median run is recorded, which is
 // robust against scheduler noise on CI-class containers. The default
 // benchmark set covers the core per-fix decision loop (CorePush*,
-// QuadrantBounds) and the end-to-end sharded ingest (EngineIngest*); see
+// QuadrantBounds), the end-to-end sharded ingest (EngineIngest*) and
+// the durable window queries (QueryWindow{Selective,Full}); see
 // internal/benchjson for the schema.
 package main
 
@@ -32,8 +33,8 @@ import (
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output file for the JSON report")
-	bench := flag.String("bench", "BenchmarkCorePush|BenchmarkQuadrantBounds|BenchmarkEngineIngest", "benchmark regexp passed to go test")
-	pkgs := flag.String("pkgs", "./internal/core,.", "comma-separated packages to benchmark")
+	bench := flag.String("bench", "BenchmarkCorePush|BenchmarkQuadrantBounds|BenchmarkEngineIngest|BenchmarkQueryWindow", "benchmark regexp passed to go test")
+	pkgs := flag.String("pkgs", "./internal/core,.,./internal/trajstore/segmentlog", "comma-separated packages to benchmark")
 	count := flag.Int("count", 3, "benchmark repetitions; the median per name is reported")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	note := flag.String("note", "", "free-form environment note recorded in the report")

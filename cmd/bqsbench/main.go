@@ -7,7 +7,7 @@
 //	bqsbench [-exp all|fig3|fig6|fig7|fig8|table1|table2|table3|ablation]
 //	         [-quick] [-csv dir]
 //	bqsbench -engine [-devices N] [-shards M] [-fixes N] [-compressor name]
-//	         [-tol metres] [-merge metres] [-persist dir]
+//	         [-tol metres] [-merge metres] [-persist dir] [-query]
 //	bqsbench ... [-cpuprofile file] [-memprofile file]
 //
 // -quick shrinks the datasets for a fast smoke run; -csv writes the raw
@@ -17,7 +17,12 @@
 // sharded engine and the wall-clock throughput is reported. -persist
 // additionally opens an append-only segment log in the given directory
 // and measures the same run with durability on (each flushed session is
-// written and fsync'd through the Sync barrier).
+// written and fsync'd through the Sync barrier). -query (requires
+// -persist) spreads the devices over a spatial grid of separate cells,
+// then benchmarks durable window queries on the reopened log: a
+// selective window covering a few percent of the fleet and a full-extent
+// window, reporting latency and how many records the block indexes let
+// the query skip decoding.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole run
 // (either mode), for `go tool pprof`; the memory profile is an allocation
@@ -27,6 +32,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -58,6 +64,7 @@ func main() {
 	trailKeys := flag.Int("trail", 0, "engine mode: MaxTrailKeys per session (0 = engine default; small values force chunked records)")
 	segBytes := flag.Int64("segbytes", 0, "engine mode with -persist: segment rotation threshold in bytes (0 = log default; small values seal segments for -compact)")
 	compact := flag.Bool("compact", false, "engine mode with -persist: compact the log after the run and report before/after disk bytes")
+	query := flag.Bool("query", false, "engine mode with -persist: benchmark durable window queries (selective + full) on the reopened log")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
@@ -69,7 +76,7 @@ func main() {
 	defer stopProfiles()
 
 	if *engineMode {
-		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *compact); err != nil {
+		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *compact, *query); err != nil {
 			stopProfiles()
 			fmt.Fprintln(os.Stderr, "bqsbench:", err)
 			os.Exit(1)
@@ -82,6 +89,10 @@ func main() {
 	}
 	if *compact {
 		fmt.Fprintln(os.Stderr, "bqsbench: -compact requires -engine -persist")
+		os.Exit(2)
+	}
+	if *query {
+		fmt.Fprintln(os.Stderr, "bqsbench: -query requires -engine -persist")
 		os.Exit(2)
 	}
 
@@ -247,12 +258,15 @@ func main() {
 // throughput plus compression and storage statistics. With persistDir
 // set, flushed sessions are also appended to a segment log there and
 // the final Sync is a durability barrier.
-func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string, trailKeys int, segBytes int64, compact bool) error {
+func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string, trailKeys int, segBytes int64, compact, query bool) error {
 	if devices <= 0 || fixesPer <= 0 {
 		return fmt.Errorf("devices and fixes must be positive")
 	}
 	if compact && persistDir == "" {
 		return fmt.Errorf("-compact requires -persist")
+	}
+	if query && persistDir == "" {
+		return fmt.Errorf("-query requires -persist")
 	}
 	durability := "off"
 	if persistDir != "" {
@@ -292,12 +306,25 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 	// interleaved round-robin so every batch mixes devices — the
 	// realistic arrival order of a fleet reporting concurrently.
 	fmt.Println("generating workload...")
+	// In query mode each device walks inside its own grid cell — a
+	// fleet spread over a region rather than stacked on one square —
+	// so selective windows have real spatial selectivity to measure.
+	const cellSep = 12000 // metres between cell origins (10 km walk + 2 km gap)
+	grid := int(math.Ceil(math.Sqrt(float64(devices))))
 	tracks := make([][]core.Point, devices)
 	names := make([]string, devices)
 	for d := range tracks {
 		cfg := synth.DefaultWalkConfig(int64(d) + 1)
 		cfg.N = fixesPer
 		tracks[d] = synth.Walk(cfg).Points()
+		if query {
+			offX := float64(d%grid) * cellSep
+			offY := float64(d/grid) * cellSep
+			for i := range tracks[d] {
+				tracks[d][i].X += offX
+				tracks[d][i].Y += offY
+			}
+		}
 		names[d] = fmt.Sprintf("dev-%06d", d)
 	}
 	total := devices * fixesPer
@@ -369,6 +396,65 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 				ls.Bytes, after.Bytes, 100*float64(ls.Bytes-after.Bytes)/float64(ls.Bytes),
 				res.Merged, res.Deduped, res.Aged, res.Gen)
 		}
+		if query {
+			if err := runQueryBench(rl, devices, grid, cellSep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runQueryBench measures durable window queries on the reopened log:
+// a selective window covering the first few device cells (a few percent
+// of the fleet) and a full-extent window. The MetersPerDegree default
+// (1e5) maps the metric workload grid to the log's degree coordinates.
+func runQueryBench(rl *segmentlog.Log, devices, grid int, cellSep float64) error {
+	const m = 1e5
+	total := rl.Stats().Records
+	type window struct {
+		name                   string
+		inRange                int
+		iters                  int
+		minX, minY, maxX, maxY float64
+	}
+	// Selective: the first k cells of row 0 (~3-5% of the fleet).
+	k := devices / 20
+	if k < 1 {
+		k = 1
+	}
+	if k > grid {
+		k = grid
+	}
+	margin := 50.0
+	ws := []window{
+		{"selective", k, 20,
+			-margin / m, -margin / m,
+			(float64(k-1)*cellSep + 10000 + margin) / m, (10000 + margin) / m},
+		{"full", devices, 5,
+			-margin / m, -margin / m,
+			(float64(grid)*cellSep + margin) / m, (float64(grid)*cellSep + margin) / m},
+	}
+	for _, w := range ws {
+		var st segmentlog.WindowStats
+		var matched int
+		start := time.Now()
+		for i := 0; i < w.iters; i++ {
+			recs, s, err := rl.QueryWindowStats(w.minX, w.minY, w.maxX, w.maxY, 0, math.MaxUint32)
+			if err != nil {
+				return fmt.Errorf("window query (%s): %w", w.name, err)
+			}
+			st = s
+			matched = len(recs)
+		}
+		per := time.Since(start) / time.Duration(w.iters)
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.RecordsDecoded) / float64(total)
+		}
+		fmt.Printf("query window (%s, %d of %d devices): %v/query, decoded %d of %d records (%.1f%%), matched %d, %d/%d segments pruned\n",
+			w.name, w.inRange, devices, per.Round(time.Microsecond),
+			st.RecordsDecoded, total, pct, matched, st.SegmentsPruned, st.Segments)
 	}
 	return nil
 }

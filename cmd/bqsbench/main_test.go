@@ -51,3 +51,21 @@ func TestSmokePersistRequiresEngine(t *testing.T) {
 		t.Fatal("-persist without -engine accepted")
 	}
 }
+
+func TestSmokeEngineBenchQuery(t *testing.T) {
+	bin := buildCmd(t)
+	dir := filepath.Join(t.TempDir(), "log")
+	out, err := exec.Command(bin, "-engine", "-devices", "20", "-fixes", "60", "-shards", "2",
+		"-persist", dir, "-query").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsbench -engine -persist -query: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "query window (selective") || !strings.Contains(s, "query window (full") {
+		t.Fatalf("window-query report missing:\n%s", s)
+	}
+	// -query without -persist is rejected.
+	if err := exec.Command(bin, "-engine", "-query").Run(); err == nil {
+		t.Fatal("-query without -persist accepted")
+	}
+}

@@ -9,9 +9,16 @@
 //	bqsrecover -dir logdir -device ID         # decode one device's trajectories
 //	bqsrecover -dir logdir -device ID -t0 N -t1 M   # restrict to a time window
 //	bqsrecover -dir logdir -device ID -csv    # lat,lon,t CSV on stdout
+//	bqsrecover -dir logdir -window minLon,minLat,maxLon,maxLat [-t0 N -t1 M]
+//	                                          # spatio-temporal query, all devices
 //	bqsrecover -dir logdir -repair            # truncate a crash-torn tail in place
 //	bqsrecover -dir logdir -compact [-merge-chunks=false]
 //	          [-age 24h -coarse-tol 50]       # merge + age sealed segments
+//
+// -window decodes every record (any device, log order) with a
+// trajectory segment entering the given degree rectangle during the
+// [-t0, -t1] range, pruning via the sealed block indexes where present;
+// a pruning summary goes to stderr. -csv emits device,lat,lon,t rows.
 //
 // By default the directory is opened READ-ONLY: nothing on disk is
 // touched, no lock is taken, and a crash-torn tail is reported but left
@@ -30,6 +37,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
 )
@@ -37,9 +46,10 @@ import (
 func main() {
 	dir := flag.String("dir", "", "segment-log directory (required)")
 	device := flag.String("device", "", "decode this device's trajectories (default: list all devices)")
+	window := flag.String("window", "", "spatio-temporal query across all devices: minLon,minLat,maxLon,maxLat in degrees (combined with -t0/-t1)")
 	t0 := flag.Uint64("t0", 0, "window start, seconds")
 	t1 := flag.Uint64("t1", math.MaxUint32, "window end, seconds")
-	csv := flag.Bool("csv", false, "with -device: emit lat,lon,t CSV instead of a listing")
+	csv := flag.Bool("csv", false, "with -device or -window: emit CSV instead of a listing")
 	repair := flag.Bool("repair", false, "open read-write: truncate any crash-torn tail in place (takes the directory lock)")
 	compact := flag.Bool("compact", false, "compact sealed segments (implies -repair)")
 	mergeChunks := flag.Bool("merge-chunks", true, "with -compact: merge consecutive chunked records of a device")
@@ -97,6 +107,40 @@ func main() {
 		return
 	}
 
+	if *window != "" {
+		if *device != "" {
+			fail(fmt.Errorf("-window queries all devices; drop -device"))
+		}
+		minX, minY, maxX, maxY, err := parseWindow(*window)
+		if err != nil {
+			fail(err)
+		}
+		recs, ws, err := lg.QueryWindowStats(minX, minY, maxX, maxY, uint32(*t0), uint32(*t1))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "bqsrecover: window [%g, %g]×[%g, %g] t[%d, %d]: %d/%d segments pruned, %d records decoded (of %d indexed), %d matched\n",
+			minX, maxX, minY, maxY, *t0, *t1,
+			ws.SegmentsPruned, ws.Segments, ws.RecordsDecoded, ws.RecordsIndexed, ws.RecordsMatched)
+		for i, rec := range recs {
+			if *csv {
+				for _, k := range rec.Keys {
+					fmt.Printf("%s,%.7f,%.7f,%d\n", rec.Device, k.Lat, k.Lon, k.T)
+				}
+				continue
+			}
+			fmt.Printf("%s trajectory %d: %d key points, time [%d, %d]\n", rec.Device, i, len(rec.Keys), rec.T0, rec.T1)
+			for _, k := range rec.Keys {
+				fmt.Printf("  %.7f,%.7f,%d\n", k.Lat, k.Lon, k.T)
+			}
+		}
+		if len(recs) == 0 {
+			fmt.Fprintln(os.Stderr, "bqsrecover: no records in the window")
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *device == "" {
 		for _, dev := range lg.Devices() {
 			n, lo, hi, _ := lg.DeviceSpan(dev)
@@ -146,6 +190,23 @@ func reportCompaction(res segmentlog.CompactionResult) {
 	fmt.Printf("compaction: %d → %d records, %d → %d bytes (saved %d, %.1f%%), %d merged, %d deduped, %d aged, generation %d\n",
 		res.RecordsIn, res.RecordsOut, res.BytesIn, res.BytesOut, saved, pct,
 		res.Merged, res.Deduped, res.Aged, res.Gen)
+}
+
+// parseWindow decodes "-window minLon,minLat,maxLon,maxLat".
+func parseWindow(s string) (minX, minY, maxX, maxY float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return 0, 0, 0, 0, fmt.Errorf("-window wants minLon,minLat,maxLon,maxLat, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("-window field %d: %v", i, err)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], vals[3], nil
 }
 
 func fail(err error) {

@@ -83,6 +83,33 @@ func TestSmokeRecoverQueryCSV(t *testing.T) {
 	}
 }
 
+// TestSmokeRecoverWindow: the spatio-temporal query mode finds the
+// device whose cell the window covers, prints its records (CSV rows
+// carry the device), and exits 1 on an empty window.
+func TestSmokeRecoverWindow(t *testing.T) {
+	bin := buildCmd(t)
+	dir := seedLog(t)
+	// alpha's keys sit near (1e-5°, -1e-5°); beta's near (2e-5°, -2e-5°).
+	cmd := exec.Command(bin, "-dir", dir, "-window", "-0.0000150,0.0000050,-0.0000050,0.0000150", "-csv")
+	cmd.Stderr = nil
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("bqsrecover -window: %v", err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "alpha,") || strings.Contains(s, "beta,") {
+		t.Fatalf("window query selected the wrong devices:\n%s", s)
+	}
+	// Time restriction excludes alpha (its times are 1000..1040).
+	if out, err := exec.Command(bin, "-dir", dir, "-window", "-1,-1,1,1", "-t0", "5000", "-t1", "6000").CombinedOutput(); err == nil {
+		t.Fatalf("empty window query should exit non-zero:\n%s", out)
+	}
+	// A malformed window is rejected.
+	if out, err := exec.Command(bin, "-dir", dir, "-window", "1,2,3").CombinedOutput(); err == nil {
+		t.Fatalf("malformed -window accepted:\n%s", out)
+	}
+}
+
 // TestSmokeRecoverTornTail runs the command against a crash-damaged log.
 // The default read-only mode must report the torn tail WITHOUT touching
 // the file (it could belong to a live engine about to flush); -repair

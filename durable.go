@@ -32,6 +32,11 @@ type SegmentLogRecord = segmentlog.Record
 // SegmentLogStats is a snapshot of a log's contents.
 type SegmentLogStats = segmentlog.Stats
 
+// LogWindowStats reports how a durable window query was answered: how
+// much the segment summaries and per-record bounding boxes pruned, and
+// how many records had to be decoded.
+type LogWindowStats = segmentlog.WindowStats
+
 // CompactionPolicy parameterizes segment-log compaction: MinAge and
 // CoarseTolerance drive error-bounded ageing, MergeChunks re-joins the
 // engine's chunked session records. See segmentlog.CompactionPolicy.
@@ -57,9 +62,22 @@ func OpenSegmentLog(dir string, opts SegmentLogOptions) (*SegmentLog, error) {
 
 // CompactLog runs one merge/dedup/ageing compaction pass over the log's
 // sealed segments and atomically publishes the smaller generation.
-// Queries and appends on the same log proceed concurrently.
+// Queries and appends on the same log proceed concurrently. Compaction
+// also upgrades pre-index (version-1) segments to the current format,
+// sealing block indexes so window queries prune instead of scanning.
 func CompactLog(lg *SegmentLog, policy CompactionPolicy) (CompactionResult, error) {
 	return lg.Compact(policy)
+}
+
+// QueryLogWindow answers a spatio-temporal window query over a segment
+// log: every record — across all devices, in log order — with at least
+// one trajectory segment entering [minX, maxX] × [minY, maxY] (degrees:
+// X longitude, Y latitude) during [t0, t1]. Sealed block indexes and
+// manifest summaries prune the candidate set; candidates are decoded
+// and tested exactly. Engine.QueryWindow is the metric-plane
+// counterpart that additionally merges live in-memory sessions.
+func QueryLogWindow(lg *SegmentLog, minX, minY, maxX, maxY float64, t0, t1 uint32) ([]SegmentLogRecord, error) {
+	return lg.QueryWindow(minX, minY, maxX, maxY, t0, t1)
 }
 
 // OpenDurableEngine opens a segment log in dir and starts an ingestion

@@ -70,47 +70,65 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
+// benchName matches the leading "BenchmarkXxx[-P]  N" of a result line.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
+
+// Parse extracts every benchmark result line from r, in order, e.g.
 //
 //	BenchmarkCorePushFast-8   8966739   131.1 ns/op   183.10 MB/s   0 B/op   0 allocs/op
 //
-// The MB/s, B/op and allocs/op columns are optional.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
-// Parse extracts every benchmark result line from r, in order. Repeated
-// names (from -count > 1) yield repeated entries; see Median.
+// After the name and iteration count, measurements come as
+// (value, unit) pairs in any order — which is how `go test` renders
+// them, including custom b.ReportMetric units ("decode-frac", ...)
+// that may sit between ns/op and the -benchmem columns. Unknown units
+// are skipped; MB/s, B/op and allocs/op are optional. Repeated names
+// (from -count > 1) yield repeated entries; see Median.
 func Parse(r io.Reader) ([]Result, error) {
 	var out []Result
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			continue
+		}
+		m := benchName.FindStringSubmatch(fields[0])
 		if m == nil {
 			continue
 		}
-		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark")}
-		var err error
-		if res.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
-			return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // not a result line (e.g. a name echoed mid-output)
 		}
-		if res.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
-			return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
-		}
-		if m[4] != "" {
-			if res.MBPerSec, err = strconv.ParseFloat(m[4], 64); err != nil {
-				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark"), Iterations: iters}
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(value, 64); err != nil {
+					return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+				}
+				sawNs = true
+			case "MB/s":
+				if res.MBPerSec, err = strconv.ParseFloat(value, 64); err != nil {
+					return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+				}
+			case "B/op":
+				if res.BytesPerOp, err = strconv.ParseInt(value, 10, 64); err != nil {
+					return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+				}
+			case "allocs/op":
+				if res.AllocsPerOp, err = strconv.ParseInt(value, 10, 64); err != nil {
+					return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+				}
+			default:
+				// Custom b.ReportMetric units are recorded elsewhere
+				// (benchmark source / BENCHMARKS.md); skip them here.
 			}
 		}
-		if m[5] != "" {
-			if res.BytesPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
-				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
-			}
-		}
-		if m[6] != "" {
-			if res.AllocsPerOp, err = strconv.ParseInt(m[6], 10, 64); err != nil {
-				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
-			}
+		if !sawNs {
+			continue
 		}
 		res.derive()
 		out = append(out, res)

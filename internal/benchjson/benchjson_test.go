@@ -16,6 +16,7 @@ BenchmarkCorePushFast   	 9066739	       135.0 ns/op	 177.80 MB/s	       0 B/op	
 BenchmarkCorePushFast   	 8866739	       128.9 ns/op	 186.20 MB/s	       0 B/op	       0 allocs/op
 BenchmarkQuadrantBounds-8 	26194077	        40.02 ns/op	       0 B/op	       0 allocs/op
 BenchmarkEngineIngest1kDevices 	    8524	    557465 ns/op	  43.05 MB/s	  152205 B/op	       0 allocs/op
+BenchmarkQueryWindowSelective 	   12236	     46614 ns/op	         0.04000 decode-frac	        40.00 matched/op	   31040 B/op	     138 allocs/op
 PASS
 ok  	github.com/trajcomp/bqs	18.369s
 `
@@ -25,8 +26,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(runs) != 5 {
-		t.Fatalf("parsed %d runs, want 5", len(runs))
+	if len(runs) != 6 {
+		t.Fatalf("parsed %d runs, want 6", len(runs))
 	}
 	first := runs[0]
 	if first.Name != "CorePushFast" || first.Iterations != 8966739 || first.NsPerOp != 131.1 {
@@ -56,6 +57,12 @@ func TestParse(t *testing.T) {
 	if math.Abs(eng.NsPerFix-1e9/wantFixes) > 1e-9 {
 		t.Errorf("NsPerFix = %v", eng.NsPerFix)
 	}
+	// Custom b.ReportMetric columns between ns/op and the -benchmem
+	// pair are skipped without losing B/op and allocs/op.
+	qw := runs[5]
+	if qw.Name != "QueryWindowSelective" || qw.NsPerOp != 46614 || qw.BytesPerOp != 31040 || qw.AllocsPerOp != 138 {
+		t.Errorf("custom-metric run = %+v", qw)
+	}
 }
 
 func TestMedian(t *testing.T) {
@@ -64,8 +71,8 @@ func TestMedian(t *testing.T) {
 		t.Fatal(err)
 	}
 	med := Median(runs)
-	if len(med) != 3 {
-		t.Fatalf("median groups = %d, want 3", len(med))
+	if len(med) != 4 {
+		t.Fatalf("median groups = %d, want 4", len(med))
 	}
 	// First-seen order is preserved.
 	if med[0].Name != "CorePushFast" || med[1].Name != "QuadrantBounds" || med[2].Name != "EngineIngest1kDevices" {
@@ -105,7 +112,7 @@ func TestReportJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Benchmarks) != 3 || back.Schema != Schema {
+	if len(back.Benchmarks) != 4 || back.Schema != Schema {
 		t.Errorf("round-trip = %+v", back)
 	}
 }

@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+// gridWalk builds a random walk for device d snapped to the wire
+// format's resolution (0.01 m at the default 1e5 m/°) with whole-second
+// timestamps, so every emitted key point survives the persist round
+// trip bit-exactly and the in-memory and durable ground truths can be
+// compared as equal sets. Device d walks inside its own ~2 km cell.
+func gridWalk(d, n int, rng *rand.Rand) []core.Point {
+	snap := func(v float64) float64 { return math.Round(v*100) / 100 }
+	x := float64(d%4) * 2000
+	y := float64(d/4) * 2000
+	t := 1000.0
+	pts := make([]core.Point, n)
+	for i := range pts {
+		x += rng.Float64()*20 - 10
+		y += rng.Float64()*20 - 10
+		t += float64(rng.Intn(4) + 1)
+		pts[i] = core.Point{X: snap(x), Y: snap(y), T: t}
+	}
+	return pts
+}
+
+// pairSet reduces segments to a set of wire-resolution pair keys.
+func pairSet(segs []trajstore.Segment, m float64) map[pairKey]bool {
+	out := make(map[pairKey]bool, len(segs))
+	for _, s := range segs {
+		out[pairKeyOf(s.A, s.B, m)] = true
+	}
+	return out
+}
+
+// diffSets reports the asymmetric differences between two pair sets.
+func diffSets(a, b map[pairKey]bool) (onlyA, onlyB int) {
+	for k := range a {
+		if !b[k] {
+			onlyA++
+		}
+	}
+	for k := range b {
+		if !a[k] {
+			onlyB++
+		}
+	}
+	return onlyA, onlyB
+}
+
+// durablePairSet derives the exact-filtered pair set from a raw log's
+// window query — the durable side of the differential comparison.
+func durablePairSet(t *testing.T, lg *segmentlog.Log, minX, minY, maxX, maxY float64, t0, t1 uint32, m float64) map[pairKey]bool {
+	t.Helper()
+	recs, err := lg.QueryWindow(minX/m, minY/m, maxX/m, maxY/m, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[pairKey]bool)
+	for _, rec := range recs {
+		for i := 0; i+1 < len(rec.Keys); i++ {
+			a, b := geoPoint(rec.Keys[i], m), geoPoint(rec.Keys[i+1], m)
+			if pairInWindow(a, b, minX, minY, maxX, maxY, float64(t0), float64(t1)) {
+				out[pairKeyOf(a, b, m)] = true
+			}
+		}
+	}
+	return out
+}
+
+// diffWindows are the randomized-plus-corner windows of the
+// differential test. Boundaries sit at x.5 cm offsets, half a quantum
+// off the snapped coordinate grid, so inclusion can never be decided
+// by floating-point luck on either side.
+func diffWindows(rng *rand.Rand) [][6]float64 {
+	ws := [][6]float64{
+		{-1e6, -1e6, 1e6, 1e6, 0, math.MaxUint32},               // everything
+		{0.005, 0.005, 1900.005, 1900.005, 0, math.MaxUint32},   // one cell
+		{-1e6, -1e6, 1e6, 1e6, 1000, 1200},                      // early time slice
+		{123456.005, 123456.005, 123466.005, 123466.005, 0, 10}, // empty
+	}
+	for i := 0; i < 8; i++ {
+		x0 := math.Floor(rng.Float64()*6000)*1 - 1000 + 0.005
+		y0 := math.Floor(rng.Float64()*6000)*1 - 1000 + 0.005
+		w := math.Floor(rng.Float64()*3000) + 1
+		t0 := uint32(1000 + rng.Intn(400))
+		t1 := t0 + uint32(rng.Intn(600))
+		ws = append(ws, [6]float64{x0, y0, x0 + w, y0 + w, float64(t0), float64(t1)})
+	}
+	return ws
+}
+
+// TestDifferentialWindowQueries is the ground-truth property test: on
+// a randomized multi-device fleet ingested with chunking, the durable
+// log's QueryWindow must return exactly the trajectory segments the
+// in-memory Store.Query ∩ QueryTime ground truth returns — at wire
+// resolution, across randomized windows, and again after
+// crash-recovery and after compaction.
+func TestDifferentialWindowQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	lg, err := segmentlog.Open(dir, segmentlog.Options{MaxSegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 1e5
+	e, err := New(Config{
+		Compressor:   "fbqs",
+		Tolerance:    5,
+		Shards:       4,
+		MaxTrailKeys: 7, // force chunked records with the 1-key overlap
+		Persister:    lg,
+		Store:        trajstore.Config{}, // MergeTolerance 0: every pair stored verbatim
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const devices, fixesPer = 12, 300
+	tracks := make([][]core.Point, devices)
+	for d := range tracks {
+		tracks[d] = gridWalk(d, fixesPer, rng)
+	}
+	var fixes []Fix
+	for i := 0; i < fixesPer; i++ {
+		for d := range tracks {
+			fixes = append(fixes, Fix{Device: fmt.Sprintf("dev-%02d", d), Point: tracks[d][i]})
+		}
+	}
+	for lo := 0; lo < len(fixes); lo += 512 {
+		hi := min(lo+512, len(fixes))
+		if err := e.Ingest(fixes[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil { // flushes every session to the log
+		t.Fatal(err)
+	}
+
+	windows := diffWindows(rng)
+	truth := make([]map[pairKey]bool, len(windows))
+	nonEmpty := 0
+	for i, w := range windows {
+		truth[i] = pairSet(e.Stores().QueryWindow(w[0], w[1], w[2], w[3], w[4], w[5]), m)
+		if len(truth[i]) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 3 {
+		t.Fatalf("degenerate windows: only %d non-empty ground truths", nonEmpty)
+	}
+
+	compare := func(stage string, lg *segmentlog.Log) {
+		t.Helper()
+		for i, w := range windows {
+			got := durablePairSet(t, lg, w[0], w[1], w[2], w[3], uint32(w[4]), uint32(w[5]), m)
+			if onlyMem, onlyLog := diffSets(truth[i], got); onlyMem != 0 || onlyLog != 0 {
+				t.Fatalf("%s window %d: %d segments only in memory, %d only in log (truth %d)",
+					stage, i, onlyMem, onlyLog, len(truth[i]))
+			}
+		}
+	}
+
+	// Leg 1: clean reopen (block-index load path).
+	lg2, err := segmentlog.Open(dir, segmentlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare("reopen", lg2)
+	if err := lg2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 2: crash recovery — a torn append on the active segment is
+	// truncated on reopen without disturbing any committed record.
+	man, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, line := range splitLines(string(man)) {
+		if len(line) > 4 && line[:4] == "seg " {
+			last = line[4:]
+			if i := indexByte(last, ' '); i >= 0 {
+				last = last[:i]
+			}
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, last), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x55, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	lg3, err := segmentlog.Open(dir, segmentlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg3.Stats().Truncated == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	compare("crash-recovery", lg3)
+
+	// Leg 3: compaction (chunk merge + dedup — polyline-preserving).
+	if _, err := lg3.Compact(segmentlog.CompactionPolicy{MergeChunks: true}); err != nil {
+		t.Fatal(err)
+	}
+	compare("compacted", lg3)
+	if err := lg3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 4: reopen of the compacted log.
+	lg4, err := segmentlog.Open(dir, segmentlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg4.Close()
+	compare("compacted-reopen", lg4)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := indexByte(s, '\n')
+		if i < 0 {
+			out = append(out, s)
+			break
+		}
+		out = append(out, s[:i])
+		s = s[i+1:]
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestEngineQueryWindowMergesLiveAndDurable: one Engine.QueryWindow
+// call sees un-persisted session tails (live stores), persisted
+// history (durable log), and never double-reports a segment present in
+// both.
+func TestEngineQueryWindowMergesLiveAndDurable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dir := t.TempDir()
+	const m = 1e5
+	newEngine := func() (*Engine, *segmentlog.Log) {
+		t.Helper()
+		lg, err := segmentlog.Open(dir, segmentlog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{
+			Compressor: "fbqs", Tolerance: 5, Shards: 2,
+			IdleTimeout: time.Hour, Persister: lg,
+			Clock: func() time.Time { return time.Unix(0, 0) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, lg
+	}
+	e, _ := newEngine()
+	track := gridWalk(0, 400, rng)
+	for i := range track {
+		if err := e.IngestOne("roamer", track[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-session: nothing persisted yet, the live side answers alone.
+	all := func(e *Engine) []trajstore.Segment {
+		t.Helper()
+		segs, err := e.QueryWindow(-1e6, -1e6, 1e6, 1e6, 0, math.MaxUint32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return segs
+	}
+	liveOnly := all(e)
+	if len(liveOnly) == 0 {
+		t.Fatal("no live segments")
+	}
+	if n := len(pairSet(liveOnly, m)); n != len(liveOnly) {
+		t.Fatalf("live result has duplicate pairs: %d unique of %d", n, len(liveOnly))
+	}
+
+	// After a full flush the same segments are also durable. Close
+	// flushes the compressor, which may emit tail key points beyond the
+	// mid-session snapshot; the post-close stores are the ground truth.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flushed := pairSet(e.Stores().QueryWindow(-1e6, -1e6, 1e6, 1e6, 0, math.MaxUint32), m)
+	if len(flushed) < len(liveOnly) {
+		t.Fatalf("post-close ground truth shrank: %d < %d", len(flushed), len(liveOnly))
+	}
+	e2, _ := newEngine()
+	// Restart: the stores are empty, history must come from the log.
+	fromLog := all(e2)
+	if onlyMem, onlyLog := diffSets(flushed, pairSet(fromLog, m)); onlyMem != 0 || onlyLog != 0 {
+		t.Fatalf("restarted engine durable view diverges: %d only in memory, %d only in log", onlyMem, onlyLog)
+	}
+	// Re-ingest the same walk: every pair is now both live and durable;
+	// dedup must keep the count stable.
+	for i := range track {
+		if err := e2.IngestOne("roamer", track[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.EvictIdle(); err != nil { // IdleTimeout not elapsed: sessions stay
+		t.Fatal(err)
+	}
+	merged := all(e2)
+	if got, want := len(pairSet(merged, m)), len(flushed); got != want {
+		t.Fatalf("merged live+durable set has %d unique pairs, want %d", got, want)
+	}
+	if len(merged) != len(pairSet(merged, m)) {
+		t.Fatalf("merged result double-reports: %d rows, %d unique", len(merged), len(pairSet(merged, m)))
+	}
+
+	// A spatial sub-window agrees with the in-memory ground truth.
+	xs := make([]float64, 0, len(track))
+	for _, p := range track {
+		xs = append(xs, p.X)
+	}
+	sort.Float64s(xs)
+	midX := xs[len(xs)/2] + 0.005
+	sub, err := e2.QueryWindow(-1e6, -1e6, midX, 1e6, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub := pairSet(e2.Stores().QueryWindow(-1e6, -1e6, midX, 1e6, 0, math.MaxUint32), m)
+	if onlyMem, onlyMerged := diffSets(wantSub, pairSet(sub, m)); onlyMem != 0 || onlyMerged != 0 {
+		t.Fatalf("sub-window merge diverges: %d only in memory, %d extra", onlyMem, onlyMerged)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.QueryWindow(0, 0, 1, 1, 0, 1); err != ErrClosed {
+		t.Fatalf("QueryWindow on closed engine = %v, want ErrClosed", err)
+	}
+}

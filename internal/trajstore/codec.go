@@ -179,6 +179,55 @@ func DeltaDecode(b []byte) ([]GeoKey, error) {
 	return keys, nil
 }
 
+// DeltaValidate reports whether b is a structurally valid DeltaEncode
+// payload — exactly the checks DeltaDecode applies, without
+// materializing the key points. The segment log uses it during
+// recovery scans so an indexed record is always servable: a CRC can be
+// forged byte-by-byte (coverage-guided fuzzers do), but a record whose
+// payload does not parse must be treated as torn, not indexed and then
+// failed at read time.
+func DeltaValidate(b []byte) bool {
+	n, off := binary.Uvarint(b)
+	if off <= 0 || n > uint64(len(b)) {
+		return false
+	}
+	pos := off
+	var pT int64
+	for i := uint64(0); i < n; i++ {
+		_, w1 := binary.Varint(b[pos:])
+		if w1 <= 0 {
+			return false
+		}
+		pos += w1
+		_, w2 := binary.Varint(b[pos:])
+		if w2 <= 0 {
+			return false
+		}
+		pos += w2
+		var t int64
+		if i == 0 {
+			tu, w3 := binary.Uvarint(b[pos:])
+			if w3 <= 0 {
+				return false
+			}
+			pos += w3
+			t = int64(tu)
+		} else {
+			dt, w3 := binary.Varint(b[pos:])
+			if w3 <= 0 {
+				return false
+			}
+			pos += w3
+			t = pT + dt
+		}
+		if t < 0 || t > math.MaxUint32 {
+			return false
+		}
+		pT = t
+	}
+	return true
+}
+
 // PointKeysToGeo is a convenience for tests and tools: it treats projected
 // metric points as if they were micro-degree coordinates scaled by the
 // given factors. Real deployments should project properly via the geo

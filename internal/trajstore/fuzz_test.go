@@ -202,3 +202,42 @@ func TestDeltaRoundTripQuantizationBoundary(t *testing.T) {
 		}
 	}
 }
+
+// TestDeltaValidateMatchesDecode pins the contract the segment log's
+// recovery scan relies on: DeltaValidate accepts exactly the payloads
+// DeltaDecode can materialize — over valid encodes, every truncation
+// of one, and a sweep of single-byte corruptions.
+func TestDeltaValidateMatchesDecode(t *testing.T) {
+	check := func(b []byte) {
+		t.Helper()
+		_, err := DeltaDecode(b)
+		if got := DeltaValidate(b); got != (err == nil) {
+			t.Fatalf("DeltaValidate=%v but DeltaDecode err=%v for %x", got, err, b)
+		}
+	}
+	keys := []GeoKey{
+		{Lat: 1.25, Lon: -2.5, T: 100},
+		{Lat: 1.2500001, Lon: -2.4999999, T: 160},
+		{Lat: 1.26, Lon: -2.51, T: 160},
+		{Lat: -89.9999999, Lon: 179.9999999, T: 4294967295},
+	}
+	valid, err := DeltaEncode(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(valid)
+	for cut := 0; cut <= len(valid); cut++ {
+		check(valid[:cut])
+	}
+	for i := range valid {
+		for _, x := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= x
+			check(mut)
+		}
+	}
+	// Negative-time delta underflow and implausible counts.
+	check([]byte{0x02, 0x02, 0x02, 0x05, 0x02, 0x02, 0x0b}) // t1=5, dt=-6 → t<0
+	check([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})             // count ≫ len
+	check(nil)
+}

@@ -27,11 +27,31 @@ func cellKey(cx, cy int32) uint64 {
 }
 
 func (g *gridIndex) cellOf(x, y float64) (int32, int32) {
-	return int32(math.Floor(x / g.cell)), int32(math.Floor(y / g.cell))
+	return clampCell(math.Floor(x / g.cell)), clampCell(math.Floor(y / g.cell))
+}
+
+// clampCell saturates a cell coordinate into int32 range. Go's
+// out-of-range float→int conversion is implementation-defined (amd64
+// collapses both infinities to MinInt32), so without saturation the
+// two corners of a huge query box can land on the same sentinel cell
+// and take the single-cell fast path — silently returning nothing.
+func clampCell(v float64) int32 {
+	switch {
+	case v >= math.MaxInt32:
+		return math.MaxInt32
+	case v <= math.MinInt32:
+		return math.MinInt32
+	case v != v: // NaN: pick a deterministic cell rather than UB
+		return 0
+	}
+	return int32(v)
 }
 
 // span returns the clamped cell-coordinate range covered by box; ok is
-// false for an empty box.
+// false for an empty box. The clamp guards *writes* against a
+// pathological box flooding the map with cells; queries must not use
+// it — a clamped read would silently drop everything outside the
+// clamped corner (see query's map-walk fallback instead).
 func (g *gridIndex) span(box geom.Box) (lox, loy, hix, hiy int32, ok bool) {
 	if box.Empty() {
 		return 0, 0, 0, 0, false
@@ -90,25 +110,44 @@ func (g *gridIndex) remove(id uint64, box geom.Box) {
 // query returns the deduplicated candidate IDs whose cells overlap box.
 // For a single-cell box — the common case for segment-sized queries — the
 // cell's slice is returned directly without copying; callers must not
-// mutate or retain the result past the Store lock.
+// mutate or retain the result past the Store lock. A box covering more
+// cells than are populated is answered by walking the populated cells
+// instead — complete at any query size (the write-path span clamp must
+// never truncate a read: a whole-world window query has to see
+// everything).
 func (g *gridIndex) query(box geom.Box) []uint64 {
-	lox, loy, hix, hiy, ok := g.span(box)
-	if !ok {
+	if box.Empty() {
 		return nil
 	}
+	lox, loy := g.cellOf(box.Min.X, box.Min.Y)
+	hix, hiy := g.cellOf(box.Max.X, box.Max.Y)
 	if lox == hix && loy == hiy {
 		return g.cells[cellKey(lox, loy)]
 	}
 	seen := make(map[uint64]bool)
 	var out []uint64
+	collect := func(ids []uint64) {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	nx, ny := int64(hix)-int64(lox)+1, int64(hiy)-int64(loy)+1
+	if nx > int64(len(g.cells)) || ny > int64(len(g.cells)) || nx*ny > int64(len(g.cells)) {
+		for k, ids := range g.cells {
+			cx, cy := int32(k>>32), int32(uint32(k))
+			if cx < lox || cx > hix || cy < loy || cy > hiy {
+				continue
+			}
+			collect(ids)
+		}
+		return out
+	}
 	for cx := lox; cx <= hix; cx++ {
 		for cy := loy; cy <= hiy; cy++ {
-			for _, id := range g.cells[cellKey(cx, cy)] {
-				if !seen[id] {
-					seen[id] = true
-					out = append(out, id)
-				}
-			}
+			collect(g.cells[cellKey(cx, cy)])
 		}
 	}
 	return out

@@ -24,6 +24,27 @@ type Compacter interface {
 	CompactNow() error
 }
 
+// PersistedRecord is one durably stored trajectory as read back from a
+// Persister's log: the decoded key points plus the indexed time bounds.
+// segmentlog.Record is an alias of this type.
+type PersistedRecord struct {
+	Device string
+	T0, T1 uint32   // indexed observation time bounds, seconds
+	Keys   []GeoKey // the compressed trajectory's key points
+}
+
+// WindowQuerier is optionally implemented by Persisters that can answer
+// spatio-temporal window queries over their durable storage
+// (segmentlog.Log does, via its block indexes). Coordinates are the
+// wire format's degrees — X longitude, Y latitude; QueryWindow returns
+// every record with at least one consecutive key-point pair whose
+// bounding box intersects [minX, maxX] × [minY, maxY] and whose time
+// span overlaps [t0, t1], in log order. It must be safe to call
+// concurrently with Append/Sync/CompactNow.
+type WindowQuerier interface {
+	QueryWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]PersistedRecord, error)
+}
+
 // persistHolder is the optional persister attachment shared by Store
 // wrappers; Sharded embeds one so the engine can thread durability
 // through the existing storage object without new plumbing types.
@@ -72,6 +93,18 @@ func (h *persistHolder) CompactPersist() error {
 		return c.CompactNow()
 	}
 	return nil
+}
+
+// QueryWindowPersist forwards a spatio-temporal window query (degree
+// coordinates: X longitude, Y latitude) to the attached persister; ok
+// is false when none is attached or it cannot answer window queries.
+func (h *persistHolder) QueryWindowPersist(minX, minY, maxX, maxY float64, t0, t1 uint32) (recs []PersistedRecord, ok bool, err error) {
+	q, isQ := h.Persister().(WindowQuerier)
+	if !isQ {
+		return nil, false, nil
+	}
+	recs, err = q.QueryWindow(minX, minY, maxX, maxY, t0, t1)
+	return recs, true, err
 }
 
 // ClosePersist closes the attached persister, if any, and detaches it.

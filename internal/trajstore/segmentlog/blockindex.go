@@ -1,0 +1,286 @@
+// Block index: the durable form of one sealed segment's record
+// metadata. When a segment is sealed — by rotation or written by the
+// compactor — its per-record index entries (device, time bounds,
+// bounding box, body offset) are serialized into a sibling
+// "seg-NNNNNNNN.idx" file, CRC-protected and referenced from the
+// MANIFEST. Open then rebuilds a sealed segment's index by reading the
+// small .idx file instead of the whole .log file, and window queries
+// prune records spatially without touching the payloads.
+//
+// The index is strictly an accelerator: it never changes results. A
+// missing, stale (size-mismatched) or corrupt index falls back to the
+// full segment scan, which recovers exactly the same metadata from the
+// record headers themselves — FuzzBlockIndex pins the never-wrong,
+// never-panic contract.
+//
+// Layout (little-endian):
+//
+//	0..5   magic "BQSIDX"
+//	6      index format version (1)
+//	7      record-format version of the covered segment file
+//	body:
+//	  uvarint  segSize      valid bytes of the covered .log file
+//	  uvarint  recordCount
+//	  per record, in file order:
+//	    uvarint  deviceLen, device ID bytes
+//	    u32 t0, u32 t1      indexed time bounds
+//	    u8  flags           bit0: a bounding box follows
+//	    [4 × u32]           bbox as int32 1e-7°: minLat, minLon, maxLat, maxLon
+//	    uvarint  off        body offset within the segment file
+//	    uvarint  bodyLen
+//	u32  crc32c over every preceding byte
+package segmentlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	// idxHeaderSize is the fixed index-file header: 6 magic bytes, the
+	// index format version and the covered segment's record version.
+	idxHeaderSize = 8
+	// idxVersion is the current block-index format version.
+	idxVersion = 1
+	// idxFlagBBox marks an entry that carries a bounding box.
+	idxFlagBBox = 1
+)
+
+var idxMagic = [6]byte{'B', 'Q', 'S', 'I', 'D', 'X'}
+
+// errBadIndex reports a structurally invalid block-index file; callers
+// fall back to scanning the segment itself.
+var errBadIndex = errors.New("segmentlog: invalid block index")
+
+// idxName formats the canonical index file name for segment sequence n.
+func idxName(n uint64) string { return fmt.Sprintf("seg-%08d.idx", n) }
+
+// parseIdxName extracts the sequence number from a canonical index file
+// name; ok is false for anything else.
+func parseIdxName(name string) (uint64, bool) {
+	const pre, suf = "seg-", ".idx"
+	if len(name) < len(pre)+len(suf) || name[:len(pre)] != pre || name[len(name)-len(suf):] != suf {
+		return 0, false
+	}
+	n, ok := parseSegName(name[:len(name)-len(suf)] + ".log")
+	if !ok {
+		return 0, false
+	}
+	return n, true
+}
+
+// idxPathFor derives the index file path of a segment file path.
+func idxPathFor(segPath string) (string, bool) {
+	n, ok := parseSegName(filepath.Base(segPath))
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(filepath.Dir(segPath), idxName(n)), true
+}
+
+// formatBlockIndex renders the index of one sealed segment: its valid
+// size, record-format version and per-record metadata in file order.
+func formatBlockIndex(segSize int64, segVer byte, metas []recordMeta) []byte {
+	out := make([]byte, 0, idxHeaderSize+16+len(metas)*32)
+	out = append(out, idxMagic[:]...)
+	out = append(out, idxVersion, segVer)
+	out = binary.AppendUvarint(out, uint64(segSize))
+	out = binary.AppendUvarint(out, uint64(len(metas)))
+	for i := range metas {
+		m := &metas[i]
+		out = binary.AppendUvarint(out, uint64(len(m.device)))
+		out = append(out, m.device...)
+		out = binary.LittleEndian.AppendUint32(out, m.t0)
+		out = binary.LittleEndian.AppendUint32(out, m.t1)
+		if m.hasBB {
+			out = append(out, idxFlagBBox)
+			out = binary.LittleEndian.AppendUint32(out, uint32(m.bb.minLat))
+			out = binary.LittleEndian.AppendUint32(out, uint32(m.bb.minLon))
+			out = binary.LittleEndian.AppendUint32(out, uint32(m.bb.maxLat))
+			out = binary.LittleEndian.AppendUint32(out, uint32(m.bb.maxLon))
+		} else {
+			out = append(out, 0)
+		}
+		out = binary.AppendUvarint(out, uint64(m.off))
+		out = binary.AppendUvarint(out, uint64(m.bodyLen))
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
+}
+
+// parseBlockIndex validates and decodes a block-index file. Every
+// structural defect is an error: entries must be in strictly increasing
+// file order, inside the recorded segment size and individually
+// plausible, so a loaded index can never address bytes a scan would not
+// have indexed. (Queries still CRC-verify each record they read, so
+// even a colliding-CRC forgery cannot produce wrong results — only a
+// read error.)
+func parseBlockIndex(data []byte) (segSize int64, segVer byte, metas []recordMeta, err error) {
+	if len(data) < idxHeaderSize+4 {
+		return 0, 0, nil, fmt.Errorf("%w: short file", errBadIndex)
+	}
+	if [6]byte(data[:6]) != idxMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic", errBadIndex)
+	}
+	if data[6] != idxVersion {
+		return 0, 0, nil, fmt.Errorf("%w: unsupported index version %d", errBadIndex, data[6])
+	}
+	segVer = data[7]
+	if segVer != versionLegacy && segVer != version {
+		return 0, 0, nil, fmt.Errorf("%w: unsupported segment version %d", errBadIndex, segVer)
+	}
+	covered := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(covered, castagnoli); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: crc mismatch (%08x != %08x)", errBadIndex, got, want)
+	}
+	b := covered[idxHeaderSize:]
+	next := func() (uint64, error) {
+		v, w := binary.Uvarint(b)
+		if w <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", errBadIndex)
+		}
+		b = b[w:]
+		return v, nil
+	}
+	size, err := next()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if size < headerSize || size > 1<<62 {
+		return 0, 0, nil, fmt.Errorf("%w: implausible segment size %d", errBadIndex, size)
+	}
+	segSize = int64(size)
+	count, err := next()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	// Every entry costs ≥ 12 bytes on the wire; a larger count is a lie.
+	if count > uint64(len(b))/12+1 {
+		return 0, 0, nil, fmt.Errorf("%w: implausible record count %d", errBadIndex, count)
+	}
+	metas = make([]recordMeta, 0, count)
+	prevEnd := int64(headerSize)
+	minBody := int64(minBodySizeFor(segVer))
+	for i := uint64(0); i < count; i++ {
+		var m recordMeta
+		devLen, err := next()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if devLen > uint64(^uint16(0)) || devLen > uint64(len(b)) {
+			return 0, 0, nil, fmt.Errorf("%w: implausible device length %d", errBadIndex, devLen)
+		}
+		m.device = string(b[:devLen])
+		b = b[devLen:]
+		if len(b) < 9 {
+			return 0, 0, nil, fmt.Errorf("%w: truncated entry", errBadIndex)
+		}
+		m.t0 = binary.LittleEndian.Uint32(b)
+		m.t1 = binary.LittleEndian.Uint32(b[4:])
+		flags := b[8]
+		b = b[9:]
+		if flags&^byte(idxFlagBBox) != 0 {
+			return 0, 0, nil, fmt.Errorf("%w: unknown entry flags %#x", errBadIndex, flags)
+		}
+		if m.t0 > m.t1 {
+			return 0, 0, nil, fmt.Errorf("%w: inverted time bounds", errBadIndex)
+		}
+		if flags&idxFlagBBox != 0 {
+			if len(b) < 16 {
+				return 0, 0, nil, fmt.Errorf("%w: truncated bbox", errBadIndex)
+			}
+			m.hasBB = true
+			m.bb.minLat = int32(binary.LittleEndian.Uint32(b))
+			m.bb.minLon = int32(binary.LittleEndian.Uint32(b[4:]))
+			m.bb.maxLat = int32(binary.LittleEndian.Uint32(b[8:]))
+			m.bb.maxLon = int32(binary.LittleEndian.Uint32(b[12:]))
+			b = b[16:]
+			if m.bb.minLat > m.bb.maxLat || m.bb.minLon > m.bb.maxLon {
+				return 0, 0, nil, fmt.Errorf("%w: inverted bbox", errBadIndex)
+			}
+		}
+		off, err := next()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		bodyLen, err := next()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		m.off = int64(off)
+		m.bodyLen = int(bodyLen)
+		if int64(bodyLen) < minBody || bodyLen > MaxRecordBytes {
+			return 0, 0, nil, fmt.Errorf("%w: implausible body length %d", errBadIndex, bodyLen)
+		}
+		if m.off < prevEnd+recordHeaderSize || m.off+int64(m.bodyLen) > segSize {
+			return 0, 0, nil, fmt.Errorf("%w: entry outside segment bounds", errBadIndex)
+		}
+		prevEnd = m.off + int64(m.bodyLen)
+		metas = append(metas, m)
+	}
+	if len(b) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", errBadIndex, len(b))
+	}
+	return segSize, segVer, metas, nil
+}
+
+// writeBlockIndex persists (and fsyncs) the index of one sealed
+// segment next to it. The write is not atomic: a torn index fails the
+// CRC on load and degrades to a scan, never to wrong results.
+func writeBlockIndex(segPath string, segSize int64, segVer byte, metas []recordMeta) error {
+	path, ok := idxPathFor(segPath)
+	if !ok {
+		return fmt.Errorf("segmentlog: %s is not a canonical segment name", segPath)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("segmentlog: block index: %w", err)
+	}
+	if _, err := f.Write(formatBlockIndex(segSize, segVer, metas)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("segmentlog: block index: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("segmentlog: block index: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("segmentlog: block index: %w", err)
+	}
+	return nil
+}
+
+// loadBlockIndex reads and validates the index of segPath, additionally
+// requiring the segment file's current size to equal the indexed size —
+// a sealed segment never changes, so any difference means the index
+// belongs to an earlier life of the file (an unpublished rotation) and
+// must not be trusted.
+func loadBlockIndex(segPath string) (segSize int64, segVer byte, metas []recordMeta, err error) {
+	path, ok := idxPathFor(segPath)
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("%w: non-canonical segment name", errBadIndex)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", errBadIndex, err)
+	}
+	segSize, segVer, metas, err = parseBlockIndex(data)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", errBadIndex, err)
+	}
+	if fi.Size() != segSize {
+		return 0, 0, nil, fmt.Errorf("%w: segment is %d bytes, index covers %d", errBadIndex, fi.Size(), segSize)
+	}
+	return segSize, segVer, metas, nil
+}

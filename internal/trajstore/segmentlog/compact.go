@@ -202,11 +202,19 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 		return res, nil
 	}
 
-	// Read every sealed record, grouped per device in append order.
+	// Read every sealed record, grouped per device in append order. A
+	// sealed segment in the legacy record format, or one without a live
+	// block index, marks the pass as an upgrade: even a record-identical
+	// rewrite is then worthwhile, because the output carries bounding
+	// boxes and sealed indexes the input lacked.
 	perDev := make(map[string][]compactRecord)
+	upgrade := false
 	for _, sf := range sealed {
 		res.SegmentsIn++
 		res.BytesIn += sf.size
+		if sf.ver != version || !sf.idx {
+			upgrade = true
+		}
 		if err := readSealed(sf, perDev, &res.RecordsIn); err != nil {
 			return res, err
 		}
@@ -261,8 +269,8 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	// incompressible) log costs one read pass, not a full-log rewrite,
 	// fsync storm and generation bump every interval. (RecordsIn == 0
 	// with sealed segments present still rewrites, to drop the empty
-	// files.)
-	if res.Merged == 0 && res.Deduped == 0 && res.Aged == 0 && res.RecordsIn > 0 {
+	// files; an upgrade pass rewrites to gain bboxes and block indexes.)
+	if res.Merged == 0 && res.Deduped == 0 && res.Aged == 0 && res.RecordsIn > 0 && !upgrade {
 		res.RecordsOut = res.RecordsIn
 		res.SegmentsOut = res.SegmentsIn
 		res.BytesOut = res.BytesIn
@@ -273,9 +281,9 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 		return res, nil
 	}
 
-	// Write the replacement segments (unreferenced until the manifest
-	// rename below).
-	newSegs, newRefs, err := l.writeCompacted(out)
+	// Write the replacement segments and their sealed block indexes
+	// (unreferenced until the manifest rename below).
+	newSegs, newRecs, err := l.writeCompacted(out)
 	if err != nil {
 		return res, err
 	}
@@ -297,37 +305,20 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	}
 	S := len(sealed)
 	tail := l.segs[S:] // active segment + any sealed during compaction
+	tailRecs := l.segRecs[S:]
 	tailOnlyActive := len(tail) == 1
-	names := make([]string, 0, len(newSegs)+len(tail))
-	for _, s := range newSegs {
-		names = append(names, filepath.Base(s.path))
-	}
-	for _, s := range tail {
-		names = append(names, filepath.Base(s.path))
-	}
-	if err := writeManifest(l.dir, manifest{Gen: l.gen + 1, Segs: names}); err != nil {
+	combined := append(append([]segmentFile(nil), newSegs...), tail...)
+	combinedRecs := append(append([][]recordMeta(nil), newRecs...), tailRecs...)
+	if err := writeManifest(l.dir, manifest{Gen: l.gen + 1, Segs: manifestSegs(combined)}); err != nil {
 		l.mu.Unlock()
 		return res, err
 	}
 	l.gen++
 	res.Gen = l.gen
 
-	shift := len(newSegs) - S
-	newIndex := make(map[string][]recordRef, len(l.index))
-	for dev, refs := range newRefs {
-		newIndex[dev] = refs
-	}
-	records := 0
-	for dev, refs := range l.index {
-		for _, r := range refs {
-			if r.seg >= S {
-				r.seg += shift
-				newIndex[dev] = append(newIndex[dev], r)
-			}
-		}
-	}
-	l.segs = append(append([]segmentFile(nil), newSegs...), tail...)
-	l.index = newIndex
+	l.segs = combined
+	l.segRecs = combinedRecs
+	l.rebuildIndexLocked()
 	var bytes int64
 	for i, s := range l.segs {
 		if i == len(l.segs)-1 {
@@ -336,10 +327,6 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 			bytes += s.size
 		}
 	}
-	for _, refs := range newIndex {
-		records += len(refs)
-	}
-	l.stats.Records = records
 	l.stats.Bytes = bytes
 	l.mu.Unlock()
 
@@ -347,14 +334,20 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 		return res, err
 	}
 
-	// Delete the superseded generation. Failures (and crashes) here are
-	// benign: the files are unreferenced and the next Open sweeps them.
+	// Delete the superseded generation — segment files and their block
+	// indexes. Failures (and crashes) here are benign: the files are
+	// unreferenced and the next Open sweeps them.
 	for i, sf := range sealed {
 		if err := l.fire(fmt.Sprintf("delete:%d", i)); err != nil {
 			return res, err
 		}
 		if err := os.Remove(sf.path); err != nil && !os.IsNotExist(err) {
 			return res, fmt.Errorf("segmentlog: removing superseded %s: %w", sf.path, err)
+		}
+		if ip, ok := idxPathFor(sf.path); ok {
+			if err := os.Remove(ip); err != nil && !os.IsNotExist(err) {
+				return res, fmt.Errorf("segmentlog: removing superseded %s: %w", ip, err)
+			}
 		}
 	}
 	if err := syncDir(l.dir); err != nil {
@@ -393,13 +386,16 @@ func readSealed(sf segmentFile, perDev map[string][]compactRecord, count *int) e
 	if len(data) < headerSize {
 		return nil
 	}
+	if [6]byte(data[:6]) != magic || data[6] != sf.ver {
+		return fmt.Errorf("%w: %s: header changed on disk (bit rot since open?)", ErrCorrupt, sf.path)
+	}
 	pos := headerSize
 	for pos < len(data) {
 		body, _, next, ok := nextRecord(data, pos)
 		if !ok {
 			return fmt.Errorf("%w: %s: record at offset %d no longer validates (bit rot since open?)", ErrCorrupt, sf.path, pos)
 		}
-		dev, t0, t1, payload, err := splitBody(body)
+		dev, t0, t1, _, _, payload, err := splitBody(body, sf.ver)
 		if err != nil {
 			return fmt.Errorf("%w: %s: record at offset %d unreadable: %v", ErrCorrupt, sf.path, pos, err)
 		}
@@ -570,11 +566,17 @@ func ageKeys(keys []trajstore.GeoKey, t1, cutoff uint32, p CompactionPolicy) ([]
 }
 
 // writeCompacted packs records into fresh segment files (respecting the
-// rotation threshold), fsyncs them, and returns the files plus the
-// per-device index refs (seg indices relative to the returned slice).
-func (l *Log) writeCompacted(recs []compactRecord) ([]segmentFile, map[string][]recordRef, error) {
+// rotation threshold), fsyncs them, seals a block index next to each,
+// and returns the files plus their per-segment record metadata. Every
+// output segment is in the current record format with a live index —
+// compaction is the upgrade path for legacy data. An index write
+// failure aborts the pass: proceeding without one would leave the
+// output permanently flagged for re-upgrade, turning every periodic
+// tick into a full rewrite.
+func (l *Log) writeCompacted(recs []compactRecord) ([]segmentFile, [][]recordMeta, error) {
 	var segs []segmentFile
-	refs := make(map[string][]recordRef)
+	var segRecs [][]recordMeta
+	var cur []recordMeta
 	var f *os.File
 	var off int64
 	var buf []byte
@@ -582,18 +584,32 @@ func (l *Log) writeCompacted(recs []compactRecord) ([]segmentFile, map[string][]
 		if f == nil {
 			return nil
 		}
-		segs[len(segs)-1].size = off
+		s := &segs[len(segs)-1]
+		s.size = off
 		if err := f.Sync(); err != nil {
 			f.Close()
 			return fmt.Errorf("segmentlog: compact: %w", err)
 		}
-		err := f.Close()
+		if err := f.Close(); err != nil {
+			f = nil
+			return err
+		}
 		f = nil
-		return err
+		if err := writeBlockIndex(s.path, s.size, s.ver, cur); err != nil {
+			return err
+		}
+		s.idx = true
+		for _, m := range cur {
+			s.sum.add(m)
+		}
+		segRecs = append(segRecs, cur)
+		cur = nil
+		return nil
 	}
 	for _, r := range recs {
 		var err error
-		buf, err = encodeRecord(buf[:0], r.device, r.t0, r.t1, r.keys)
+		var bb bbox
+		buf, bb, err = encodeRecord(buf[:0], r.device, r.t0, r.t1, r.keys)
 		if err != nil {
 			closeCurrent()
 			return nil, nil, err
@@ -619,18 +635,20 @@ func (l *Log) writeCompacted(recs []compactRecord) ([]segmentFile, map[string][]
 			}
 			f = nf
 			off = headerSize
-			segs = append(segs, segmentFile{path: path, size: headerSize})
+			segs = append(segs, segmentFile{path: path, size: headerSize, ver: version})
 		}
 		if _, err := f.Write(buf); err != nil {
 			closeCurrent()
 			return nil, nil, fmt.Errorf("segmentlog: compact: %w", err)
 		}
-		refs[r.device] = append(refs[r.device], recordRef{
-			seg:     len(segs) - 1,
+		cur = append(cur, recordMeta{
+			device:  r.device,
 			off:     off + recordHeaderSize,
 			bodyLen: len(buf) - recordHeaderSize,
 			t0:      r.t0,
 			t1:      r.t1,
+			bb:      bb,
+			hasBB:   true,
 		})
 		off += int64(len(buf))
 	}
@@ -642,5 +660,5 @@ func (l *Log) writeCompacted(recs []compactRecord) ([]segmentFile, map[string][]
 			return nil, nil, err
 		}
 	}
-	return segs, refs, nil
+	return segs, segRecs, nil
 }

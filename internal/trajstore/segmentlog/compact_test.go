@@ -471,7 +471,14 @@ func TestCompactNowPolicy(t *testing.T) {
 // TestManifestRoundTrip pins format(parse) as the identity on the
 // canonical form.
 func TestManifestRoundTrip(t *testing.T) {
-	m := manifest{Gen: 42, Segs: []string{"seg-00000009.log", "seg-00000003.log"}}
+	m := manifest{Gen: 42, Segs: []manifestSeg{
+		{Name: "seg-00000009.log", Idx: true, Sum: &segSummary{
+			records: 3, t0: 1000, t1: 2407, bbAll: true,
+			bb: bbox{minLat: -386214000, minLon: 1448123000, maxLat: -385900000, maxLon: 1448200000},
+		}},
+		{Name: "seg-00000005.log", Sum: &segSummary{records: 2, t0: 7, t1: 9, bb: emptyBBox()}},
+		{Name: "seg-00000003.log"},
+	}}
 	got, err := parseManifest(formatManifest(m))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,288 @@
+package segmentlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// v1Fixture is a checked-in pre-block-index log directory written by
+// the version-1 code: a format-1 MANIFEST and four version-1 segment
+// files (no record bounding boxes, no .idx files) holding three
+// spatially separated devices — alpha near (10°, 20°), bravo near
+// (-5°, 30°), charlie near (48°, 2°).
+const v1Fixture = "testdata/v1log"
+
+// copyFixture clones the fixture into a fresh temp dir so writable
+// opens cannot touch the checked-in bytes.
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(v1Fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		src, err := os.Open(filepath.Join(v1Fixture, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := os.Create(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			t.Fatal(err)
+		}
+		src.Close()
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// fixtureWindows are the windows the compat test compares across the
+// fallback and indexed paths: one per device, one spanning all, one
+// empty, one time-restricted.
+var fixtureWindows = []struct {
+	name                   string
+	minX, minY, maxX, maxY float64
+	t0, t1                 uint32
+}{
+	{"alpha", 19.9, 9.9, 20.1, 10.1, 0, math.MaxUint32},
+	{"bravo", 29.9, -5.1, 30.1, -4.9, 0, math.MaxUint32},
+	{"charlie", 1.9, 47.9, 2.1, 48.1, 0, math.MaxUint32},
+	{"all", -180, -90, 180, 90, 0, math.MaxUint32},
+	{"empty", 100, 60, 110, 70, 0, math.MaxUint32},
+	{"early", -180, -90, 180, 90, 0, 1500},
+}
+
+// TestV1FixtureFallbackQueries: the pre-index fixture opens cleanly —
+// read-only and writable — and answers window queries through the
+// decode-everything fallback, matching the brute-force reference.
+func TestV1FixtureFallbackQueries(t *testing.T) {
+	dir := copyFixture(t)
+	ro := mustOpen(t, dir, Options{ReadOnly: true})
+	s := ro.Stats()
+	if s.IndexedSegs != 0 {
+		t.Fatalf("fixture unexpectedly has block indexes: %+v", s)
+	}
+	if s.Records != 18 || s.Devices != 3 {
+		t.Fatalf("fixture contents changed: %+v", s)
+	}
+	for _, w := range fixtureWindows {
+		got, ws, err := ro.QueryWindowStats(w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		want := bruteWindow(t, ro, w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+		if !reflect.DeepEqual(byDevice(got), want) {
+			t.Fatalf("%s: fallback window results diverge from brute force", w.name)
+		}
+		// Legacy records carry no bbox: nothing can be spatially pruned,
+		// every time-eligible record is decoded.
+		if ws.RecordsDecoded != ws.RecordsIndexed-ws.RecordsPruned {
+			t.Fatalf("%s: inconsistent stats %+v", w.name, ws)
+		}
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A writable open seals the legacy active segment (appends must not
+	// extend a version-1 file) and answers identically.
+	lw := mustOpen(t, dir, Options{})
+	defer lw.Close()
+	if s := lw.Stats(); s.Records != 18 || s.Truncated != 0 {
+		t.Fatalf("writable open changed the fixture: %+v", s)
+	}
+	for _, w := range fixtureWindows {
+		got, err := lw.QueryWindow(w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if !reflect.DeepEqual(byDevice(got), bruteWindow(t, lw, w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)) {
+			t.Fatalf("%s: writable-open window results diverge", w.name)
+		}
+	}
+	if err := lw.Append("delta", cellKeys(3, 0, 8)); err != nil {
+		t.Fatalf("append after legacy adoption: %v", err)
+	}
+}
+
+// TestV1FixtureUpgradeIdentical: compacting the fixture upgrades it to
+// the current format (bboxes + block indexes) and the indexed path
+// returns byte-identical results to the fallback path, before and
+// after a reopen through the block indexes.
+func TestV1FixtureUpgradeIdentical(t *testing.T) {
+	dir := copyFixture(t)
+	l := mustOpen(t, dir, Options{})
+
+	type result map[string][]Record
+	snap := func(stage string, l *Log) []result {
+		t.Helper()
+		var out []result
+		for _, w := range fixtureWindows {
+			got, err := l.QueryWindow(w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", stage, w.name, err)
+			}
+			out = append(out, byDevice(got))
+		}
+		return out
+	}
+	before := snap("fallback", l)
+
+	// A no-op policy still rewrites: legacy segments need the upgrade.
+	res, err := l.Compact(CompactionPolicy{NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen == 0 {
+		t.Fatal("compaction skipped the legacy upgrade rewrite")
+	}
+	if res.RecordsOut != res.RecordsIn {
+		t.Fatalf("upgrade pass changed record count: %d → %d", res.RecordsIn, res.RecordsOut)
+	}
+	if s := l.Stats(); s.IndexedSegs == 0 {
+		t.Fatalf("upgrade produced no block indexes: %+v", s)
+	}
+	if !reflect.DeepEqual(snap("indexed", l), before) {
+		t.Fatal("indexed path diverges from the fallback path")
+	}
+	// The indexed path must actually prune now.
+	_, ws, err := l.QueryWindowStats(fixtureWindows[0].minX, fixtureWindows[0].minY,
+		fixtureWindows[0].maxX, fixtureWindows[0].maxY, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.RecordsDecoded >= 18 {
+		t.Fatalf("upgraded log decoded all %d records on a selective window", ws.RecordsDecoded)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen loads sealed segments through the indexes; same answers.
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if s := l2.Stats(); s.IndexedSegs != s.Segments-1 {
+		t.Fatalf("reopen did not use the block indexes: %+v", s)
+	}
+	if !reflect.DeepEqual(snap("reopened", l2), before) {
+		t.Fatal("window results changed across the upgrade reopen")
+	}
+	// A second compaction tick with the same policy is now a no-op.
+	res2, err := l2.Compact(CompactionPolicy{NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Gen != 0 {
+		t.Fatal("upgraded log was rewritten again by an identical policy")
+	}
+}
+
+// TestParseBlockIndexRejections walks the parser's structural-defect
+// branches deterministically (the fuzz target explores them too, but
+// its corpus does not travel with the repository).
+func TestParseBlockIndexRejections(t *testing.T) {
+	metas := []recordMeta{
+		{device: "a", off: headerSize + recordHeaderSize, bodyLen: 40, t0: 1, t1: 2,
+			bb: bbox{minLat: -1, minLon: -2, maxLat: 3, maxLon: 4}, hasBB: true},
+	}
+	valid := formatBlockIndex(headerSize+recordHeaderSize+40, version, metas)
+	if _, _, _, err := parseBlockIndex(valid); err != nil {
+		t.Fatalf("canonical index rejected: %v", err)
+	}
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		mut := mutate(append([]byte(nil), valid...))
+		// Re-seal the CRC so the parser reaches the structural checks.
+		mut = mut[:len(mut)-4]
+		return formatBlockIndexReseal(mut)
+	}
+	cases := map[string][]byte{
+		"short":           {1, 2, 3},
+		"bad magic":       append([]byte("NOTIDX\x01\x02"), valid[8:]...),
+		"bad idx version": corrupt(func(b []byte) []byte { b[6] = 9; return b }),
+		"bad seg version": corrupt(func(b []byte) []byte { b[7] = 7; return b }),
+		"crc mismatch":    append(append([]byte(nil), valid[:len(valid)-1]...), valid[len(valid)-1]^0xff),
+		"trailing bytes":  corrupt(func(b []byte) []byte { return append(b, 0xaa) }),
+	}
+	for name, data := range cases {
+		if _, _, _, err := parseBlockIndex(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Field-level defects, built by formatting metas that violate the
+	// invariants (the formatter writes whatever it is given).
+	bad := []struct {
+		name string
+		size int64
+		ms   []recordMeta
+	}{
+		{"tiny segment size", 4, metas},
+		{"entry before data start", 64, []recordMeta{{device: "a", off: 2, bodyLen: 20, t0: 1, t1: 2}}},
+		{"entry past segment end", 64, []recordMeta{{device: "a", off: 16, bodyLen: 400, t0: 1, t1: 2}}},
+		{"overlapping entries", 200, []recordMeta{
+			{device: "a", off: 16, bodyLen: 40, t0: 1, t1: 2},
+			{device: "a", off: 40, bodyLen: 40, t0: 1, t1: 2}}},
+		{"inverted times", 200, []recordMeta{{device: "a", off: 16, bodyLen: 40, t0: 9, t1: 2}}},
+		{"inverted bbox", 200, []recordMeta{{device: "a", off: 16, bodyLen: 40, t0: 1, t1: 2,
+			bb: bbox{minLat: 5, maxLat: -5}, hasBB: true}}},
+		{"implausible bodyLen", 1 << 40, []recordMeta{{device: "a", off: 16, bodyLen: MaxRecordBytes + 1, t0: 1, t1: 2}}},
+	}
+	for _, c := range bad {
+		if _, _, _, err := parseBlockIndex(formatBlockIndex(c.size, version, c.ms)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// formatBlockIndexReseal re-appends a valid CRC to mutated index bytes.
+func formatBlockIndexReseal(b []byte) []byte {
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+// TestParseManifestRejections covers the v2 field grammar: unknown
+// fields, malformed summaries, and v1 strictness.
+func TestParseManifestRejections(t *testing.T) {
+	seal := func(body string) []byte {
+		covered := []byte(body)
+		return []byte(fmt.Sprintf("%scrc %08x\n", covered, crc32.Checksum(covered, castagnoli)))
+	}
+	reject := []struct{ name, body string }{
+		{"unknown field", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log bogus\n"},
+		{"field after sum", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log sum=1,2,3 idx\n"},
+		{"sum wrong arity", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log sum=1,2\n"},
+		{"sum zero records", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log sum=0,2,3\n"},
+		{"sum inverted time", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log sum=1,9,3\n"},
+		{"sum inverted bbox", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log sum=1,2,3,5,0,-5,0\n"},
+		{"sum non-numeric", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log sum=1,2,x\n"},
+		{"sum bbox overflow", "BQSMANIFEST 2\ngen 1\nseg seg-00000001.log sum=1,2,3,99999999999,0,99999999999,0\n"},
+		{"v1 with idx field", "BQSMANIFEST 1\ngen 1\nseg seg-00000001.log idx\n"},
+		{"bad magic", "BQSMANIFEST 3\ngen 1\nseg seg-00000001.log\n"},
+	}
+	for _, c := range reject {
+		if _, err := parseManifest(seal(c.body)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// And the full v2 grammar parses.
+	m, err := parseManifest(seal("BQSMANIFEST 2\ngen 4\nseg seg-00000002.log idx sum=3,10,20,-5,-6,7,8\nseg seg-00000001.log\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segs) != 2 || !m.Segs[0].Idx || m.Segs[0].Sum == nil || m.Segs[0].Sum.records != 3 || !m.Segs[0].Sum.bbAll {
+		t.Fatalf("v2 manifest misparsed: %+v", m)
+	}
+	if m.Segs[1].Idx || m.Segs[1].Sum != nil {
+		t.Fatalf("bare seg line misparsed: %+v", m.Segs[1])
+	}
+}

@@ -3,6 +3,7 @@ package segmentlog
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"github.com/trajcomp/bqs/internal/trajstore"
@@ -87,14 +88,73 @@ func FuzzRecover(f *testing.F) {
 	})
 }
 
+// FuzzBlockIndex feeds arbitrary bytes to the block-index parser: it
+// must never panic, anything it accepts must round-trip through the
+// formatter (re-rendering and re-parsing yields the identical value —
+// a hostile-but-CRC-valid encoding may use non-minimal varints, so
+// byte identity is not required), and every accepted entry must lie
+// inside the declared segment bounds in strictly increasing order —
+// the invariants that let Open trust a loaded index instead of
+// scanning. (End-to-end, a corrupt index only ever degrades to a scan;
+// see TestBlockIndexCorruptionFallsBack.)
+func FuzzBlockIndex(f *testing.F) {
+	metas := []recordMeta{
+		{device: "alpha", off: headerSize + recordHeaderSize, bodyLen: 40, t0: 10, t1: 20,
+			bb: bbox{minLat: -50, minLon: -60, maxLat: 70, maxLon: 80}, hasBB: true},
+		{device: "bravo", off: headerSize + 2*recordHeaderSize + 40, bodyLen: 30, t0: 15, t1: 35},
+	}
+	f.Add(formatBlockIndex(headerSize+2*recordHeaderSize+70, version, metas))
+	f.Add(formatBlockIndex(headerSize, version, nil))
+	f.Add(formatBlockIndex(headerSize+recordHeaderSize+40, versionLegacy, metas[1:]))
+	f.Add([]byte("BQSIDX\x01\x02"))
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not an index"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		segSize, segVer, metas, err := parseBlockIndex(data)
+		if err != nil {
+			return // structurally rejected is fine
+		}
+		re := formatBlockIndex(segSize, segVer, metas)
+		segSize2, segVer2, metas2, err := parseBlockIndex(re)
+		if err != nil {
+			t.Fatalf("re-rendered index rejected: %v", err)
+		}
+		if segSize2 != segSize || segVer2 != segVer || !reflect.DeepEqual(metas2, metas) {
+			t.Fatalf("round trip changed index: (%d,%d,%+v) → (%d,%d,%+v)",
+				segSize, segVer, metas, segSize2, segVer2, metas2)
+		}
+		prevEnd := int64(headerSize)
+		for i, m := range metas {
+			if m.off < prevEnd+recordHeaderSize || m.off+int64(m.bodyLen) > segSize {
+				t.Fatalf("entry %d outside segment bounds: %+v (segSize %d)", i, m, segSize)
+			}
+			if m.t0 > m.t1 {
+				t.Fatalf("entry %d has inverted time bounds", i)
+			}
+			if m.hasBB && (m.bb.minLat > m.bb.maxLat || m.bb.minLon > m.bb.maxLon) {
+				t.Fatalf("entry %d has an inverted bbox", i)
+			}
+			prevEnd = m.off + int64(m.bodyLen)
+		}
+	})
+}
+
 // FuzzManifest feeds arbitrary bytes to the manifest parser: it must
 // never panic, and whatever it accepts must round-trip — re-rendering a
 // parsed manifest and parsing it again yields the identical value, the
 // invariant Open's "manifest is the source of truth" logic rests on.
 func FuzzManifest(f *testing.F) {
-	f.Add(formatManifest(manifest{Gen: 1, Segs: []string{"seg-00000001.log"}}))
-	f.Add(formatManifest(manifest{Gen: 7, Segs: []string{"seg-00000009.log", "seg-00000003.log"}}))
+	f.Add(formatManifest(manifest{Gen: 1, Segs: []manifestSeg{{Name: "seg-00000001.log"}}}))
+	f.Add(formatManifest(manifest{Gen: 7, Segs: []manifestSeg{
+		{Name: "seg-00000009.log", Idx: true, Sum: &segSummary{
+			records: 2, t0: 10, t1: 90, bbAll: true,
+			bb: bbox{minLat: -100, minLon: -200, maxLat: 300, maxLon: 400},
+		}},
+		{Name: "seg-00000003.log"},
+	}}))
 	f.Add(formatManifest(manifest{Gen: 0}))
+	f.Add([]byte("BQSMANIFEST 2\ngen 3\nseg seg-00000004.log idx sum=1,5,5\ncrc 00000000\n"))
 	f.Add([]byte("BQSMANIFEST 1\ngen 1\nseg seg-00000001.log\ncrc 00000000\n"))
 	f.Add([]byte("BQSMANIFEST 1\ngen 1\nseg ../escape.log\ncrc 00000000\n"))
 	f.Add([]byte(""))
@@ -114,13 +174,13 @@ func FuzzManifest(f *testing.F) {
 			t.Fatalf("round trip changed manifest: %+v → %+v", m, m2)
 		}
 		for i := range m.Segs {
-			if m.Segs[i] != m2.Segs[i] {
-				t.Fatalf("round trip changed segment %d: %q → %q", i, m.Segs[i], m2.Segs[i])
+			if !reflect.DeepEqual(m.Segs[i], m2.Segs[i]) {
+				t.Fatalf("round trip changed segment %d: %+v → %+v", i, m.Segs[i], m2.Segs[i])
 			}
 			// Accepted names must be directory-local canonical segment
 			// names (no path traversal).
-			if _, ok := parseSegName(m.Segs[i]); !ok {
-				t.Fatalf("parser accepted non-canonical segment name %q", m.Segs[i])
+			if _, ok := parseSegName(m.Segs[i].Name); !ok {
+				t.Fatalf("parser accepted non-canonical segment name %q", m.Segs[i].Name)
 			}
 		}
 	})

@@ -9,18 +9,30 @@
 //
 // Format — a short, line-oriented text file, CRC-sealed:
 //
-//	BQSMANIFEST 1
+//	BQSMANIFEST 2
 //	gen 7
-//	seg seg-00000009.log
+//	seg seg-00000009.log idx sum=3,1000,2407,-386214000,1448123000,-385900000,1448200000
 //	seg seg-00000003.log
 //	crc 5f3a91c2
 //
 // The first line is magic + format version. "gen" is the generation
 // number, incremented on every publish (open adoption, rotation,
 // compaction). Each "seg" line names one live segment file, base name
-// only, in logical (oldest-first) order; the active segment is last. The
-// final "crc" line carries the CRC-32C of every preceding byte, so a
-// damaged manifest is detected rather than silently reordering the log.
+// only, in logical (oldest-first) order; the active segment is last.
+// Two optional fields follow the name on sealed segments:
+//
+//   - "idx" declares the segment's sealed block-index file
+//     (seg-NNNNNNNN.idx, see blockindex.go) live — Open loads the
+//     segment through it, and the unreferenced-file sweep spares it.
+//   - "sum=records,t0,t1[,minLat,minLon,maxLat,maxLon]" is the
+//     segment-level summary used for window-query pruning: the record
+//     count, the union of record time bounds, and (when every record
+//     carries one) the union of record bounding boxes in 1e-7°.
+//
+// The final "crc" line carries the CRC-32C of every preceding byte, so
+// a damaged manifest is detected rather than silently reordering the
+// log. Format 1 manifests (bare "seg name" lines only) parse cleanly;
+// the first writable Open republishes them in the current format.
 //
 // The manifest is always replaced atomically: written to MANIFEST.tmp,
 // fsync'd, renamed over MANIFEST, directory fsync'd. A reader therefore
@@ -33,6 +45,7 @@ import (
 	"bytes"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -44,17 +57,26 @@ const (
 	manifestName = "MANIFEST"
 	// manifestTmpName is the staging name for atomic replacement.
 	manifestTmpName = "MANIFEST.tmp"
-	// manifestMagic is the first-line magic + version.
-	manifestMagic = "BQSMANIFEST 1"
+	// manifestMagic is the current first-line magic + version;
+	// manifestMagicV1 is the pre-block-index format, still accepted.
+	manifestMagic   = "BQSMANIFEST 2"
+	manifestMagicV1 = "BQSMANIFEST 1"
 	// maxManifestSegs bounds the number of seg lines a parser accepts, so
 	// a corrupt or hostile manifest cannot drive unbounded allocation.
 	maxManifestSegs = 1 << 20
 )
 
+// manifestSeg is one live segment as recorded in the MANIFEST.
+type manifestSeg struct {
+	Name string      // canonical segment file base name
+	Idx  bool        // the derived block-index file is live
+	Sum  *segSummary // sealed-segment summary; nil when unknown or active
+}
+
 // manifest is the decoded MANIFEST content.
 type manifest struct {
-	Gen  uint64   // generation number, bumped on every publish
-	Segs []string // live segment base names, logical (oldest-first) order
+	Gen  uint64        // generation number, bumped on every publish
+	Segs []manifestSeg // live segments, logical (oldest-first) order
 }
 
 // segName formats the canonical file name for segment sequence number n.
@@ -90,10 +112,59 @@ func formatManifest(m manifest) []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "%s\ngen %d\n", manifestMagic, m.Gen)
 	for _, s := range m.Segs {
-		fmt.Fprintf(&b, "seg %s\n", s)
+		fmt.Fprintf(&b, "seg %s", s.Name)
+		if s.Idx {
+			b.WriteString(" idx")
+		}
+		if s.Sum != nil {
+			fmt.Fprintf(&b, " sum=%d,%d,%d", s.Sum.records, s.Sum.t0, s.Sum.t1)
+			if s.Sum.bbAll {
+				fmt.Fprintf(&b, ",%d,%d,%d,%d", s.Sum.bb.minLat, s.Sum.bb.minLon, s.Sum.bb.maxLat, s.Sum.bb.maxLon)
+			}
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "crc %08x\n", crc32.Checksum(b.Bytes(), castagnoli))
 	return b.Bytes()
+}
+
+// parseSum decodes a "sum=" field value. A summary without bounding-box
+// fields describes a segment holding legacy records (bbAll false).
+func parseSum(v string) (*segSummary, error) {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 && len(parts) != 7 {
+		return nil, fmt.Errorf("%d fields", len(parts))
+	}
+	nums := make([]int64, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		nums[i] = n
+	}
+	s := &segSummary{bb: emptyBBox()}
+	if nums[0] < 1 || nums[0] > math.MaxInt32 {
+		return nil, fmt.Errorf("bad record count %d", nums[0])
+	}
+	if nums[1] < 0 || nums[2] < 0 || nums[1] > math.MaxUint32 || nums[2] > math.MaxUint32 || nums[1] > nums[2] {
+		return nil, fmt.Errorf("bad time bounds")
+	}
+	s.records = int(nums[0])
+	s.t0, s.t1 = uint32(nums[1]), uint32(nums[2])
+	if len(parts) == 7 {
+		for _, n := range nums[3:] {
+			if n < math.MinInt32 || n > math.MaxInt32 {
+				return nil, fmt.Errorf("bbox field out of range")
+			}
+		}
+		s.bb = bbox{minLat: int32(nums[3]), minLon: int32(nums[4]), maxLat: int32(nums[5]), maxLon: int32(nums[6])}
+		if s.bb.minLat > s.bb.maxLat || s.bb.minLon > s.bb.maxLon {
+			return nil, fmt.Errorf("inverted bbox")
+		}
+		s.bbAll = true
+	}
+	return s, nil
 }
 
 // parseManifest decodes and validates manifest bytes. Every structural
@@ -122,7 +193,15 @@ func parseManifest(data []byte) (manifest, error) {
 	}
 
 	sc := bufio.NewScanner(bytes.NewReader(covered))
-	if !sc.Scan() || sc.Text() != manifestMagic {
+	legacy := false
+	if !sc.Scan() {
+		return m, fmt.Errorf("%w: manifest: empty", ErrCorrupt)
+	}
+	switch sc.Text() {
+	case manifestMagic:
+	case manifestMagicV1:
+		legacy = true
+	default:
 		return m, fmt.Errorf("%w: manifest: bad magic line", ErrCorrupt)
 	}
 	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "gen ") {
@@ -136,21 +215,46 @@ func parseManifest(data []byte) (manifest, error) {
 	seen := make(map[string]bool)
 	for sc.Scan() {
 		line := sc.Text()
-		name, ok := strings.CutPrefix(line, "seg ")
+		rest, ok := strings.CutPrefix(line, "seg ")
 		if !ok {
 			return m, fmt.Errorf("%w: manifest: unexpected line %q", ErrCorrupt, line)
 		}
-		if _, ok := parseSegName(name); !ok {
-			return m, fmt.Errorf("%w: manifest: bad segment name %q", ErrCorrupt, name)
+		fields := strings.Split(rest, " ")
+		var ms manifestSeg
+		ms.Name = fields[0]
+		if _, ok := parseSegName(ms.Name); !ok {
+			return m, fmt.Errorf("%w: manifest: bad segment name %q", ErrCorrupt, ms.Name)
 		}
-		if seen[name] {
-			return m, fmt.Errorf("%w: manifest: duplicate segment %q", ErrCorrupt, name)
+		if seen[ms.Name] {
+			return m, fmt.Errorf("%w: manifest: duplicate segment %q", ErrCorrupt, ms.Name)
+		}
+		// Optional fields, fixed order so format∘parse is the identity:
+		// "idx", then "sum=...". A format-1 manifest has bare names only.
+		i := 1
+		if !legacy && i < len(fields) && fields[i] == "idx" {
+			ms.Idx = true
+			i++
+		}
+		if !legacy && i < len(fields) {
+			v, ok := strings.CutPrefix(fields[i], "sum=")
+			if !ok {
+				return m, fmt.Errorf("%w: manifest: unexpected field %q", ErrCorrupt, fields[i])
+			}
+			sum, err := parseSum(v)
+			if err != nil {
+				return m, fmt.Errorf("%w: manifest: bad summary %q: %v", ErrCorrupt, fields[i], err)
+			}
+			ms.Sum = sum
+			i++
+		}
+		if i != len(fields) {
+			return m, fmt.Errorf("%w: manifest: unexpected field %q", ErrCorrupt, fields[i])
 		}
 		if len(m.Segs) >= maxManifestSegs {
 			return m, fmt.Errorf("%w: manifest: too many segments", ErrCorrupt)
 		}
-		seen[name] = true
-		m.Segs = append(m.Segs, name)
+		seen[ms.Name] = true
+		m.Segs = append(m.Segs, ms)
 	}
 	if err := sc.Err(); err != nil {
 		return m, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)

@@ -7,33 +7,41 @@
 // and sequential (one buffered append per finalized trajectory, fsync
 // only on an explicit Sync barrier), files rotate at a size threshold so
 // retention and compaction can operate on whole segments, and recovery
-// is a forward scan that rebuilds the sparse in-memory index
-// (device → record offsets + time bounds) and truncates a torn tail left
-// by a crash mid-write. Everything before the last completed Sync is
-// durable; a torn record after it is detected by length/CRC validation
-// and dropped.
+// is a forward scan that rebuilds the in-memory index (device → record
+// offsets + time bounds + spatial bounding boxes) and truncates a torn
+// tail left by a crash mid-write. Everything before the last completed
+// Sync is durable; a torn record after it is detected by length/CRC
+// validation and dropped. Sealed segments additionally carry a block
+// index file (see blockindex.go) so reopening a large log does not
+// re-read every byte, and window queries (see window.go) prune records
+// spatially without decoding them.
 //
 // On-disk layout. A log directory holds a MANIFEST (see manifest.go)
 // naming the live segment files in logical order, numbered segment files
-// "seg-00000001.log", "seg-00000002.log", ..., and a LOCK file granting
-// the owning process exclusive write access. Segment numbers are
-// allocated from a monotonic sequence and never reused while referenced;
-// after compaction (see compact.go) a low-numbered file may be
-// superseded by a higher-numbered one holding older data, which is why
-// the MANIFEST — not directory order — defines the log. Each segment
-// file starts with an 8-byte header — magic "BQSLOG" plus a version byte
-// and a zero pad — followed by length-prefixed records:
+// "seg-00000001.log", "seg-00000002.log", ..., their sealed block
+// indexes "seg-00000001.idx", and a LOCK file granting the owning
+// process exclusive write access. Segment numbers are allocated from a
+// monotonic sequence and never reused while referenced; after compaction
+// (see compact.go) a low-numbered file may be superseded by a
+// higher-numbered one holding older data, which is why the MANIFEST —
+// not directory order — defines the log. Each segment file starts with
+// an 8-byte header — magic "BQSLOG" plus a version byte and a zero pad —
+// followed by length-prefixed records:
 //
 //	u32  bodyLen   little-endian length of body
 //	u32  crc32c    Castagnoli CRC of body
 //	body:
 //	  u16 deviceLen, device ID bytes
 //	  u32 t0, u32 t1       time bounds of the trajectory (seconds)
+//	  4 × i32              version ≥ 2: spatial bounding box in 1e-7°
+//	                       (minLat, minLon, maxLat, maxLon)
 //	  payload              trajstore.DeltaEncode of the key points
 //
-// A record is valid iff its length prefix fits in the file, bodyLen is
-// plausible (≤ MaxRecordBytes) and the CRC matches; the first invalid
-// record ends the scan and the file is truncated there.
+// Version 1 files (no bounding box in the body) remain fully readable;
+// compaction rewrites them into the current format. A record is valid
+// iff its length prefix fits in the file, bodyLen is plausible
+// (≤ MaxRecordBytes) and the CRC matches; the first invalid record ends
+// the scan and the file is truncated there.
 package segmentlog
 
 import (
@@ -59,8 +67,15 @@ const (
 	headerSize = 8
 	// recordHeaderSize prefixes every record: u32 bodyLen + u32 crc32c.
 	recordHeaderSize = 8
-	// version is the current format version byte.
-	version = 1
+	// version is the current format version byte: record bodies carry a
+	// spatial bounding box between the time bounds and the payload.
+	version = 2
+	// versionLegacy is the original format: no bounding box. Legacy
+	// files are readable (window queries decode their records instead
+	// of pruning them); appends never extend one — a writable Open of a
+	// legacy directory seals the old active segment and starts a fresh
+	// current-format file.
+	versionLegacy = 1
 	// MaxRecordBytes caps a single record body. A length prefix above it
 	// is treated as corruption, bounding allocation on malicious or
 	// damaged input. 16 MiB ≈ 1.5 M key points per trajectory.
@@ -91,7 +106,9 @@ var ErrLocked = errors.New("segmentlog: directory locked by another process")
 // ErrCorrupt reports a structurally invalid segment file or manifest
 // (bad magic, unsupported version, sealed CRC mismatch) that recovery
 // cannot interpret at all; torn or checksum-failing records are
-// recovered from silently and do not raise it.
+// recovered from silently and do not raise it. A corrupt block-index
+// file never raises it either — the index is an accelerator and falls
+// back to scanning the segment.
 var ErrCorrupt = errors.New("segmentlog: corrupt segment file")
 
 // Options parameterizes Open.
@@ -117,36 +134,62 @@ type Options struct {
 	Compaction *CompactionPolicy
 }
 
-// Record is one persisted trajectory, decoded.
-type Record struct {
-	Device string
-	T0, T1 uint32             // observation time bounds, seconds
-	Keys   []trajstore.GeoKey // the compressed trajectory's key points
-}
+// Record is one persisted trajectory, decoded. It is an alias of
+// trajstore.PersistedRecord so the storage layer can consume query
+// results without importing this package.
+type Record = trajstore.PersistedRecord
 
-// recordRef locates one record in the log for the sparse index: which
-// segment, the body offset within its file, and the indexed time bounds.
-type recordRef struct {
-	seg     int // index into Log.segs
-	off     int64
+// recordMeta is the indexed metadata of one record: where it lives in
+// its segment file and everything a query can prune on without
+// decoding the payload. It is rebuilt on Open from the segment's block
+// index (or by scanning the file) and is the unit the block index
+// serializes.
+type recordMeta struct {
+	device  string
+	off     int64 // body offset within the segment file
 	bodyLen int
 	t0, t1  uint32
+	bb      bbox
+	hasBB   bool // current-format records carry a bbox; legacy ones do not
+}
+
+// recordAddr locates one record for the per-device index: the segment
+// slot in Log.segs and the position within that segment's meta list.
+type recordAddr struct {
+	seg, pos int32
 }
 
 // segmentFile is one on-disk segment.
 type segmentFile struct {
 	path string
 	size int64 // valid bytes (post-recovery, including header)
+	ver  byte  // record-format version of the file
+	idx  bool  // a sealed block-index file is live for this segment
+	sum  segSummary
+}
+
+// refSnap locates one record for a read outside the lock.
+type refSnap struct {
+	seg     int
+	off     int64
+	bodyLen int
+}
+
+// segSnap is the per-segment part of a read snapshot.
+type segSnap struct {
+	path string
+	ver  byte
 }
 
 // Stats is a point-in-time snapshot of the log's contents.
 type Stats struct {
-	Segments  int    // segment files
-	Records   int    // records indexed
-	Devices   int    // distinct device IDs
-	Bytes     int64  // total valid bytes on disk, headers included
-	Truncated int64  // torn/corrupt tail bytes dropped by recovery on Open (detected, not dropped, in read-only mode)
-	Gen       uint64 // manifest generation currently published
+	Segments    int    // segment files
+	IndexedSegs int    // sealed segments with a live block index
+	Records     int    // records indexed
+	Devices     int    // distinct device IDs
+	Bytes       int64  // total valid bytes on disk, headers included
+	Truncated   int64  // torn/corrupt tail bytes dropped by recovery on Open (detected, not dropped, in read-only mode)
+	Gen         uint64 // manifest generation currently published
 }
 
 // Log is an open segment log. All methods are safe for concurrent use;
@@ -184,21 +227,52 @@ type Log struct {
 	gen     uint64 // last manifest generation written (or read, in RO mode)
 	nextSeq uint64 // next segment file number to allocate
 	segs    []segmentFile
-	active  *os.File // write handle of segs[len(segs)-1] (nil in RO mode)
-	wbuf    []byte   // record assembly buffer, reused across appends
-	pend    []byte   // appended but not yet written-through bytes
-	off     int64    // logical size of the active segment (incl. pend)
-	index   map[string][]recordRef
+	segRecs [][]recordMeta          // parallel to segs: record metadata in file order
+	index   map[string][]recordAddr // device → records, append order
+	active  *os.File                // write handle of segs[len(segs)-1] (nil in RO mode)
+	wbuf    []byte                  // record assembly buffer, reused across appends
+	pend    []byte                  // appended but not yet written-through bytes
+	off     int64                   // logical size of the active segment (incl. pend)
 	stats   Stats
+}
+
+// addRecordLocked indexes one record of segment slot seg: the segment's
+// meta list, the per-device index and the segment summary all advance
+// together. Callers hold mu (or are inside Open).
+func (l *Log) addRecordLocked(seg int, m recordMeta) {
+	l.index[m.device] = append(l.index[m.device], recordAddr{seg: int32(seg), pos: int32(len(l.segRecs[seg]))})
+	l.segRecs[seg] = append(l.segRecs[seg], m)
+	l.segs[seg].sum.add(m)
+	l.stats.Records++
+}
+
+// rebuildIndexLocked reconstructs the per-device index (and the record
+// count) from segRecs after compaction replaced the segment list.
+// Iterating segments in logical order preserves per-device append
+// order, the Query contract.
+func (l *Log) rebuildIndexLocked() {
+	idx := make(map[string][]recordAddr, len(l.index))
+	records := 0
+	for si := range l.segRecs {
+		for pi := range l.segRecs[si] {
+			dev := l.segRecs[si][pi].device
+			idx[dev] = append(idx[dev], recordAddr{seg: int32(si), pos: int32(pi)})
+		}
+		records += len(l.segRecs[si])
+	}
+	l.index = idx
+	l.stats.Records = records
 }
 
 // Open opens (creating if necessary) the segment log in dir: it acquires
 // the directory's write lock, loads the MANIFEST (falling back to a
 // lexical scan for pre-manifest directories, which it then adopts),
-// removes files a crashed compaction left unreferenced, scans every live
-// segment to rebuild the index, truncates any torn tail, and readies the
-// last segment for appending. With Options.ReadOnly it does none of the
-// mutating parts — no lock, no cleanup, no truncation, no appending.
+// removes files a crashed compaction left unreferenced, rebuilds the
+// index of every live segment — from its sealed block index when one
+// loads cleanly, by scanning the file otherwise — truncates any torn
+// tail, and readies the last segment for appending. With
+// Options.ReadOnly it does none of the mutating parts — no lock, no
+// cleanup, no truncation, no appending.
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
@@ -206,7 +280,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.MaxSegmentBytes < headerSize+recordHeaderSize {
 		return nil, fmt.Errorf("segmentlog: MaxSegmentBytes %d too small", opts.MaxSegmentBytes)
 	}
-	l := &Log{dir: dir, opts: opts, ro: opts.ReadOnly, index: make(map[string][]recordRef)}
+	l := &Log{dir: dir, opts: opts, ro: opts.ReadOnly, index: make(map[string][]recordAddr)}
 	if l.ro {
 		fi, err := os.Stat(dir)
 		if err != nil {
@@ -236,12 +310,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	var paths []string
+	var entries []manifestSeg
 	if found {
 		l.gen = man.Gen
-		for _, name := range man.Segs {
-			paths = append(paths, filepath.Join(dir, name))
-		}
+		entries = man.Segs
 	} else {
 		// Legacy (pre-manifest) directory: lexical order was logical
 		// order back when files were only ever appended in sequence.
@@ -252,15 +324,16 @@ func Open(dir string, opts Options) (*Log, error) {
 		sort.Strings(globbed)
 		for _, p := range globbed {
 			if _, ok := parseSegName(filepath.Base(p)); ok {
-				paths = append(paths, p)
+				entries = append(entries, manifestSeg{Name: filepath.Base(p)})
 			}
 		}
 	}
-	for i, path := range paths {
-		if err := l.scanSegment(path, i == len(paths)-1); err != nil {
+	for i, ent := range entries {
+		path := filepath.Join(dir, ent.Name)
+		if err := l.loadSegment(path, ent, i == len(entries)-1); err != nil {
 			return nil, err
 		}
-		if n, ok := parseSegName(filepath.Base(path)); ok && n >= l.nextSeq {
+		if n, ok := parseSegName(ent.Name); ok && n >= l.nextSeq {
 			l.nextSeq = n + 1
 		}
 	}
@@ -270,9 +343,21 @@ func Open(dir string, opts Options) (*Log, error) {
 	// Sweep crashed-compaction leftovers only AFTER the referenced set
 	// scanned clean: if a referenced segment turns out unreadable, an
 	// unpublished compactor output may be the only intact copy of its
-	// data — deleting it first would destroy the salvage option.
+	// data — deleting it first would destroy the salvage option. The
+	// sweep's live set is the OLD manifest plus the block indexes
+	// loadSegment just (re)built — those are published by the manifest
+	// written below, so deleting them here would leave that manifest
+	// referencing missing files.
 	if found && !l.ro {
-		if err := cleanUnreferenced(dir, man); err != nil {
+		keep := make(map[string]bool)
+		for i := range l.segs {
+			if l.segs[i].idx {
+				if n, ok := parseSegName(filepath.Base(l.segs[i].path)); ok {
+					keep[idxName(n)] = true
+				}
+			}
+		}
+		if err := cleanUnreferenced(dir, man, keep); err != nil {
 			return nil, err
 		}
 	}
@@ -287,12 +372,25 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, err
 		}
 		l.segs = append(l.segs, seg)
+		l.segRecs = append(l.segRecs, nil)
+		l.active = f
+		l.off = headerSize
+		l.stats.Bytes += headerSize
+	} else if last := &l.segs[len(l.segs)-1]; last.ver != version {
+		// Legacy final segment: current-format records must never be
+		// appended into a version-1 file, so seal it as recovered and
+		// start a fresh segment — the upgrade is just a rotation.
+		f, seg, err := l.newSegmentFileLocked()
+		if err != nil {
+			return nil, err
+		}
+		l.segs = append(l.segs, seg)
+		l.segRecs = append(l.segRecs, nil)
 		l.active = f
 		l.off = headerSize
 		l.stats.Bytes += headerSize
 	} else {
 		// Reopen the last segment for appending at its recovered size.
-		last := &l.segs[len(l.segs)-1]
 		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("segmentlog: %w", err)
@@ -314,6 +412,73 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	ok = true
 	return l, nil
+}
+
+// loadSegment rebuilds one live segment's index: from its sealed block
+// index when the manifest references one and it validates against the
+// file, by a full scan otherwise. On writable opens a sealed
+// current-format segment that had to be scanned gets its block index
+// (re)built from the scan, so the next Open is cheap again — legacy
+// version-1 segments are left as they are (compaction is their upgrade
+// path) and keep answering through the scan/decode fallback.
+func (l *Log) loadSegment(path string, ent manifestSeg, final bool) error {
+	if !final && ent.Idx {
+		if l.tryLoadIndex(path, ent) {
+			return nil
+		}
+	}
+	if err := l.scanSegment(path, final); err != nil {
+		return err
+	}
+	if !l.ro && !final {
+		s := &l.segs[len(l.segs)-1]
+		if s.ver == version {
+			if err := writeBlockIndex(s.path, s.size, s.ver, l.segRecs[len(l.segs)-1]); err == nil {
+				s.idx = true
+			}
+		}
+	}
+	return nil
+}
+
+// tryLoadIndex loads a sealed segment through its block index; false
+// means the index is missing, corrupt, stale, or in disagreement with
+// the manifest's segment summary, and the caller must scan the segment
+// file instead.
+func (l *Log) tryLoadIndex(path string, ent manifestSeg) bool {
+	size, ver, metas, err := loadBlockIndex(path)
+	if err != nil {
+		return false
+	}
+	// Cross-check against the manifest summary: both were sealed from
+	// the same metadata, so the CRC-protected manifest — the log's
+	// source of truth — must agree with what the index claims. An index
+	// that validates structurally but diverges (a stale file from an
+	// earlier life of this sequence number, a crafted CRC collision) is
+	// rejected in favour of the scan.
+	if ent.Sum != nil {
+		var sum segSummary
+		for _, m := range metas {
+			sum.add(m)
+		}
+		if !sum.bbAll {
+			sum.bb = emptyBBox() // the manifest omits a partial union
+		}
+		if sum != *ent.Sum {
+			return false
+		}
+	}
+	seg := len(l.segs)
+	l.segs = append(l.segs, segmentFile{path: path, size: size, ver: ver, idx: true})
+	l.segRecs = append(l.segRecs, nil)
+	if len(metas) > 0 {
+		l.segRecs[seg] = make([]recordMeta, 0, len(metas))
+	}
+	for _, m := range metas {
+		l.addRecordLocked(seg, m)
+	}
+	l.stats.Bytes += size
+	return true
 }
 
 // acquireLock takes the directory's advisory write lock: an flock(2) on
@@ -359,14 +524,24 @@ func (l *Log) releaseLock() {
 }
 
 // cleanUnreferenced removes files a crashed compaction or rotation left
-// behind: a stale manifest temp file, and canonical segment files the
-// manifest does not reference (either a new generation that was never
-// published, or a superseded generation whose deletion was interrupted).
-// Only called on writable opens with a validated manifest in hand.
-func cleanUnreferenced(dir string, man manifest) error {
-	live := make(map[string]bool, len(man.Segs))
+// behind: a stale manifest temp file, and canonical segment or
+// block-index files the manifest does not reference (either a new
+// generation that was never published, or a superseded generation whose
+// deletion was interrupted). keep names extra files the caller intends
+// to publish in the next manifest (freshly rebuilt block indexes). Only
+// called on writable opens with a validated manifest in hand.
+func cleanUnreferenced(dir string, man manifest, keep map[string]bool) error {
+	live := make(map[string]bool, 2*len(man.Segs)+len(keep))
+	for name := range keep {
+		live[name] = true
+	}
 	for _, s := range man.Segs {
-		live[s] = true
+		live[s.Name] = true
+		if s.Idx {
+			if n, ok := parseSegName(s.Name); ok {
+				live[idxName(n)] = true
+			}
+		}
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -378,6 +553,9 @@ func cleanUnreferenced(dir string, man manifest) error {
 		if _, ok := parseSegName(name); ok && !live[name] {
 			stale = true
 		}
+		if _, ok := parseIdxName(name); ok && !live[name] {
+			stale = true
+		}
 		if stale {
 			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return fmt.Errorf("segmentlog: removing unreferenced %s: %w", name, err)
@@ -387,14 +565,35 @@ func cleanUnreferenced(dir string, man manifest) error {
 	return nil
 }
 
+// manifestLocked renders the current live set as a manifest under the
+// next generation number. Sealed segments publish their block-index
+// reference and bbox/time summary; the last (active) segment's summary
+// is still growing, so it is omitted. Callers hold mu (or are inside
+// Open/publish).
+func (l *Log) manifestLocked() manifest {
+	return manifest{Gen: l.gen + 1, Segs: manifestSegs(l.segs)}
+}
+
+// manifestSegs builds the manifest entries for a logical segment list;
+// the final entry is the active segment and carries no summary.
+func manifestSegs(segs []segmentFile) []manifestSeg {
+	out := make([]manifestSeg, len(segs))
+	for i, s := range segs {
+		ms := manifestSeg{Name: filepath.Base(s.path), Idx: s.idx}
+		if i < len(segs)-1 && s.sum.records > 0 {
+			sum := s.sum
+			ms.Sum = &sum
+		}
+		out[i] = ms
+	}
+	return out
+}
+
 // writeManifestLocked atomically publishes the current live segment list
 // under the next generation number. Callers hold mu (or are inside
 // Open/publish).
 func (l *Log) writeManifestLocked() error {
-	m := manifest{Gen: l.gen + 1, Segs: make([]string, len(l.segs))}
-	for i, s := range l.segs {
-		m.Segs[i] = filepath.Base(s.path)
-	}
+	m := l.manifestLocked()
 	if err := writeManifest(l.dir, m); err != nil {
 		return err
 	}
@@ -422,7 +621,8 @@ func (l *Log) scanSegment(path string, final bool) error {
 		// A crash can leave a freshly rotated file with a partial
 		// header; rewrite it as empty rather than failing the open.
 		if l.ro {
-			l.segs = append(l.segs, segmentFile{path: path, size: int64(len(data))})
+			l.segs = append(l.segs, segmentFile{path: path, size: int64(len(data)), ver: version})
+			l.segRecs = append(l.segRecs, nil)
 			l.stats.Truncated += int64(len(data))
 			return nil
 		}
@@ -434,26 +634,28 @@ func (l *Log) scanSegment(path string, final bool) error {
 	if [6]byte(data[:6]) != magic {
 		return fmt.Errorf("%w: %s: bad magic", ErrCorrupt, filepath.Base(path))
 	}
-	if data[6] != version {
-		return fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, filepath.Base(path), data[6])
+	ver := data[6]
+	if ver != versionLegacy && ver != version {
+		return fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, filepath.Base(path), ver)
 	}
 	segIdx := len(l.segs)
+	l.segs = append(l.segs, segmentFile{path: path, ver: ver})
+	l.segRecs = append(l.segRecs, nil)
 	valid := int64(headerSize)
 	pos := headerSize
-	records := 0
 	for {
 		body, bodyOff, next, ok := nextRecord(data, pos)
 		if !ok {
 			break
 		}
-		dev, t0, t1, _, err := splitBody(body)
-		if err != nil {
+		dev, t0, t1, bb, hasBB, payload, err := splitBody(body, ver)
+		if err != nil || !trajstore.DeltaValidate(payload) {
 			break
 		}
-		l.index[dev] = append(l.index[dev], recordRef{
-			seg: segIdx, off: int64(bodyOff), bodyLen: len(body), t0: t0, t1: t1,
+		l.addRecordLocked(segIdx, recordMeta{
+			device: dev, off: int64(bodyOff), bodyLen: len(body),
+			t0: t0, t1: t1, bb: bb, hasBB: hasBB,
 		})
-		records++
 		valid = int64(next)
 		pos = next
 	}
@@ -463,7 +665,7 @@ func (l *Log) scanSegment(path string, final bool) error {
 			// after the cut — safe to drop) from mid-file corruption
 			// (valid records still follow the bad one — refusing is the
 			// only non-destructive option).
-			if off := resyncScan(data, int(valid)); off >= 0 {
+			if off := resyncScan(data, int(valid), ver); off >= 0 {
 				return fmt.Errorf("%w: %s: invalid record at offset %d but valid data at %d — refusing to truncate a sealed segment mid-file",
 					ErrCorrupt, filepath.Base(path), valid, off)
 			}
@@ -475,8 +677,7 @@ func (l *Log) scanSegment(path string, final bool) error {
 		}
 		l.stats.Truncated += torn
 	}
-	l.segs = append(l.segs, segmentFile{path: path, size: valid})
-	l.stats.Records += records
+	l.segs[segIdx].size = valid
 	l.stats.Bytes += valid
 	return nil
 }
@@ -485,10 +686,10 @@ func (l *Log) scanSegment(path string, final bool) error {
 // it returns the offset of the first one, or -1. Used to tell mid-file
 // corruption apart from a torn tail (a false positive needs random
 // bytes to pass both plausibility checks and CRC-32C, ~2^-32).
-func resyncScan(data []byte, from int) int {
+func resyncScan(data []byte, from int, ver byte) int {
 	for pos := from + 1; pos+recordHeaderSize <= len(data); pos++ {
 		if body, _, _, ok := nextRecord(data, pos); ok {
-			if _, _, _, _, err := splitBody(body); err == nil {
+			if _, _, _, _, _, payload, err := splitBody(body, ver); err == nil && trajstore.DeltaValidate(payload) {
 				return pos
 			}
 		}
@@ -504,7 +705,7 @@ func nextRecord(data []byte, pos int) (body []byte, bodyOff, next int, ok bool) 
 	}
 	bodyLen := int(binary.LittleEndian.Uint32(data[pos:]))
 	crc := binary.LittleEndian.Uint32(data[pos+4:])
-	if bodyLen < minBodySize || bodyLen > MaxRecordBytes {
+	if bodyLen < minBodySizeV1 || bodyLen > MaxRecordBytes {
 		return nil, 0, 0, false
 	}
 	bodyOff = pos + recordHeaderSize
@@ -519,42 +720,76 @@ func nextRecord(data []byte, pos int) (body []byte, bodyOff, next int, ok bool) 
 	return body, bodyOff, next, true
 }
 
-// minBodySize is the smallest legal body: device length prefix (may be
-// zero bytes of ID), both time bounds, and a ≥1-byte payload (the
-// delta-varint count).
-const minBodySize = 2 + 4 + 4 + 1
+// minBodySizeV1 is the smallest legal version-1 body: device length
+// prefix (may be zero bytes of ID), both time bounds, and a ≥1-byte
+// payload (the delta-varint count). minBodySize adds the current
+// format's 16-byte bounding box.
+const (
+	minBodySizeV1 = 2 + 4 + 4 + 1
+	minBodySize   = minBodySizeV1 + 16
+)
 
-// splitBody splits a validated record body into its fields.
-func splitBody(body []byte) (device string, t0, t1 uint32, payload []byte, err error) {
-	if len(body) < minBodySize {
-		return "", 0, 0, nil, trajstore.ErrShortBuffer
+// minBodySizeFor returns the smallest legal body for a format version.
+func minBodySizeFor(ver byte) int {
+	if ver == versionLegacy {
+		return minBodySizeV1
+	}
+	return minBodySize
+}
+
+// splitBody splits a validated record body into its fields according
+// to the file's format version. hasBB is false for legacy bodies.
+func splitBody(body []byte, ver byte) (device string, t0, t1 uint32, bb bbox, hasBB bool, payload []byte, err error) {
+	if len(body) < minBodySizeFor(ver) {
+		return "", 0, 0, bb, false, nil, trajstore.ErrShortBuffer
 	}
 	devLen := int(binary.LittleEndian.Uint16(body))
 	rest := body[2:]
-	if len(rest) < devLen+9 {
-		return "", 0, 0, nil, trajstore.ErrShortBuffer
+	need := devLen + 8 + 1
+	if ver != versionLegacy {
+		need += 16
+	}
+	if len(rest) < need {
+		return "", 0, 0, bb, false, nil, trajstore.ErrShortBuffer
 	}
 	device = string(rest[:devLen])
 	rest = rest[devLen:]
 	t0 = binary.LittleEndian.Uint32(rest)
 	t1 = binary.LittleEndian.Uint32(rest[4:])
-	return device, t0, t1, rest[8:], nil
+	rest = rest[8:]
+	if t0 > t1 {
+		return "", 0, 0, bb, false, nil, fmt.Errorf("segmentlog: inverted record time bounds")
+	}
+	if ver != versionLegacy {
+		bb.minLat = int32(binary.LittleEndian.Uint32(rest))
+		bb.minLon = int32(binary.LittleEndian.Uint32(rest[4:]))
+		bb.maxLat = int32(binary.LittleEndian.Uint32(rest[8:]))
+		bb.maxLon = int32(binary.LittleEndian.Uint32(rest[12:]))
+		rest = rest[16:]
+		if bb.minLat > bb.maxLat || bb.minLon > bb.maxLon {
+			return "", 0, 0, bbox{}, false, nil, fmt.Errorf("segmentlog: inverted record bounding box")
+		}
+		hasBB = true
+	}
+	return device, t0, t1, bb, hasBB, rest, nil
 }
 
 // encodeRecord appends the full wire form of one record — length prefix,
-// CRC, body — to dst. Shared by the append path and the compactor so the
-// two can never drift apart on format.
-func encodeRecord(dst []byte, device string, t0, t1 uint32, keys []trajstore.GeoKey) ([]byte, error) {
+// CRC, body — to dst and returns the record's bounding box. Shared by
+// the append path and the compactor so the two can never drift apart on
+// format.
+func encodeRecord(dst []byte, device string, t0, t1 uint32, keys []trajstore.GeoKey) ([]byte, bbox, error) {
 	if len(device) > int(^uint16(0)) {
-		return dst, fmt.Errorf("segmentlog: device ID longer than %d bytes", ^uint16(0))
+		return dst, bbox{}, fmt.Errorf("segmentlog: device ID longer than %d bytes", ^uint16(0))
 	}
 	payload, err := trajstore.DeltaEncode(keys)
 	if err != nil {
-		return dst, fmt.Errorf("segmentlog: %w", err)
+		return dst, bbox{}, fmt.Errorf("segmentlog: %w", err)
 	}
-	bodyLen := 2 + len(device) + 8 + len(payload)
+	bb := keysBBox(keys) // keys are range-validated by DeltaEncode above
+	bodyLen := 2 + len(device) + 8 + 16 + len(payload)
 	if bodyLen > MaxRecordBytes {
-		return dst, fmt.Errorf("segmentlog: record body %d bytes exceeds MaxRecordBytes", bodyLen)
+		return dst, bbox{}, fmt.Errorf("segmentlog: record body %d bytes exceeds MaxRecordBytes", bodyLen)
 	}
 	start := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
@@ -563,10 +798,14 @@ func encodeRecord(dst []byte, device string, t0, t1 uint32, keys []trajstore.Geo
 	dst = append(dst, device...)
 	dst = binary.LittleEndian.AppendUint32(dst, t0)
 	dst = binary.LittleEndian.AppendUint32(dst, t1)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bb.minLat))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bb.minLon))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bb.maxLat))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bb.maxLon))
 	dst = append(dst, payload...)
 	body := dst[start+recordHeaderSize:]
 	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(body, castagnoli))
-	return dst, nil
+	return dst, bb, nil
 }
 
 // timeBounds returns the min/max timestamps of a non-empty trajectory.
@@ -593,7 +832,8 @@ func (l *Log) rewriteEmpty(path string) error {
 	if err := writeHeader(f); err != nil {
 		return err
 	}
-	l.segs = append(l.segs, segmentFile{path: path, size: headerSize})
+	l.segs = append(l.segs, segmentFile{path: path, size: headerSize, ver: version})
+	l.segRecs = append(l.segRecs, nil)
 	l.stats.Bytes += headerSize
 	return nil
 }
@@ -632,7 +872,7 @@ func (l *Log) newSegmentFileLocked() (*os.File, segmentFile, error) {
 		return nil, segmentFile{}, err
 	}
 	l.nextSeq++
-	return f, segmentFile{path: path, size: headerSize}, nil
+	return f, segmentFile{path: path, size: headerSize, ver: version}, nil
 }
 
 // syncDir fsyncs a directory so entries for newly created files are
@@ -673,23 +913,24 @@ func (l *Log) Append(device string, keys []trajstore.GeoKey) error {
 		return ErrReadOnly
 	}
 
-	wbuf, err := encodeRecord(l.wbuf[:0], device, t0, t1, keys)
+	wbuf, bb, err := encodeRecord(l.wbuf[:0], device, t0, t1, keys)
 	l.wbuf = wbuf[:0] // keep the (possibly grown) buffer for reuse
 	if err != nil {
 		return err
 	}
 
-	ref := recordRef{
-		seg:     len(l.segs) - 1,
+	seg := len(l.segs) - 1
+	l.addRecordLocked(seg, recordMeta{
+		device:  device,
 		off:     l.off + recordHeaderSize,
 		bodyLen: len(wbuf) - recordHeaderSize,
 		t0:      t0,
 		t1:      t1,
-	}
+		bb:      bb,
+		hasBB:   true,
+	})
 	l.pend = append(l.pend, wbuf...)
 	l.off += int64(len(wbuf))
-	l.index[device] = append(l.index[device], ref)
-	l.stats.Records++
 	l.stats.Bytes += int64(len(wbuf))
 
 	if l.off >= l.opts.MaxSegmentBytes {
@@ -714,7 +955,10 @@ func (l *Log) flushLocked() error {
 // rotateLocked seals the active segment and starts the next one. The
 // new segment is created and published in the manifest BEFORE the old
 // handle is closed, so a failure at any step leaves the old segment
-// active and writable — the log never points at a closed file.
+// active and writable — the log never points at a closed file. The
+// sealed segment's block index is written before the manifest
+// references it; an index write failure only costs the acceleration
+// (the segment scans fine), never the rotation.
 func (l *Log) rotateLocked() error {
 	if err := l.flushLocked(); err != nil {
 		return err
@@ -724,19 +968,32 @@ func (l *Log) rotateLocked() error {
 			return fmt.Errorf("segmentlog: %w", err)
 		}
 	}
+	cur := len(l.segs) - 1
+	sealedIdx := false
+	if l.segs[cur].ver == version {
+		if err := writeBlockIndex(l.segs[cur].path, l.off, l.segs[cur].ver, l.segRecs[cur]); err == nil {
+			sealedIdx = true
+		}
+	}
 	f, seg, err := l.newSegmentFileLocked()
 	if err != nil {
 		return err
 	}
+	l.segs[cur].idx = sealedIdx
 	l.segs = append(l.segs, seg)
+	l.segRecs = append(l.segRecs, nil)
 	if err := l.writeManifestLocked(); err != nil {
 		// Unpublishable: keep appending to the old segment. The new
 		// (empty) file is left on disk — the write may have reached the
 		// rename before failing, so deleting it could orphan a manifest
 		// entry; whether referenced or not, an empty segment is
 		// harmless and the next successful publish or Open sweeps it.
-		// Its number is not reused.
+		// Its number is not reused. The just-written block index is
+		// likewise unreferenced; further appends into the old segment
+		// make it stale, which the size check on load detects.
 		l.segs = l.segs[:len(l.segs)-1]
+		l.segRecs = l.segRecs[:len(l.segRecs)-1]
+		l.segs[cur].idx = false
 		f.Close()
 		return err
 	}
@@ -808,6 +1065,11 @@ func (l *Log) Stats() Stats {
 	defer l.mu.Unlock()
 	s := l.stats
 	s.Segments = len(l.segs)
+	for i := range l.segs {
+		if l.segs[i].idx {
+			s.IndexedSegs++
+		}
+	}
 	s.Devices = len(l.index)
 	s.Gen = l.gen
 	return s
@@ -833,21 +1095,26 @@ func (l *Log) Devices() []string {
 func (l *Log) DeviceSpan(device string) (records int, t0, t1 uint32, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	refs := l.index[device]
-	if len(refs) == 0 {
+	addrs := l.index[device]
+	if len(addrs) == 0 {
 		return 0, 0, 0, false
 	}
-	t0, t1 = refs[0].t0, refs[0].t1
-	for _, r := range refs[1:] {
-		if r.t0 < t0 {
-			t0 = r.t0
+	first := l.metaAt(addrs[0])
+	t0, t1 = first.t0, first.t1
+	for _, a := range addrs[1:] {
+		m := l.metaAt(a)
+		if m.t0 < t0 {
+			t0 = m.t0
 		}
-		if r.t1 > t1 {
-			t1 = r.t1
+		if m.t1 > t1 {
+			t1 = m.t1
 		}
 	}
-	return len(refs), t0, t1, true
+	return len(addrs), t0, t1, true
 }
+
+// metaAt resolves a record address. Callers hold mu.
+func (l *Log) metaAt(a recordAddr) *recordMeta { return &l.segRecs[a.seg][a.pos] }
 
 // Query returns the decoded trajectories of device whose time bounds
 // overlap [t0, t1], in append order. Records are read back from disk and
@@ -874,40 +1141,18 @@ func (l *Log) Query(device string, t0, t1 uint32) ([]Record, error) {
 // queryOnce is one snapshot-and-read pass; retry is true when the error
 // was a segment file vanishing under a concurrent compaction.
 func (l *Log) queryOnce(device string, t0, t1 uint32) (out []Record, retry bool, err error) {
-	refs, paths, err := l.snapshotRefs(device, t0, t1)
+	refs, segs, err := l.snapshotRefs(device, t0, t1)
 	if err != nil {
 		return nil, false, err
 	}
-	files := make(map[int]*os.File)
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
+	files := newSegReader(segs)
+	defer files.close()
 	for _, ref := range refs {
-		f := files[ref.seg]
-		if f == nil {
-			f, err = os.Open(paths[ref.seg])
-			if err != nil {
-				return nil, errors.Is(err, fs.ErrNotExist), fmt.Errorf("segmentlog: %w", err)
-			}
-			files[ref.seg] = f
+		body, err := files.readRecord(ref)
+		if err != nil {
+			return nil, errors.Is(err, fs.ErrNotExist), err
 		}
-		// Read the record header along with the body and re-verify the
-		// CRC: the scan-time check does not protect against bit rot
-		// between Open and the read.
-		rec := make([]byte, recordHeaderSize+ref.bodyLen)
-		if _, err := f.ReadAt(rec, ref.off-recordHeaderSize); err != nil {
-			return nil, false, fmt.Errorf("segmentlog: reading record: %w", err)
-		}
-		body := rec[recordHeaderSize:]
-		if got := int(binary.LittleEndian.Uint32(rec)); got != ref.bodyLen {
-			return nil, false, fmt.Errorf("%w: record length changed on disk (%d != %d)", ErrCorrupt, got, ref.bodyLen)
-		}
-		if crc := binary.LittleEndian.Uint32(rec[4:]); crc32.Checksum(body, castagnoli) != crc {
-			return nil, false, fmt.Errorf("%w: record checksum mismatch at offset %d", ErrCorrupt, ref.off)
-		}
-		dev, rt0, rt1, payload, err := splitBody(body)
+		dev, rt0, rt1, _, _, payload, err := splitBody(body, segs[ref.seg].ver)
 		if err != nil {
 			return nil, false, fmt.Errorf("segmentlog: indexed record unreadable: %w", err)
 		}
@@ -920,10 +1165,10 @@ func (l *Log) queryOnce(device string, t0, t1 uint32) (out []Record, retry bool,
 	return out, false, nil
 }
 
-// snapshotRefs collects, under the lock, the matching refs and the
-// segment paths they point into, flushing pending writes first so disk
-// reads observe every indexed record.
-func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]recordRef, []string, error) {
+// snapshotRefs collects, under the lock, the matching refs and a
+// snapshot of the segments they point into, flushing pending writes
+// first so disk reads observe every indexed record.
+func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]refSnap, []segSnap, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -932,15 +1177,60 @@ func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]recordRef, []string,
 	if err := l.flushLocked(); err != nil {
 		return nil, nil, err
 	}
-	var refs []recordRef
-	for _, r := range l.index[device] {
-		if r.t0 <= t1 && r.t1 >= t0 {
-			refs = append(refs, r)
+	var refs []refSnap
+	for _, a := range l.index[device] {
+		m := l.metaAt(a)
+		if m.t0 <= t1 && m.t1 >= t0 {
+			refs = append(refs, refSnap{seg: int(a.seg), off: m.off, bodyLen: m.bodyLen})
 		}
 	}
-	paths := make([]string, len(l.segs))
+	segs := make([]segSnap, len(l.segs))
 	for i, s := range l.segs {
-		paths[i] = s.path
+		segs[i] = segSnap{path: s.path, ver: s.ver}
 	}
-	return refs, paths, nil
+	return refs, segs, nil
+}
+
+// segReader reads CRC-verified record bodies from a segment snapshot,
+// caching one open file handle per segment.
+type segReader struct {
+	segs  []segSnap
+	files map[int]*os.File
+}
+
+func newSegReader(segs []segSnap) *segReader {
+	return &segReader{segs: segs, files: make(map[int]*os.File)}
+}
+
+func (r *segReader) close() {
+	for _, f := range r.files {
+		f.Close()
+	}
+}
+
+// readRecord reads ref's record — header and body — and re-verifies the
+// length prefix and CRC: the index-time check does not protect against
+// bit rot between Open and the read.
+func (r *segReader) readRecord(ref refSnap) ([]byte, error) {
+	f := r.files[ref.seg]
+	if f == nil {
+		var err error
+		f, err = os.Open(r.segs[ref.seg].path)
+		if err != nil {
+			return nil, fmt.Errorf("segmentlog: %w", err)
+		}
+		r.files[ref.seg] = f
+	}
+	rec := make([]byte, recordHeaderSize+ref.bodyLen)
+	if _, err := f.ReadAt(rec, ref.off-recordHeaderSize); err != nil {
+		return nil, fmt.Errorf("segmentlog: reading record: %w", err)
+	}
+	body := rec[recordHeaderSize:]
+	if got := int(binary.LittleEndian.Uint32(rec)); got != ref.bodyLen {
+		return nil, fmt.Errorf("%w: record length changed on disk (%d != %d)", ErrCorrupt, got, ref.bodyLen)
+	}
+	if crc := binary.LittleEndian.Uint32(rec[4:]); crc32.Checksum(body, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: record checksum mismatch at offset %d", ErrCorrupt, ref.off)
+	}
+	return body, nil
 }

@@ -335,7 +335,7 @@ func TestTornHeader(t *testing.T) {
 		t.Fatalf("readManifest: %v found=%v", err, found)
 	}
 	man.Gen++
-	man.Segs = append(man.Segs, "seg-00000002.log")
+	man.Segs = append(man.Segs, manifestSeg{Name: "seg-00000002.log"})
 	if err := writeManifest(dir, man); err != nil {
 		t.Fatal(err)
 	}
@@ -675,6 +675,26 @@ func TestSealedMidFileCorruptionRefused(t *testing.T) {
 		}
 		data[ends[1]+12] ^= 0x40 // inside record 3 of the sealed segment
 		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// With the sealed block index live, Open does not re-read the
+		// segment bytes, so it succeeds — but nothing is silently lost:
+		// reading the rotten record fails loudly with ErrCorrupt (the
+		// per-read CRC check), and the intact records stay readable.
+		l := mustOpen(t, dir, Options{})
+		if _, err := l.Query("dev", 0, ^uint32(0)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Query over a bit-rotted record = %v, want ErrCorrupt", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Without the index the writable Open must scan — and refuse to
+		// truncate a sealed segment mid-file.
+		idxPath, ok := idxPathFor(seg)
+		if !ok {
+			t.Fatal("no index path for segment 1")
+		}
+		if err := os.Remove(idxPath); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {

@@ -1,0 +1,264 @@
+// Spatio-temporal window queries over the durable log. QueryWindow is
+// the cross-device counterpart of the per-device Query: it returns
+// every record whose trajectory actually enters an axis-aligned window
+// during a time range, pruning with two metadata tiers before touching
+// any payload — per-segment summaries (the manifest-level bbox/time
+// union of a whole file) and per-record bounding boxes (from the block
+// index / v2 record headers). The bounding structures only ever prune:
+// a candidate record is decoded and tested exactly, so indexed and
+// fallback (pre-index, legacy v1) paths return identical results.
+package segmentlog
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+
+	"github.com/trajcomp/bqs/internal/trajstore"
+)
+
+// bbox is a spatial bounding box in the wire format's 1e-7-degree
+// integer coordinates: the same quantization DeltaEncode applies, so a
+// record's box bounds its decoded key points exactly.
+type bbox struct {
+	minLat, minLon, maxLat, maxLon int32
+}
+
+// emptyBBox is the identity for union: add any point to it.
+func emptyBBox() bbox {
+	return bbox{minLat: math.MaxInt32, minLon: math.MaxInt32, maxLat: math.MinInt32, maxLon: math.MinInt32}
+}
+
+// add grows the box to cover one quantized point.
+func (b *bbox) add(lat, lon int32) {
+	if lat < b.minLat {
+		b.minLat = lat
+	}
+	if lat > b.maxLat {
+		b.maxLat = lat
+	}
+	if lon < b.minLon {
+		b.minLon = lon
+	}
+	if lon > b.maxLon {
+		b.maxLon = lon
+	}
+}
+
+// union grows the box to cover o.
+func (b *bbox) union(o bbox) {
+	b.add(o.minLat, o.minLon)
+	b.add(o.maxLat, o.maxLon)
+}
+
+// intersects reports whether the box overlaps the degree-coordinate
+// window [minX, maxX] × [minY, maxY] (X longitude, Y latitude),
+// boundaries inclusive — matching trajstore's geom.Box.Intersects.
+func (b bbox) intersects(minX, minY, maxX, maxY float64) bool {
+	return float64(b.minLon)/1e7 <= maxX && float64(b.maxLon)/1e7 >= minX &&
+		float64(b.minLat)/1e7 <= maxY && float64(b.maxLat)/1e7 >= minY
+}
+
+// quantizeCoord maps a degree coordinate to the wire format's 1e-7°
+// integer, with exactly the rounding DeltaEncode applies.
+func quantizeCoord(v float64) int32 { return int32(math.Round(v * 1e7)) }
+
+// keysBBox computes the quantized bounding box of a trajectory. The
+// keys must already be range-validated (DeltaEncode does).
+func keysBBox(keys []trajstore.GeoKey) bbox {
+	bb := emptyBBox()
+	for _, k := range keys {
+		bb.add(quantizeCoord(k.Lat), quantizeCoord(k.Lon))
+	}
+	return bb
+}
+
+// segSummary is the per-segment metadata union used for segment-level
+// pruning: the time bounds and bounding box of every record in the
+// file. It is maintained incrementally on append, rebuilt from the
+// block index or scan on Open, and published in the MANIFEST for
+// sealed segments.
+type segSummary struct {
+	records int
+	t0, t1  uint32 // union of record time bounds; valid when records > 0
+	bb      bbox   // union of record bboxes; usable only when bbAll
+	bbAll   bool   // every record carries a bbox (false for legacy v1 data)
+}
+
+// add folds one record's metadata into the summary.
+func (s *segSummary) add(m recordMeta) {
+	if s.records == 0 {
+		s.t0, s.t1 = m.t0, m.t1
+		s.bb = emptyBBox()
+		s.bbAll = true
+	} else {
+		if m.t0 < s.t0 {
+			s.t0 = m.t0
+		}
+		if m.t1 > s.t1 {
+			s.t1 = m.t1
+		}
+	}
+	if m.hasBB {
+		s.bb.union(m.bb)
+	} else {
+		s.bbAll = false
+	}
+	s.records++
+}
+
+// WindowStats reports how a window query was answered: how much the
+// two pruning tiers saved and how many records had to be decoded. The
+// selectivity win of the block index is RecordsDecoded versus the
+// total record count a full scan would decode.
+type WindowStats struct {
+	Segments       int // segments in the snapshot
+	SegmentsPruned int // skipped whole via segment summaries
+	RecordsIndexed int // records whose metadata was examined
+	RecordsPruned  int // records skipped via per-record bbox/time bounds
+	RecordsDecoded int // candidate records read and decoded from disk
+	RecordsMatched int // records returned
+}
+
+// windowMatch is the exact predicate: the polyline has at least one
+// consecutive key-point pair whose bounding box intersects the window
+// and whose time span overlaps [t0, t1] — the same per-segment test
+// the in-memory trajstore ground truth (Query ∩ QueryTime) applies.
+// Records with fewer than two keys never match.
+func windowMatch(keys []trajstore.GeoKey, minX, minY, maxX, maxY float64, t0, t1 uint32) bool {
+	for i := 0; i+1 < len(keys); i++ {
+		a, b := &keys[i], &keys[i+1]
+		loX, hiX := a.Lon, b.Lon
+		if loX > hiX {
+			loX, hiX = hiX, loX
+		}
+		if loX > maxX || hiX < minX {
+			continue
+		}
+		loY, hiY := a.Lat, b.Lat
+		if loY > hiY {
+			loY, hiY = hiY, loY
+		}
+		if loY > maxY || hiY < minY {
+			continue
+		}
+		loT, hiT := a.T, b.T
+		if loT > hiT {
+			loT, hiT = hiT, loT
+		}
+		if loT > t1 || hiT < t0 {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// QueryWindow returns the decoded records — across all devices, in log
+// order — that enter the window [minX, maxX] × [minY, maxY] (degrees:
+// X longitude, Y latitude) during [t0, t1]: records with at least one
+// consecutive key-point pair whose bounding box intersects the window
+// and whose time span overlaps the range. Segment summaries and
+// per-record bounding boxes prune the candidate set; candidates are
+// decoded and tested exactly, so legacy (pre-index) segments answer
+// identically through the decode-everything fallback. Like Query, a
+// call racing a concurrent compaction transparently retries against
+// the newly published generation.
+func (l *Log) QueryWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]Record, error) {
+	recs, _, err := l.QueryWindowStats(minX, minY, maxX, maxY, t0, t1)
+	return recs, err
+}
+
+// QueryWindowStats is QueryWindow plus pruning statistics.
+func (l *Log) QueryWindowStats(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]Record, WindowStats, error) {
+	if math.IsNaN(minX) || math.IsNaN(minY) || math.IsNaN(maxX) || math.IsNaN(maxY) {
+		return nil, WindowStats{}, errors.New("segmentlog: window bounds must not be NaN")
+	}
+	if minX > maxX || minY > maxY || t0 > t1 {
+		return nil, WindowStats{}, fmt.Errorf("segmentlog: inverted window [%g,%g]×[%g,%g] t[%d,%d]", minX, maxX, minY, maxY, t0, t1)
+	}
+	for attempt := 0; ; attempt++ {
+		out, ws, retry, err := l.queryWindowOnce(minX, minY, maxX, maxY, t0, t1)
+		if err != nil && retry && attempt < 4 {
+			continue
+		}
+		if err != nil && retry && l.ro {
+			return out, ws, fmt.Errorf("segmentlog: log rewritten by a concurrent compaction; reopen to read the new generation: %w", err)
+		}
+		return out, ws, err
+	}
+}
+
+// queryWindowOnce is one snapshot-prune-decode pass; retry is true when
+// a segment file vanished under a concurrent compaction.
+func (l *Log) queryWindowOnce(minX, minY, maxX, maxY float64, t0, t1 uint32) (out []Record, ws WindowStats, retry bool, err error) {
+	cands, segs, ws, err := l.snapshotWindow(minX, minY, maxX, maxY, t0, t1)
+	if err != nil {
+		return nil, ws, false, err
+	}
+	files := newSegReader(segs)
+	defer files.close()
+	for _, ref := range cands {
+		body, err := files.readRecord(ref)
+		if err != nil {
+			return nil, ws, errors.Is(err, fs.ErrNotExist), err
+		}
+		dev, rt0, rt1, _, _, payload, err := splitBody(body, segs[ref.seg].ver)
+		if err != nil {
+			return nil, ws, false, fmt.Errorf("segmentlog: indexed record unreadable: %w", err)
+		}
+		keys, err := trajstore.DeltaDecode(payload)
+		if err != nil {
+			return nil, ws, false, fmt.Errorf("segmentlog: %w", err)
+		}
+		ws.RecordsDecoded++
+		if !windowMatch(keys, minX, minY, maxX, maxY, t0, t1) {
+			continue
+		}
+		ws.RecordsMatched++
+		out = append(out, Record{Device: dev, T0: rt0, T1: rt1, Keys: keys})
+	}
+	return out, ws, false, nil
+}
+
+// snapshotWindow collects, under the lock, the candidate records whose
+// metadata cannot rule out a window match, flushing pending writes
+// first so disk reads observe every indexed record. Candidates come
+// back in (segment, offset) order — log order.
+func (l *Log) snapshotWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]refSnap, []segSnap, WindowStats, error) {
+	var ws WindowStats
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, ws, ErrClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		return nil, nil, ws, err
+	}
+	var cands []refSnap
+	ws.Segments = len(l.segs)
+	for si := range l.segs {
+		sum := &l.segs[si].sum
+		if sum.records == 0 ||
+			sum.t0 > t1 || sum.t1 < t0 ||
+			(sum.bbAll && !sum.bb.intersects(minX, minY, maxX, maxY)) {
+			ws.SegmentsPruned++
+			continue
+		}
+		for pi := range l.segRecs[si] {
+			m := &l.segRecs[si][pi]
+			ws.RecordsIndexed++
+			if m.t0 > t1 || m.t1 < t0 || (m.hasBB && !m.bb.intersects(minX, minY, maxX, maxY)) {
+				ws.RecordsPruned++
+				continue
+			}
+			cands = append(cands, refSnap{seg: si, off: m.off, bodyLen: m.bodyLen})
+		}
+	}
+	segs := make([]segSnap, len(l.segs))
+	for i, s := range l.segs {
+		segs[i] = segSnap{path: s.path, ver: s.ver}
+	}
+	return cands, segs, ws, nil
+}

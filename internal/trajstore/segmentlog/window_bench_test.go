@@ -1,0 +1,73 @@
+package segmentlog
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchWindowLog builds the window-query benchmark fixture: 50 devices
+// in separate spatial cells, 20 records each (device-major, so sealed
+// segments cover distinct regions), rotated into multiple sealed
+// segments with block indexes.
+func benchWindowLog(b *testing.B) (*Log, int) {
+	b.Helper()
+	dir := b.TempDir()
+	l, err := Open(dir, Options{MaxSegmentBytes: 16 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	for d := 0; d < 50; d++ {
+		for r := 0; r < 20; r++ {
+			if err := l.Append(fmt.Sprintf("dev-%03d", d), cellKeys(d, r, 16)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	s := l.Stats()
+	if s.IndexedSegs == 0 {
+		b.Fatalf("benchmark log has no sealed block indexes: %+v", s)
+	}
+	return l, s.Records
+}
+
+// benchWindow runs one window shape and reports the decode fraction —
+// records decoded per query over the records a full scan would decode.
+func benchWindow(b *testing.B, minX, minY, maxX, maxY float64, maxDecodeFrac float64) {
+	l, total := benchWindowLog(b)
+	var ws WindowStats
+	var matched int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, s, err := l.QueryWindowStats(minX, minY, maxX, maxY, 0, math.MaxUint32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws, matched = s, len(recs)
+	}
+	b.StopTimer()
+	frac := float64(ws.RecordsDecoded) / float64(total)
+	b.ReportMetric(frac, "decode-frac")
+	b.ReportMetric(float64(matched), "matched/op")
+	if frac > maxDecodeFrac {
+		b.Fatalf("decoded %d of %d records (%.1f%%), want ≤ %.0f%%",
+			ws.RecordsDecoded, total, 100*frac, 100*maxDecodeFrac)
+	}
+}
+
+// BenchmarkQueryWindowSelective: a window covering 2 of 50 devices
+// (4% of the fleet). The acceptance bound — the pruned path decodes
+// under 20% of what a full scan would — is asserted, not just
+// reported.
+func BenchmarkQueryWindowSelective(b *testing.B) {
+	minX, minY, maxX, maxY := cellWindow(10, 11)
+	benchWindow(b, minX, minY, maxX, maxY, 0.20)
+}
+
+// BenchmarkQueryWindowFull: the whole extent; every record matches, so
+// this measures the decode-everything floor the selective case is
+// compared against.
+func BenchmarkQueryWindowFull(b *testing.B) {
+	benchWindow(b, -10, -10, 10, 10, 1.0)
+}

@@ -119,6 +119,16 @@ func (s *Sharded) Query(minX, minY, maxX, maxY float64) []Segment {
 	return out
 }
 
+// QueryWindow fans the combined spatio-temporal window query out to
+// every shard and concatenates the results.
+func (s *Sharded) QueryWindow(minX, minY, maxX, maxY, t0, t1 float64) []Segment {
+	var out []Segment
+	for _, st := range s.shards {
+		out = append(out, st.QueryWindow(minX, minY, maxX, maxY, t0, t1)...)
+	}
+	return out
+}
+
 // QueryTime fans the time-window query out to every shard.
 func (s *Sharded) QueryTime(t0, t1 float64) []Segment {
 	var out []Segment

@@ -224,6 +224,28 @@ func (st *Store) Query(minX, minY, maxX, maxY float64) []Segment {
 	return out
 }
 
+// QueryWindow returns the segments intersecting the axis-aligned
+// rectangle (by bounding box) whose observation window also overlaps
+// [t0, t1] — Query ∩ QueryTime in one indexed pass. It is the
+// in-memory ground truth the durable log's window queries are tested
+// against.
+func (st *Store) QueryWindow(minX, minY, maxX, maxY, t0, t1 float64) []Segment {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	box := geom.Box{Min: geom.V(minX, minY), Max: geom.V(maxX, maxY)}
+	var out []Segment
+	for _, id := range st.index.query(box) {
+		s := st.segAt(id)
+		if s == nil {
+			continue
+		}
+		if s.FirstT <= t1 && s.LastT >= t0 && segBox(s.A, s.B).Intersects(box) {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
 // QueryTime returns the segments whose observation window overlaps
 // [t0, t1].
 func (st *Store) QueryTime(t0, t1 float64) []Segment {
