@@ -6,14 +6,18 @@
 // Usage:
 //
 //	benchjson [-out BENCH.json] [-bench regexp] [-pkgs ./internal/core,.]
-//	          [-count 3] [-benchtime 1s] [-note "environment note"]
+//	          [-count 3] [-benchtime 1s] [-cpus 1,2,4,8]
+//	          [-note "environment note"]
 //
 // With -count > 1 the per-benchmark median run is recorded, which is
-// robust against scheduler noise on CI-class containers. The default
-// benchmark set covers the core per-fix decision loop (CorePush*,
-// QuadrantBounds), the end-to-end sharded ingest (EngineIngest*) and
-// the durable window queries (QueryWindow{Selective,Full}); see
-// internal/benchjson for the schema.
+// robust against scheduler noise on CI-class containers. -cpus runs
+// every benchmark once per GOMAXPROCS value (go test -cpu) and the
+// report carries one entry per (benchmark, cpus) pair — the scaling
+// matrix BENCH_6.json commits. The default benchmark set covers the
+// core per-fix decision loop (CorePush*, QuadrantBounds), the
+// end-to-end sharded ingest (EngineIngest*), the durable window queries
+// (QueryWindow{Selective,Full}) and compaction throughput
+// (CompactThroughput); see internal/benchjson for the schema.
 package main
 
 import (
@@ -33,12 +37,21 @@ import (
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output file for the JSON report")
-	bench := flag.String("bench", "BenchmarkCorePush|BenchmarkQuadrantBounds|BenchmarkEngineIngest|BenchmarkQueryWindow", "benchmark regexp passed to go test")
+	bench := flag.String("bench", "BenchmarkCorePush|BenchmarkQuadrantBounds|BenchmarkEngineIngest|BenchmarkQueryWindow|BenchmarkCompactThroughput", "benchmark regexp passed to go test")
 	pkgs := flag.String("pkgs", "./internal/core,.,./internal/trajstore/segmentlog", "comma-separated packages to benchmark")
 	count := flag.Int("count", 3, "benchmark repetitions; the median per name is reported")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	cpus := flag.String("cpus", "", "comma-separated GOMAXPROCS matrix passed to go test -cpu (e.g. 1,2,4,8); empty runs at the current GOMAXPROCS only")
 	note := flag.String("note", "", "free-form environment note recorded in the report")
 	flag.Parse()
+
+	if *cpus != "" {
+		for _, c := range strings.Split(*cpus, ",") {
+			if n, err := strconv.Atoi(strings.TrimSpace(c)); err != nil || n < 1 {
+				fail(fmt.Errorf("-cpus: bad value %q", c))
+			}
+		}
+	}
 
 	var runs []benchjson.Result
 	for _, pkg := range strings.Split(*pkgs, ",") {
@@ -47,7 +60,11 @@ func main() {
 			continue
 		}
 		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
-			"-count", strconv.Itoa(*count), "-benchtime", *benchtime, pkg}
+			"-count", strconv.Itoa(*count), "-benchtime", *benchtime}
+		if *cpus != "" {
+			args = append(args, "-cpu", *cpus)
+		}
+		args = append(args, pkg)
 		fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
 		cmd := exec.Command("go", args...)
 		var buf bytes.Buffer
@@ -76,6 +93,9 @@ func main() {
 		Note:       *note,
 		Benchmarks: benchjson.Median(runs),
 	}
+	if err := benchjson.Validate(rep); err != nil {
+		fail(err)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fail(err)
@@ -86,7 +106,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
 	for _, b := range rep.Benchmarks {
-		line := fmt.Sprintf("  %-28s %12.1f ns/op  %6d allocs/op", b.Name, b.NsPerOp, b.AllocsPerOp)
+		line := fmt.Sprintf("  %-28s cpu=%-2d %12.1f ns/op  %6d allocs/op", b.Name, b.Cpus, b.NsPerOp, b.AllocsPerOp)
 		if b.FixesPerSec > 0 {
 			line += fmt.Sprintf("  %10.0f fixes/s", b.FixesPerSec)
 		}

@@ -8,6 +8,7 @@
 //	         [-quick] [-csv dir]
 //	bqsbench -engine [-devices N] [-shards M] [-fixes N] [-compressor name]
 //	         [-tol metres] [-merge metres] [-persist dir] [-query]
+//	bqsbench -engine -cpus 1,2,4,8 ...
 //	bqsbench ... [-cpuprofile file] [-memprofile file]
 //
 // -quick shrinks the datasets for a fast smoke run; -csv writes the raw
@@ -15,14 +16,22 @@
 // -engine switches to a fleet-ingestion throughput run: N devices with
 // synthetic correlated-random-walk trajectories are batched through the
 // sharded engine and the wall-clock throughput is reported. -persist
-// additionally opens an append-only segment log in the given directory
-// and measures the same run with durability on (each flushed session is
-// written and fsync'd through the Sync barrier). -query (requires
-// -persist) spreads the devices over a spatial grid of separate cells,
-// then benchmarks durable window queries on the reopened log: a
-// selective window covering a few percent of the fleet and a full-extent
-// window, reporting latency and how many records the block indexes let
-// the query skip decoding.
+// additionally opens a sharded append-only segment log in the given
+// directory (one log shard per engine shard, routed by the same device
+// hash) and measures the same run with durability on (each flushed
+// session is written and fsync'd through the Sync barrier). -query
+// (requires -persist) spreads the devices over a spatial grid of
+// separate cells, then benchmarks durable window queries on the
+// reopened log: a selective window covering a few percent of the fleet
+// and a full-extent window, reporting latency and how many records the
+// block indexes let the query skip decoding.
+//
+// -cpus runs the whole engine benchmark once per GOMAXPROCS value — the
+// cores axis of the scaling matrix. Unless -shards is given explicitly,
+// each pass uses as many shards as cores (the deployment sweet spot:
+// one worker per core, each owning its own log shard); -persist runs
+// write each pass into its own c<N> subdirectory so the passes stay
+// independent.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole run
 // (either mode), for `go tool pprof`; the memory profile is an allocation
@@ -37,6 +46,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,6 +75,7 @@ func main() {
 	segBytes := flag.Int64("segbytes", 0, "engine mode with -persist: segment rotation threshold in bytes (0 = log default; small values seal segments for -compact)")
 	compact := flag.Bool("compact", false, "engine mode with -persist: compact the log after the run and report before/after disk bytes")
 	query := flag.Bool("query", false, "engine mode with -persist: benchmark durable window queries (selective + full) on the reopened log")
+	cpusFlag := flag.String("cpus", "", "engine mode: comma-separated GOMAXPROCS matrix (e.g. 1,2,4,8); the whole benchmark runs once per value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
@@ -76,12 +87,51 @@ func main() {
 	defer stopProfiles()
 
 	if *engineMode {
-		if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *compact, *query); err != nil {
+		cpuList, err := parseCpus(*cpusFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bqsbench:", err)
+			os.Exit(2)
+		}
+		shardsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				shardsSet = true
+			}
+		})
+		fail := func(err error) {
 			stopProfiles()
 			fmt.Fprintln(os.Stderr, "bqsbench:", err)
 			os.Exit(1)
 		}
+		if cpuList == nil {
+			if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *compact, *query); err != nil {
+				fail(err)
+			}
+			return
+		}
+		prev := runtime.GOMAXPROCS(0)
+		for _, c := range cpuList {
+			runtime.GOMAXPROCS(c)
+			sh := *shards
+			if !shardsSet {
+				sh = c // one worker per core, each owning its log shard
+			}
+			dir := *persistDir
+			if dir != "" {
+				dir = filepath.Join(dir, fmt.Sprintf("c%d", c))
+			}
+			fmt.Printf("=== GOMAXPROCS=%d shards=%d ===\n", c, sh)
+			if err := runEngineBench(*devices, sh, *fixesPer, *compName, *tol, *mergeTol, dir, *trailKeys, *segBytes, *compact, *query); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+		runtime.GOMAXPROCS(prev)
 		return
+	}
+	if *cpusFlag != "" {
+		fmt.Fprintln(os.Stderr, "bqsbench: -cpus requires -engine")
+		os.Exit(2)
 	}
 	if *persistDir != "" {
 		fmt.Fprintln(os.Stderr, "bqsbench: -persist requires -engine")
@@ -253,11 +303,29 @@ func main() {
 	}
 }
 
+// parseCpus decodes the -cpus matrix; "" yields nil (single pass at the
+// current GOMAXPROCS).
+func parseCpus(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cpus: bad value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // runEngineBench pushes devices×fixesPer synthetic fixes through the
 // sharded ingestion engine in interleaved batches and reports wall-clock
 // throughput plus compression and storage statistics. With persistDir
-// set, flushed sessions are also appended to a segment log there and
-// the final Sync is a durability barrier.
+// set, flushed sessions are also appended to a sharded segment log there
+// (one log shard per engine shard) and the final Sync is a durability
+// barrier.
 func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string, trailKeys int, segBytes int64, compact, query bool) error {
 	if devices <= 0 || fixesPer <= 0 {
 		return fmt.Errorf("devices and fixes must be positive")
@@ -285,13 +353,16 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 		MaxTrailKeys: trailKeys,
 		Store:        trajstore.Config{MergeTolerance: mergeTol},
 	}
-	var lg *segmentlog.Log
+	var lg *segmentlog.ShardedLog
 	if persistDir != "" {
 		var err error
-		lg, err = segmentlog.Open(persistDir, segmentlog.Options{MaxSegmentBytes: segBytes})
+		lg, err = segmentlog.OpenSharded(persistDir, shards, segmentlog.Options{MaxSegmentBytes: segBytes})
 		if err != nil {
 			return err
 		}
+		// An existing directory's persisted shard count is authoritative;
+		// the engine must route devices the same way.
+		cfg.Shards = lg.NumShards()
 		cfg.Persister = lg
 	}
 	e, err := engine.New(cfg)
@@ -367,7 +438,7 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 	if lg != nil {
 		// The log was closed by e.Close; reopen it to report what landed
 		// on disk (also a cheap recovery self-check).
-		rl, err := segmentlog.Open(persistDir, segmentlog.Options{MaxSegmentBytes: segBytes})
+		rl, err := segmentlog.OpenSharded(persistDir, shards, segmentlog.Options{MaxSegmentBytes: segBytes})
 		if err != nil {
 			return fmt.Errorf("reopening log: %w", err)
 		}
@@ -409,7 +480,7 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 // a selective window covering the first few device cells (a few percent
 // of the fleet) and a full-extent window. The MetersPerDegree default
 // (1e5) maps the metric workload grid to the log's degree coordinates.
-func runQueryBench(rl *segmentlog.Log, devices, grid int, cellSep float64) error {
+func runQueryBench(rl *segmentlog.ShardedLog, devices, grid int, cellSep float64) error {
 	const m = 1e5
 	total := rl.Stats().Records
 	type window struct {

@@ -39,9 +39,37 @@ func TestSmokeEngineBenchPersist(t *testing.T) {
 	if !strings.Contains(s, "persisted 5 trajectories") {
 		t.Fatalf("persistence not reported:\n%s", s)
 	}
-	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	// The durable run writes the sharded layout: per-shard segment files.
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-*", "seg-*.log"))
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segment files written: %v %v", segs, err)
+	}
+}
+
+func TestSmokeEngineBenchCpusMatrix(t *testing.T) {
+	bin := buildCmd(t)
+	dir := filepath.Join(t.TempDir(), "log")
+	out, err := exec.Command(bin, "-engine", "-devices", "5", "-fixes", "40",
+		"-cpus", "1,2", "-persist", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bqsbench -engine -cpus: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"=== GOMAXPROCS=1 shards=1 ===", "=== GOMAXPROCS=2 shards=2 ==="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("matrix pass header %q missing:\n%s", want, s)
+		}
+	}
+	// Each pass persists into its own subdirectory, sharded per core.
+	for _, sub := range []string{"c1", "c2"} {
+		segs, err := filepath.Glob(filepath.Join(dir, sub, "shard-*", "seg-*.log"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("pass %s wrote no segment files: %v %v", sub, segs, err)
+		}
+	}
+	// -cpus without -engine is rejected.
+	if err := exec.Command(bin, "-cpus", "1,2").Run(); err == nil {
+		t.Fatal("-cpus without -engine accepted")
 	}
 }
 

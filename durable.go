@@ -52,12 +52,29 @@ var ErrLogLocked = segmentlog.ErrLocked
 // ErrLogReadOnly reports a mutating operation on a read-only log.
 var ErrLogReadOnly = segmentlog.ErrReadOnly
 
+// ShardedSegmentLog is a segment log fanned out over per-shard
+// subdirectories, each a complete single log under its own MANIFEST; it
+// implements Persister and routes devices with the same hash the engine
+// shards by, so engine workers append without cross-shard contention.
+type ShardedSegmentLog = segmentlog.ShardedLog
+
 // OpenSegmentLog opens (creating if necessary) a segment log directory,
 // recovering from any crash-torn tail. Writable opens take the
 // directory's exclusive lock; set SegmentLogOptions.ReadOnly to inspect
 // a directory another process owns.
 func OpenSegmentLog(dir string, opts SegmentLogOptions) (*SegmentLog, error) {
 	return segmentlog.Open(dir, opts)
+}
+
+// OpenShardedSegmentLog opens (creating or migrating if necessary) a
+// sharded segment log. shards only matters for a directory that does
+// not hold a sharded log yet (≤ 0 means GOMAXPROCS): an existing
+// directory keeps the shard count persisted in its SHARDS file, and a
+// legacy single-log directory is migrated in place — crash-safely, with
+// the legacy files as the authoritative copy until the migration
+// commits. OpenDurableEngine opens its log through this.
+func OpenShardedSegmentLog(dir string, shards int, opts SegmentLogOptions) (*ShardedSegmentLog, error) {
+	return segmentlog.OpenSharded(dir, shards, opts)
 }
 
 // CompactLog runs one merge/dedup/ageing compaction pass over the log's
@@ -80,10 +97,14 @@ func QueryLogWindow(lg *SegmentLog, minX, minY, maxX, maxY float64, t0, t1 uint3
 	return lg.QueryWindow(minX, minY, maxX, maxY, t0, t1)
 }
 
-// OpenDurableEngine opens a segment log in dir and starts an ingestion
-// engine persisting into it: every session finalized by idle eviction or
-// Close durably lands on disk, Sync is the durability barrier, and
-// Close closes the log. Any Persister already set in cfg is replaced.
+// OpenDurableEngine opens a sharded segment log in dir and starts an
+// ingestion engine persisting into it: every session finalized by idle
+// eviction or Close durably lands on disk, Sync is the durability
+// barrier, and Close closes the log. Any Persister already set in cfg
+// is replaced. The log's shard count follows cfg.Shards for a fresh
+// directory; reopening an existing one the persisted count is
+// authoritative and cfg.Shards is overridden to match, so each engine
+// worker always owns exactly one log shard.
 func OpenDurableEngine(dir string, cfg EngineConfig) (*Engine, error) {
 	return OpenDurableEngineWithLog(dir, SegmentLogOptions{}, cfg)
 }
@@ -93,10 +114,14 @@ func OpenDurableEngine(dir string, cfg EngineConfig) (*Engine, error) {
 // engine periodically compacts the log in the background, reclaiming
 // disk while preserving the error bound.
 func OpenDurableEngineWithLog(dir string, logOpts SegmentLogOptions, cfg EngineConfig) (*Engine, error) {
-	lg, err := segmentlog.Open(dir, logOpts)
+	lg, err := segmentlog.OpenSharded(dir, cfg.Shards, logOpts)
 	if err != nil {
 		return nil, fmt.Errorf("bqs: %w", err)
 	}
+	// The persisted shard count decides where every stored device lives,
+	// so the engine must shard identically — the count wins over
+	// cfg.Shards, and each engine worker binds to its own log shard.
+	cfg.Shards = lg.NumShards()
 	cfg.Persister = lg
 	e, err := engine.New(cfg)
 	if err != nil {

@@ -56,8 +56,9 @@ func main() {
 
 	// Phase 2: crash. Tear the last 11 bytes off the newest segment —
 	// the tail record is now incomplete, exactly what a power cut
-	// mid-write leaves behind.
-	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	// mid-write leaves behind. The durable engine stripes the log one
+	// subdirectory per shard, so the torn file lives under shard-NNN/.
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-*", "seg-*.log"))
 	if err != nil || len(segs) == 0 {
 		log.Fatalf("no segment files: %v", err)
 	}
@@ -71,9 +72,9 @@ func main() {
 	}
 	fmt.Printf("simulated crash: tore 11 bytes off %s\n", filepath.Base(last))
 
-	// Phase 3: reopen. The scan rebuilds the index and drops the torn
-	// record; every other trajectory survives byte-identically.
-	lg, err := bqs.OpenSegmentLog(dir, bqs.SegmentLogOptions{})
+	// Phase 3: reopen. Only the torn shard re-scans; the torn record is
+	// dropped and every other trajectory survives byte-identically.
+	lg, err := bqs.OpenShardedSegmentLog(dir, 0, bqs.SegmentLogOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func main() {
 	if err := e2.Close(); err != nil {
 		log.Fatal(err)
 	}
-	lg2, err := bqs.OpenSegmentLog(dir, bqs.SegmentLogOptions{})
+	lg2, err := bqs.OpenShardedSegmentLog(dir, 0, bqs.SegmentLogOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 //	  "benchmarks": [
 //	    {
 //	      "name": "EngineIngest1kDevices",
+//	      "cpus": 4,
 //	      "iterations": 8524,
 //	      "ns_per_op": 557465,
 //	      "mb_per_sec": 43.05,
@@ -22,11 +23,16 @@
 //	  ]
 //	}
 //
-// fixes_per_sec and ns_per_fix are derived for benchmarks that declare
-// their throughput via SetBytes with the repository's 24-byte fix payload
-// (three float64s per point); they are omitted otherwise. With -count > 1
-// the per-name median run (by ns/op) is reported, which is robust against
-// the scheduling noise of CI-class containers.
+// Each entry's cpus is the GOMAXPROCS the measurement ran under (parsed
+// from the -N suffix `go test -cpu` appends to benchmark names; absent
+// suffix means 1), so one report can hold a scaling matrix — one entry
+// per (benchmark, cpus) pair. The top-level cpus remains the machine's
+// CPU count. fixes_per_sec and ns_per_fix are derived for benchmarks
+// that declare their throughput via SetBytes with the repository's
+// 24-byte fix payload (three float64s per point); they are omitted
+// otherwise. With -count > 1 the per-(name, cpus) median run (by ns/op)
+// is reported, which is robust against the scheduling noise of CI-class
+// containers.
 package benchjson
 
 import (
@@ -46,9 +52,12 @@ const Schema = "bqs-bench/1"
 // unit the repository's throughput benchmarks use.
 const FixBytes = 24
 
-// Result is one parsed benchmark measurement.
+// Result is one parsed benchmark measurement. Cpus is the GOMAXPROCS
+// the run used; 0 in a decoded document means the file predates the
+// field (see Validate).
 type Result struct {
 	Name        string  `json:"name"`
+	Cpus        int     `json:"cpus,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
@@ -70,8 +79,9 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-// benchName matches the leading "BenchmarkXxx[-P]  N" of a result line.
-var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
+// benchName matches the leading "BenchmarkXxx[-P]" of a result line,
+// capturing the -P GOMAXPROCS suffix go test appends when it is not 1.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?$`)
 
 // Parse extracts every benchmark result line from r, in order, e.g.
 //
@@ -100,7 +110,12 @@ func Parse(r io.Reader) ([]Result, error) {
 		if err != nil {
 			continue // not a result line (e.g. a name echoed mid-output)
 		}
-		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark"), Iterations: iters}
+		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark"), Cpus: 1, Iterations: iters}
+		if m[2] != "" {
+			if res.Cpus, err = strconv.Atoi(m[2]); err != nil || res.Cpus < 1 {
+				continue
+			}
+		}
 		sawNs := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			value, unit := fields[i], fields[i+1]
@@ -147,22 +162,55 @@ func (r *Result) derive() {
 }
 
 // Median collapses repeated measurements (from -count > 1) to one entry
-// per benchmark name — the run with the median ns/op — preserving the
-// first-seen name order.
+// per (benchmark name, cpus) pair — the run with the median ns/op —
+// preserving the first-seen order of pairs, so a `-cpu 1,2,4,8` matrix
+// survives as one entry per cpu count.
 func Median(runs []Result) []Result {
-	byName := make(map[string][]Result)
-	var order []string
+	type key struct {
+		name string
+		cpus int
+	}
+	byKey := make(map[key][]Result)
+	var order []key
 	for _, r := range runs {
-		if _, seen := byName[r.Name]; !seen {
-			order = append(order, r.Name)
+		k := key{r.Name, r.Cpus}
+		if _, seen := byKey[k]; !seen {
+			order = append(order, k)
 		}
-		byName[r.Name] = append(byName[r.Name], r)
+		byKey[k] = append(byKey[k], r)
 	}
 	out := make([]Result, 0, len(order))
-	for _, name := range order {
-		group := byName[name]
+	for _, k := range order {
+		group := byKey[k]
 		sort.Slice(group, func(i, j int) bool { return group[i].NsPerOp < group[j].NsPerOp })
 		out = append(out, group[(len(group)-1)/2])
 	}
 	return out
+}
+
+// Validate rejects a report whose benchmark entries cannot be
+// interpreted unambiguously as a cpu matrix: if any entry omits the
+// cpus field (0 — a pre-matrix file) while the named benchmark appears
+// more than once, the duplicates cannot be told apart. Single-cpu
+// legacy files (every name unique, cpus absent) remain valid.
+func Validate(rep Report) error {
+	if rep.Schema != Schema {
+		return fmt.Errorf("benchjson: unknown schema %q (want %q)", rep.Schema, Schema)
+	}
+	seen := make(map[string]int)
+	missing := false
+	for _, b := range rep.Benchmarks {
+		seen[b.Name]++
+		if b.Cpus == 0 {
+			missing = true
+		}
+	}
+	if missing {
+		for name, n := range seen {
+			if n > 1 {
+				return fmt.Errorf("benchjson: %q appears %d times but entries lack the cpus field; mixed-cpus reports require it", name, n)
+			}
+		}
+	}
+	return nil
 }

@@ -117,6 +117,76 @@ func TestReportJSONSchema(t *testing.T) {
 	}
 }
 
+// cpuMatrix mimics a `go test -cpu 1,2,4` run: the same benchmark at
+// three GOMAXPROCS values (suffix absent at 1), twice each.
+const cpuMatrix = `BenchmarkEngineIngest 	 100	  1000 ns/op	  24.00 MB/s
+BenchmarkEngineIngest-2 	 100	   600 ns/op	  40.00 MB/s
+BenchmarkEngineIngest-4 	 100	   400 ns/op	  60.00 MB/s
+BenchmarkEngineIngest 	 100	  1100 ns/op	  22.00 MB/s
+BenchmarkEngineIngest-2 	 100	   620 ns/op	  39.00 MB/s
+BenchmarkEngineIngest-4 	 100	   380 ns/op	  62.00 MB/s
+PASS
+`
+
+func TestParseCpusMatrix(t *testing.T) {
+	runs, err := Parse(strings.NewReader(cpuMatrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 6 {
+		t.Fatalf("parsed %d runs, want 6", len(runs))
+	}
+	wantCpus := []int{1, 2, 4, 1, 2, 4}
+	for i, r := range runs {
+		if r.Name != "EngineIngest" || r.Cpus != wantCpus[i] {
+			t.Errorf("run %d = %q cpus %d, want EngineIngest cpus %d", i, r.Name, r.Cpus, wantCpus[i])
+		}
+	}
+
+	// Median groups by (name, cpus): one entry per cpu count, in
+	// first-seen order — the scaling matrix survives collapsing.
+	med := Median(runs)
+	if len(med) != 3 {
+		t.Fatalf("median groups = %d, want 3", len(med))
+	}
+	for i, want := range []struct {
+		cpus int
+		ns   float64
+	}{{1, 1000}, {2, 600}, {4, 380}} {
+		if med[i].Cpus != want.cpus || med[i].NsPerOp != want.ns {
+			t.Errorf("median[%d] = cpus %d, %v ns/op; want cpus %d, %v",
+				i, med[i].Cpus, med[i].NsPerOp, want.cpus, want.ns)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := Report{Schema: Schema}
+	if err := Validate(base); err != nil {
+		t.Errorf("empty report: %v", err)
+	}
+	if err := Validate(Report{Schema: "nonsense/9"}); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	// A matrix with the cpus field everywhere is fine.
+	base.Benchmarks = []Result{
+		{Name: "X", Cpus: 1}, {Name: "X", Cpus: 4}, {Name: "Y", Cpus: 1},
+	}
+	if err := Validate(base); err != nil {
+		t.Errorf("tagged matrix: %v", err)
+	}
+	// A legacy single-cpu file (no cpus field, unique names) is fine.
+	base.Benchmarks = []Result{{Name: "X"}, {Name: "Y"}}
+	if err := Validate(base); err != nil {
+		t.Errorf("legacy file: %v", err)
+	}
+	// Duplicate names without the cpus field are ambiguous: rejected.
+	base.Benchmarks = []Result{{Name: "X"}, {Name: "X", Cpus: 4}}
+	if err := Validate(base); err == nil {
+		t.Error("ambiguous mixed-cpus report accepted")
+	}
+}
+
 func TestParseGarbage(t *testing.T) {
 	runs, err := Parse(strings.NewReader("no benchmarks here\njust noise\n"))
 	if err != nil {

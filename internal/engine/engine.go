@@ -145,12 +145,6 @@ type Engine struct {
 	stopCompact chan struct{}
 	compactWG   sync.WaitGroup
 
-	opened    atomic.Uint64
-	evicted   atomic.Uint64
-	fixes     atomic.Uint64
-	keys      atomic.Uint64
-	persisted atomic.Uint64
-
 	// persistErr latches the first asynchronous persister failure (shard
 	// workers append during eviction); Sync and Close surface it.
 	persistErr atomic.Pointer[error]
@@ -175,12 +169,30 @@ type session struct {
 }
 
 // shard is one worker: a queue, a session table and a trajectory store.
+// The activity counters live here, not on the Engine: every counter is
+// written by exactly one worker goroutine, so striping them per shard
+// keeps the multi-core hot path free of shared-cache-line contention
+// (profiling at GOMAXPROCS>1 showed the global keys/fixes atomics
+// bouncing between cores on every key point). Stats sums them.
 type shard struct {
 	eng      *Engine
 	in       chan shardMsg
 	store    *trajstore.Store
 	sessions map[string]*session
-	active   atomic.Int64
+
+	// persist, when non-nil, is this shard's private slice of a sharded
+	// persister (trajstore.ShardedPersister with a shard count matching
+	// the engine's): both route devices through trajstore.ShardIndex, so
+	// this worker is the only goroutine appending to it — the write
+	// skips the shared persistHolder lock and the second routing hash.
+	persist trajstore.Persister
+
+	active    atomic.Int64
+	opened    atomic.Uint64
+	evicted   atomic.Uint64
+	fixes     atomic.Uint64
+	keys      atomic.Uint64
+	persisted atomic.Uint64
 }
 
 // shardMsg is a unit of work for a shard worker. Exactly one of the
@@ -274,6 +286,10 @@ func New(cfg Config) (*Engine, error) {
 	if _, ok := probe.(stream.Resetter); ok {
 		e.pool.Put(probe) // the probe seeds the pool instead of being wasted
 	}
+	// When the persister is itself sharded by the same routing function
+	// and count, bind each worker to its own slice of it.
+	sp, spOK := cfg.Persister.(trajstore.ShardedPersister)
+	spOK = spOK && sp.NumShards() == cfg.Shards
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		sh := &shard{
@@ -281,6 +297,9 @@ func New(cfg Config) (*Engine, error) {
 			in:       make(chan shardMsg, cfg.QueueDepth),
 			store:    stores.Shard(i),
 			sessions: make(map[string]*session),
+		}
+		if spOK {
+			sh.persist = sp.ShardPersister(i)
 		}
 		e.shards[i] = sh
 		e.wg.Add(1)
@@ -345,19 +364,11 @@ func (e *Engine) CompactNow() error {
 	return e.stores.CompactPersist()
 }
 
-// shardIndex routes a device ID to a shard by FNV-1a (inlined to keep
-// the hot path allocation-free).
+// shardIndex routes a device ID to a shard. The hash lives in
+// trajstore.ShardIndex so the sharded segment log routes identically —
+// the alignment the per-shard persister fast path depends on.
 func (e *Engine) shardIndex(device string) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(device); i++ {
-		h ^= uint64(device[i])
-		h *= prime64
-	}
-	return int(h % uint64(len(e.shards)))
+	return trajstore.ShardIndex(device, len(e.shards))
 }
 
 // Ingest routes a batch of fixes to their shards. Fixes for the same
@@ -396,7 +407,6 @@ func (e *Engine) Ingest(fixes []Fix) error {
 		}
 		e.scatterPool.Put(sc)
 	}
-	e.fixes.Add(uint64(len(fixes)))
 	return nil
 }
 
@@ -465,16 +475,14 @@ func (e *Engine) EvictIdle() error { return e.barrier(shardMsg{evict: true}) }
 // atomically but not mutually consistent; call Sync first for a quiescent
 // reading.
 func (e *Engine) Stats() Stats {
-	s := Stats{
-		SessionsOpened:  e.opened.Load(),
-		SessionsEvicted: e.evicted.Load(),
-		Fixes:           e.fixes.Load(),
-		KeyPoints:       e.keys.Load(),
-		Persisted:       e.persisted.Load(),
-		Store:           e.stores.MergedStats(),
-	}
+	s := Stats{Store: e.stores.MergedStats()}
 	for _, sh := range e.shards {
 		s.ActiveSessions += int(sh.active.Load())
+		s.SessionsOpened += sh.opened.Load()
+		s.SessionsEvicted += sh.evicted.Load()
+		s.Fixes += sh.fixes.Load()
+		s.KeyPoints += sh.keys.Load()
+		s.Persisted += sh.persisted.Load()
 	}
 	return s
 }
@@ -554,6 +562,7 @@ func (sh *shard) run() {
 // reporting a burst of fixes costs a single map hit.
 func (sh *shard) ingestBatch(fixes []Fix) {
 	now := sh.eng.clock()
+	sh.fixes.Add(uint64(len(fixes)))
 	var (
 		device string
 		s      *session
@@ -567,7 +576,7 @@ func (sh *shard) ingestBatch(fixes []Fix) {
 				s = sh.newSession()
 				sh.sessions[device] = s
 				sh.active.Add(1)
-				sh.eng.opened.Add(1)
+				sh.opened.Add(1)
 			}
 		}
 		s.lastSeen = now
@@ -605,7 +614,7 @@ func (sh *shard) emit(device string, s *session, kp core.Point) {
 			sh.persistTrail(device, s, false)
 		}
 	}
-	sh.eng.keys.Add(1)
+	sh.keys.Add(1)
 	if sh.eng.cfg.OnKey != nil {
 		sh.eng.cfg.OnKey(device, kp)
 	}
@@ -623,10 +632,16 @@ func (sh *shard) persistTrail(device string, s *session, final bool) {
 	}
 	m := sh.eng.mPerDegree
 	geo := trajstore.PointKeysToGeo(s.keys, m, m)
-	if err := sh.eng.stores.Persist(device, geo); err != nil {
+	var err error
+	if sh.persist != nil && len(geo) > 0 {
+		err = sh.persist.Append(device, geo)
+	} else {
+		err = sh.eng.stores.Persist(device, geo)
+	}
+	if err != nil {
 		sh.eng.setPersistErr(err)
 	} else {
-		sh.eng.persisted.Add(1)
+		sh.persisted.Add(1)
 	}
 	if final {
 		s.keys, s.chunked = nil, false
@@ -665,7 +680,7 @@ func (sh *shard) evictIdle() {
 	for device, s := range sh.sessions {
 		if now.Sub(s.lastSeen) >= d {
 			sh.closeSession(device, s)
-			sh.eng.evicted.Add(1)
+			sh.evicted.Add(1)
 		}
 	}
 }

@@ -15,6 +15,38 @@ type Persister interface {
 	Close() error
 }
 
+// ShardIndex routes a device ID to one of n shards by FNV-1a. It is THE
+// routing function of the system: the ingestion engine's shard workers
+// and the sharded segment log both use it, so when their shard counts
+// agree a device's session worker appends straight into the shard log
+// it owns — no cross-shard handoff, no second hash. Callers guarantee
+// n ≥ 1.
+func ShardIndex(device string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(device); i++ {
+		h ^= uint64(device[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// ShardedPersister is optionally implemented by Persisters that are
+// internally sharded by ShardIndex over the device ID (the sharded
+// segment log is). ShardPersister(i) exposes shard i's private
+// persister; appends routed to it must only carry devices for which
+// ShardIndex(device, NumShards()) == i. The engine uses this to bind
+// each shard worker directly to its own log shard when the shard
+// counts line up.
+type ShardedPersister interface {
+	Persister
+	NumShards() int
+	ShardPersister(i int) Persister
+}
+
 // Compacter is optionally implemented by Persisters that can rewrite
 // their sealed storage smaller (merging, ageing — see
 // segmentlog.Compact). CompactNow runs one compaction pass with the

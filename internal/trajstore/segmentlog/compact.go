@@ -44,6 +44,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -80,6 +81,12 @@ type CompactionPolicy struct {
 	// Now substitutes the ageing clock; nil means time.Now. Tests use
 	// it to age deterministically.
 	Now func() time.Time
+	// Workers is the number of goroutines decoding and rewriting devices
+	// concurrently. It also bounds the pass's peak memory: at most
+	// Workers devices' decoded records are alive at once (see Compact).
+	// ≤ 0 means GOMAXPROCS. Like Now, it does not affect the output, so
+	// the memo fast path ignores it.
+	Workers int
 }
 
 // CompactionResult reports what one Compact call did.
@@ -124,6 +131,26 @@ func (l *Log) CompactNow() error {
 	return err
 }
 
+// devRef locates one sealed record of a device for the streaming
+// compactor: enough metadata to read, CRC-verify and decode it without
+// holding the log lock.
+type devRef struct {
+	seg     int // index into the sealed-segment snapshot
+	off     int64
+	bodyLen int
+	t0, t1  uint32
+}
+
+// devOut is one device's rewrite result, handed from a compaction
+// worker to the ordered writer.
+type devOut struct {
+	recs                  []compactRecord
+	decoded               int // sealed records decoded for this device (memory accounting)
+	merged, deduped, aged int
+	nextAgeT1             uint32
+	err                   error
+}
+
 // Compact rewrites every sealed segment (all but the active one) through
 // the merge/dedup/ageing pipeline and atomically publishes the result as
 // a new manifest generation. Appends and queries proceed concurrently;
@@ -132,12 +159,13 @@ func (l *Log) CompactNow() error {
 // published generation is untouched; partially written output files are
 // swept by the next Open.
 //
-// Memory: the pass decodes every sealed record into memory at once
-// (merging needs a device's consecutive records side by side), so peak
-// usage is proportional to the sealed data. Fine for the multi-GB logs
-// the default 64 MiB rotation produces over a long run; a streaming
-// per-device rewrite for truly huge logs is a known follow-up (see
-// ROADMAP).
+// Memory and parallelism: the pass streams — devices are decoded,
+// rewritten and re-encoded one at a time by a pool of Workers
+// goroutines, and a device's decoded records are released as soon as
+// the ordered writer has re-encoded them, so peak usage is bounded by
+// the Workers largest devices, never the whole sealed log. Record reads
+// go through the per-record offsets the block index recovered (pread,
+// CRC-verified), not a whole-file slurp.
 func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	var res CompactionResult
 	if p.MetersPerDegree == 0 {
@@ -159,6 +187,10 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 			return res, fmt.Errorf("segmentlog: age compressor: %w", err)
 		}
 	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	now := time.Now
 	if p.Now != nil {
 		now = p.Now
@@ -167,9 +199,9 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	l.compactMu.Lock()
 	defer l.compactMu.Unlock()
 
-	// Snapshot the sealed segments. They are immutable from here on:
-	// appends only touch the active segment, rotation only adds files,
-	// and competing compactions are excluded by compactMu.
+	// The sealed prefix is immutable from here on: appends only touch
+	// the active segment, rotation only adds files, and competing
+	// compactions are excluded by compactMu.
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -179,10 +211,10 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 		l.mu.Unlock()
 		return res, ErrReadOnly
 	}
-	sealed := append([]segmentFile(nil), l.segs[:len(l.segs)-1]...)
+	nSealed := len(l.segs) - 1
 	genAtSnap := l.gen
 	l.mu.Unlock()
-	if len(sealed) == 0 {
+	if nSealed == 0 {
 		return res, nil
 	}
 
@@ -202,12 +234,28 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 		return res, nil
 	}
 
-	// Read every sealed record, grouped per device in append order. A
-	// sealed segment in the legacy record format, or one without a live
-	// block index, marks the pass as an upgrade: even a record-identical
-	// rewrite is then worthwhile, because the output carries bounding
-	// boxes and sealed indexes the input lacked.
-	perDev := make(map[string][]compactRecord)
+	// Metadata scan: snapshot the sealed segments and group their record
+	// locations per device in append order — no payload is read or
+	// decoded here. A sealed segment in the legacy record format, or one
+	// without a live block index, marks the pass as an upgrade: even a
+	// record-identical rewrite is then worthwhile, because the output
+	// carries bounding boxes and sealed indexes the input lacked.
+	l.mu.Lock()
+	if err := l.ensureAllLoadedLocked(); err != nil {
+		l.mu.Unlock()
+		return res, err
+	}
+	sealed := append([]segmentFile(nil), l.segs[:nSealed]...)
+	perDev := make(map[string][]devRef)
+	for si := 0; si < nSealed; si++ {
+		for _, rm := range l.segRecs[si] {
+			perDev[rm.device] = append(perDev[rm.device], devRef{
+				seg: si, off: rm.off, bodyLen: rm.bodyLen, t0: rm.t0, t1: rm.t1,
+			})
+		}
+		res.RecordsIn += len(l.segRecs[si])
+	}
+	l.mu.Unlock()
 	upgrade := false
 	for _, sf := range sealed {
 		res.SegmentsIn++
@@ -215,62 +263,105 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 		if sf.ver != version || !sf.idx {
 			upgrade = true
 		}
-		if err := readSealed(sf, perDev, &res.RecordsIn); err != nil {
-			return res, err
-		}
 	}
 	if err := l.fire("scan"); err != nil {
 		return res, err
 	}
 
-	// Rewrite per device. Device order is sorted for deterministic
-	// output; per-device record order is preserved (Query contract).
-	// nextAgeT1 tracks the earliest not-yet-eligible record timestamp
-	// for the memo above.
-	nextAgeT1 := uint32(math.MaxUint32)
+	// Open every sealed file once; workers share the handles via pread.
+	files := make([]*os.File, len(sealed))
+	for i, sf := range sealed {
+		f, err := os.Open(sf.path)
+		if err != nil {
+			for _, of := range files[:i] {
+				of.Close()
+			}
+			return res, fmt.Errorf("segmentlog: compact: %w", err)
+		}
+		files[i] = f
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+
+	// Fan the devices out to the worker pool and re-encode the results
+	// in sorted device order (deterministic output; per-device record
+	// order is preserved — the Query contract). The semaphore is the
+	// memory bound: a slot is taken before a device is decoded and
+	// released only after the writer has consumed it, so at most
+	// `workers` devices' decoded records are alive at any moment.
 	devices := make([]string, 0, len(perDev))
 	for dev := range perDev {
 		devices = append(devices, dev)
 	}
 	sort.Strings(devices)
-	var out []compactRecord
-	for _, dev := range devices {
-		recs := perDev[dev]
-		if p.MergeChunks {
-			var merged int
-			recs, merged = mergeChunks(recs)
-			res.Merged += merged
+	results := make([]chan devOut, len(devices))
+	for i := range results {
+		results[i] = make(chan devOut, 1)
+	}
+	work := make(chan int)
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i := range devices {
+			sem <- struct{}{}
+			work <- i
 		}
-		if !p.NoDedup {
-			var deduped int
-			recs, deduped = dedupContained(recs)
-			res.Deduped += deduped
-		}
-		if p.CoarseTolerance > 0 {
-			for i := range recs {
-				if recs[i].t1 > cutoff && recs[i].t1 < nextAgeT1 {
-					nextAgeT1 = recs[i].t1
-				}
-				aged, err := ageKeys(recs[i].keys, recs[i].t1, cutoff, p)
-				if err != nil {
-					return res, err
-				}
-				if aged != nil {
-					recs[i].keys = aged
-					res.Aged++
-				}
+		close(work)
+	}()
+	if workers > len(devices) {
+		workers = len(devices)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				results[i] <- l.compactDevice(perDev[devices[i]], sealed, files, p, cutoff)
 			}
-		}
-		out = append(out, recs...)
+		}()
 	}
 
-	// Nothing changed at the record level: skip the rewrite entirely so
-	// a periodic compaction tick on an already-compacted (or
-	// incompressible) log costs one read pass, not a full-log rewrite,
-	// fsync storm and generation bump every interval. (RecordsIn == 0
-	// with sealed segments present still rewrites, to drop the empty
-	// files; an upgrade pass rewrites to gain bboxes and block indexes.)
+	cw := &compactWriter{l: l}
+	nextAgeT1 := uint32(math.MaxUint32)
+	var firstErr error
+	for i := range devices {
+		out := <-results[i]
+		if firstErr == nil {
+			if out.err != nil {
+				firstErr = out.err
+			} else {
+				res.Merged += out.merged
+				res.Deduped += out.deduped
+				res.Aged += out.aged
+				if out.nextAgeT1 < nextAgeT1 {
+					nextAgeT1 = out.nextAgeT1
+				}
+				for _, r := range out.recs {
+					if err := cw.add(r); err != nil {
+						firstErr = err
+						break
+					}
+				}
+				res.RecordsOut += len(out.recs)
+			}
+		}
+		l.compactLive.Add(-int64(out.decoded))
+		<-sem
+	}
+	if firstErr != nil {
+		cw.discard()
+		return res, firstErr
+	}
+
+	// Nothing changed at the record level: discard the (byte-identical)
+	// output and skip the publish, so a periodic compaction tick on an
+	// already-compacted (or incompressible) log costs one streaming read
+	// pass, not a generation bump and fsync storm every interval — and
+	// the memo below makes the next tick O(1). (RecordsIn == 0 with
+	// sealed segments present still publishes, to drop the empty files;
+	// an upgrade pass publishes to gain bboxes and block indexes.)
 	if res.Merged == 0 && res.Deduped == 0 && res.Aged == 0 && res.RecordsIn > 0 && !upgrade {
+		cw.discard()
 		res.RecordsOut = res.RecordsIn
 		res.SegmentsOut = res.SegmentsIn
 		res.BytesOut = res.BytesIn
@@ -281,13 +372,12 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 		return res, nil
 	}
 
-	// Write the replacement segments and their sealed block indexes
-	// (unreferenced until the manifest rename below).
-	newSegs, newRecs, err := l.writeCompacted(out)
+	// Seal the output segments and their block indexes (unreferenced
+	// until the manifest rename below).
+	newSegs, newRecs, err := cw.finish()
 	if err != nil {
 		return res, err
 	}
-	res.RecordsOut = len(out)
 	res.SegmentsOut = len(newSegs)
 	for _, s := range newSegs {
 		res.BytesOut += s.size
@@ -367,47 +457,65 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	return res, nil
 }
 
-// readSealed decodes every record of one sealed segment into perDev.
-// Every byte up to sf.size was a valid record when Open scanned the
-// file, so anything that fails to parse now is bit rot — readSealed
-// must error (aborting the compaction and leaving the old generation
-// untouched) rather than stop early: treating a mid-file failure as
-// end-of-data would silently drop every later record and then delete
-// their only copy.
-func readSealed(sf segmentFile, perDev map[string][]compactRecord, count *int) error {
-	data, err := os.ReadFile(sf.path)
-	if err != nil {
-		return fmt.Errorf("segmentlog: compact: %w", err)
-	}
-	if int64(len(data)) < sf.size {
-		return fmt.Errorf("%w: %s shrank below its indexed size", ErrCorrupt, sf.path)
-	}
-	data = data[:sf.size] // ignore bytes past the recovered size
-	if len(data) < headerSize {
-		return nil
-	}
-	if [6]byte(data[:6]) != magic || data[6] != sf.ver {
-		return fmt.Errorf("%w: %s: header changed on disk (bit rot since open?)", ErrCorrupt, sf.path)
-	}
-	pos := headerSize
-	for pos < len(data) {
-		body, _, next, ok := nextRecord(data, pos)
-		if !ok {
-			return fmt.Errorf("%w: %s: record at offset %d no longer validates (bit rot since open?)", ErrCorrupt, sf.path, pos)
-		}
-		dev, t0, t1, _, _, payload, err := splitBody(body, sf.ver)
+// compactDevice is the worker side of the streaming compactor: it
+// decodes one device's sealed records (pread through the indexed
+// offsets, CRC re-verified) and runs the merge/dedup/ageing pipeline on
+// them. Every record was valid when Open indexed it, so anything that
+// fails to validate now is bit rot — the pass must abort (leaving the
+// old generation untouched) rather than drop the record and then
+// delete its only copy. out.decoded is reported even on error so the
+// writer's live-memory accounting stays balanced.
+func (l *Log) compactDevice(refs []devRef, sealed []segmentFile, files []*os.File, p CompactionPolicy, cutoff uint32) (out devOut) {
+	out.nextAgeT1 = math.MaxUint32
+	decoded := 0
+	defer func() { out.decoded = decoded }()
+	recs := make([]compactRecord, 0, len(refs))
+	for _, ref := range refs {
+		body, err := readRecordAt(files[ref.seg], ref.off, ref.bodyLen)
 		if err != nil {
-			return fmt.Errorf("%w: %s: record at offset %d unreadable: %v", ErrCorrupt, sf.path, pos, err)
+			out.err = fmt.Errorf("compact: %s: record at offset %d: %w (bit rot since open?)",
+				filepath.Base(sealed[ref.seg].path), ref.off, err)
+			return out
+		}
+		dev, t0, t1, _, _, payload, err := splitBody(body, sealed[ref.seg].ver)
+		if err != nil {
+			out.err = fmt.Errorf("%w: %s: record at offset %d unreadable: %v",
+				ErrCorrupt, sealed[ref.seg].path, ref.off, err)
+			return out
 		}
 		keys, err := trajstore.DeltaDecode(payload)
 		if err != nil {
-			return fmt.Errorf("segmentlog: compact: decoding sealed record: %w", err)
+			out.err = fmt.Errorf("segmentlog: compact: decoding sealed record: %w", err)
+			return out
 		}
-		perDev[dev] = append(perDev[dev], compactRecord{device: dev, t0: t0, t1: t1, keys: keys})
-		*count++
-		pos = next
+		recs = append(recs, compactRecord{device: dev, t0: t0, t1: t1, keys: keys})
+		decoded++
+		l.compactLiveAdd(1)
 	}
-	return nil
+	if p.MergeChunks {
+		recs, out.merged = mergeChunks(recs)
+	}
+	if !p.NoDedup {
+		recs, out.deduped = dedupContained(recs)
+	}
+	if p.CoarseTolerance > 0 {
+		for i := range recs {
+			if recs[i].t1 > cutoff && recs[i].t1 < out.nextAgeT1 {
+				out.nextAgeT1 = recs[i].t1
+			}
+			aged, err := ageKeys(recs[i].keys, recs[i].t1, cutoff, p)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			if aged != nil {
+				recs[i].keys = aged
+				out.aged++
+			}
+		}
+	}
+	out.recs = recs
+	return out
 }
 
 // mergeChunks re-joins consecutive records that overlap by exactly one
@@ -565,100 +673,131 @@ func ageKeys(keys []trajstore.GeoKey, t1, cutoff uint32, p CompactionPolicy) ([]
 	return out, nil
 }
 
-// writeCompacted packs records into fresh segment files (respecting the
-// rotation threshold), fsyncs them, seals a block index next to each,
-// and returns the files plus their per-segment record metadata. Every
-// output segment is in the current record format with a live index —
-// compaction is the upgrade path for legacy data. An index write
-// failure aborts the pass: proceeding without one would leave the
-// output permanently flagged for re-upgrade, turning every periodic
-// tick into a full rewrite.
-func (l *Log) writeCompacted(recs []compactRecord) ([]segmentFile, [][]recordMeta, error) {
-	var segs []segmentFile
-	var segRecs [][]recordMeta
-	var cur []recordMeta
-	var f *os.File
-	var off int64
-	var buf []byte
-	closeCurrent := func() error {
-		if f == nil {
-			return nil
-		}
-		s := &segs[len(segs)-1]
-		s.size = off
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("segmentlog: compact: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			f = nil
-			return err
-		}
-		f = nil
-		if err := writeBlockIndex(s.path, s.size, s.ver, cur); err != nil {
-			return err
-		}
-		s.idx = true
-		for _, m := range cur {
-			s.sum.add(m)
-		}
-		segRecs = append(segRecs, cur)
-		cur = nil
+// compactWriter packs a stream of records into fresh segment files
+// (respecting the rotation threshold), fsyncs each on seal, and writes
+// a block index next to it. Every output segment is in the current
+// record format with a live index — compaction is the upgrade path for
+// legacy data. An index write failure aborts the pass: proceeding
+// without one would leave the output permanently flagged for
+// re-upgrade, turning every periodic tick into a full rewrite. The
+// files are unreferenced until the caller publishes a manifest naming
+// them, so discard (or a crash) just leaves garbage the next Open
+// sweeps.
+type compactWriter struct {
+	l       *Log
+	segs    []segmentFile
+	segRecs [][]recordMeta
+	cur     []recordMeta
+	f       *os.File
+	off     int64
+	buf     []byte
+}
+
+// closeCurrent seals the open output segment: fsync, close, block
+// index, summary.
+func (w *compactWriter) closeCurrent() error {
+	if w.f == nil {
 		return nil
 	}
-	for _, r := range recs {
-		var err error
-		var bb bbox
-		buf, bb, err = encodeRecord(buf[:0], r.device, r.t0, r.t1, r.keys)
-		if err != nil {
-			closeCurrent()
-			return nil, nil, err
-		}
-		if f != nil && off > headerSize && off+int64(len(buf)) > l.opts.MaxSegmentBytes {
-			if err := closeCurrent(); err != nil {
-				return nil, nil, err
-			}
-		}
-		if f == nil {
-			l.mu.Lock()
-			seq := l.nextSeq
-			l.nextSeq++
-			l.mu.Unlock()
-			path := filepath.Join(l.dir, segName(seq))
-			nf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
-			if err != nil {
-				return nil, nil, fmt.Errorf("segmentlog: compact: %w", err)
-			}
-			if err := writeHeader(nf); err != nil {
-				nf.Close()
-				return nil, nil, err
-			}
-			f = nf
-			off = headerSize
-			segs = append(segs, segmentFile{path: path, size: headerSize, ver: version})
-		}
-		if _, err := f.Write(buf); err != nil {
-			closeCurrent()
-			return nil, nil, fmt.Errorf("segmentlog: compact: %w", err)
-		}
-		cur = append(cur, recordMeta{
-			device:  r.device,
-			off:     off + recordHeaderSize,
-			bodyLen: len(buf) - recordHeaderSize,
-			t0:      r.t0,
-			t1:      r.t1,
-			bb:      bb,
-			hasBB:   true,
-		})
-		off += int64(len(buf))
+	s := &w.segs[len(w.segs)-1]
+	s.size = w.off
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		w.f = nil
+		return fmt.Errorf("segmentlog: compact: %w", err)
 	}
-	if err := closeCurrent(); err != nil {
+	if err := w.f.Close(); err != nil {
+		w.f = nil
+		return err
+	}
+	w.f = nil
+	if err := writeBlockIndex(s.path, s.size, s.ver, w.cur); err != nil {
+		return err
+	}
+	s.idx = true
+	for _, m := range w.cur {
+		s.sum.add(m)
+	}
+	w.segRecs = append(w.segRecs, w.cur)
+	w.cur = nil
+	return nil
+}
+
+// add encodes and writes one record, rotating to a fresh segment file
+// at the size threshold.
+func (w *compactWriter) add(r compactRecord) error {
+	var err error
+	var bb bbox
+	w.buf, bb, err = encodeRecord(w.buf[:0], r.device, r.t0, r.t1, r.keys)
+	if err != nil {
+		return err
+	}
+	if w.f != nil && w.off > headerSize && w.off+int64(len(w.buf)) > w.l.opts.MaxSegmentBytes {
+		if err := w.closeCurrent(); err != nil {
+			return err
+		}
+	}
+	if w.f == nil {
+		w.l.mu.Lock()
+		seq := w.l.nextSeq
+		w.l.nextSeq++
+		w.l.mu.Unlock()
+		path := filepath.Join(w.l.dir, segName(seq))
+		nf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("segmentlog: compact: %w", err)
+		}
+		if err := writeHeader(nf); err != nil {
+			nf.Close()
+			return err
+		}
+		w.f = nf
+		w.off = headerSize
+		w.segs = append(w.segs, segmentFile{path: path, size: headerSize, ver: version})
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.closeCurrent()
+		return fmt.Errorf("segmentlog: compact: %w", err)
+	}
+	w.cur = append(w.cur, recordMeta{
+		device:  r.device,
+		off:     w.off + recordHeaderSize,
+		bodyLen: len(w.buf) - recordHeaderSize,
+		t0:      r.t0,
+		t1:      r.t1,
+		bb:      bb,
+		hasBB:   true,
+	})
+	w.off += int64(len(w.buf))
+	return nil
+}
+
+// finish seals the last segment and makes the output set durable.
+func (w *compactWriter) finish() ([]segmentFile, [][]recordMeta, error) {
+	if err := w.closeCurrent(); err != nil {
 		return nil, nil, err
 	}
-	if len(segs) > 0 {
-		if err := syncDir(l.dir); err != nil {
+	if len(w.segs) > 0 {
+		if err := syncDir(w.l.dir); err != nil {
 			return nil, nil, err
 		}
 	}
-	return segs, segRecs, nil
+	return w.segs, w.segRecs, nil
+}
+
+// discard abandons the output: the files were never referenced by a
+// manifest, so removal is best-effort — whatever survives is swept by
+// the next Open.
+func (w *compactWriter) discard() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	for _, s := range w.segs {
+		os.Remove(s.path)
+		if ip, ok := idxPathFor(s.path); ok {
+			os.Remove(ip)
+		}
+	}
+	w.segs, w.segRecs, w.cur = nil, nil, nil
 }

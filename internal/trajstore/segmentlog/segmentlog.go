@@ -57,6 +57,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 
 	"github.com/trajcomp/bqs/internal/trajstore"
@@ -163,8 +164,9 @@ type recordAddr struct {
 type segmentFile struct {
 	path string
 	size int64 // valid bytes (post-recovery, including header)
-	ver  byte  // record-format version of the file
+	ver  byte  // record-format version of the file (0 while lazy)
 	idx  bool  // a sealed block-index file is live for this segment
+	lazy bool  // per-record metadata not loaded yet; sum/size come from the manifest/stat
 	sum  segSummary
 }
 
@@ -222,18 +224,48 @@ type Log struct {
 		nextAgeT1 uint32
 	}
 
+	// compactLive counts decoded sealed records currently held in
+	// memory by an in-flight streaming compaction; compactLiveHWM is
+	// the high-water mark across passes. They observe the compactor's
+	// bounded-memory invariant (tests assert on the HWM).
+	compactLive    atomic.Int64
+	compactLiveHWM atomic.Int64
+
+	// loadHook, when non-nil, observes every lazy segment load (called
+	// under mu with the segment path). Test-only: it pins the "cold
+	// segments cost nothing until read" property of lazy opens.
+	loadHook func(path string)
+
 	mu      sync.Mutex
 	closed  bool
 	gen     uint64 // last manifest generation written (or read, in RO mode)
 	nextSeq uint64 // next segment file number to allocate
 	segs    []segmentFile
-	segRecs [][]recordMeta          // parallel to segs: record metadata in file order
-	index   map[string][]recordAddr // device → records, append order
-	active  *os.File                // write handle of segs[len(segs)-1] (nil in RO mode)
-	wbuf    []byte                  // record assembly buffer, reused across appends
-	pend    []byte                  // appended but not yet written-through bytes
-	off     int64                   // logical size of the active segment (incl. pend)
-	stats   Stats
+	segRecs [][]recordMeta          // parallel to segs: record metadata in file order (nil while a segment is lazy)
+	index   map[string][]recordAddr // device → records, append order; stale while indexDirty
+	// indexDirty is set while at least one lazily deferred segment has
+	// not been folded into the per-device index. Per-device paths call
+	// ensureAllLoadedLocked, which loads every deferred segment and
+	// rebuilds the index; window queries load only the segments their
+	// summary pruning cannot skip and leave the flag set.
+	indexDirty bool
+	active     *os.File // write handle of segs[len(segs)-1] (nil in RO mode)
+	wbuf       []byte   // record assembly buffer, reused across appends
+	pend       []byte   // appended but not yet written-through bytes
+	off        int64    // logical size of the active segment (incl. pend)
+	stats      Stats
+}
+
+// compactLiveAdd advances the live decoded-record count and its
+// high-water mark.
+func (l *Log) compactLiveAdd(n int) {
+	live := l.compactLive.Add(int64(n))
+	for {
+		hwm := l.compactLiveHWM.Load()
+		if live <= hwm || l.compactLiveHWM.CompareAndSwap(hwm, live) {
+			return
+		}
+	}
 }
 
 // addRecordLocked indexes one record of segment slot seg: the segment's
@@ -274,6 +306,21 @@ func (l *Log) rebuildIndexLocked() {
 // Options.ReadOnly it does none of the mutating parts — no lock, no
 // cleanup, no truncation, no appending.
 func Open(dir string, opts Options) (*Log, error) {
+	return open(dir, opts, true)
+}
+
+// openNoLock is Open without taking the directory flock: full writable
+// recovery semantics, no mutual exclusion. The only legitimate caller
+// is the sharded-log layer, whose top-level lock file IS this
+// directory's LOCK (the sharded root reuses the legacy single-log lock
+// path precisely so legacy and sharded writers exclude each other), so
+// the exclusion already holds and flocking twice in one process would
+// self-deadlock on some platforms.
+func openNoLock(dir string, opts Options) (*Log, error) {
+	return open(dir, opts, false)
+}
+
+func open(dir string, opts Options, takeLock bool) (*Log, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
 	}
@@ -293,11 +340,13 @@ func Open(dir string, opts Options) (*Log, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
-		lock, err := acquireLock(dir)
-		if err != nil {
-			return nil, err
+		if takeLock {
+			lock, err := acquireLock(dir)
+			if err != nil {
+				return nil, err
+			}
+			l.lock = lock
 		}
-		l.lock = lock
 	}
 	ok := false
 	defer func() {
@@ -414,15 +463,34 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// loadSegment rebuilds one live segment's index: from its sealed block
-// index when the manifest references one and it validates against the
-// file, by a full scan otherwise. On writable opens a sealed
-// current-format segment that had to be scanned gets its block index
-// (re)built from the scan, so the next Open is cheap again — legacy
-// version-1 segments are left as they are (compaction is their upgrade
-// path) and keep answering through the scan/decode fallback.
+// loadSegment rebuilds one live segment's index: a sealed segment whose
+// manifest entry carries both a block-index reference and a summary is
+// deferred entirely — the CRC-protected manifest already provides the
+// size-class metadata (record count, time bounds, bbox union) that
+// opens, stats and window-query pruning need, so the segment costs no
+// read and no per-record memory until a query actually touches it (see
+// ensureSegLoadedLocked). Everything else loads eagerly: from the block
+// index when it validates, by a full scan otherwise. On writable opens
+// a sealed current-format segment that had to be scanned gets its block
+// index (re)built from the scan, so the next Open is cheap again —
+// legacy version-1 segments are left as they are (compaction is their
+// upgrade path) and keep answering through the scan/decode fallback.
 func (l *Log) loadSegment(path string, ent manifestSeg, final bool) error {
 	if !final && ent.Idx {
+		if ent.Sum != nil {
+			fi, err := os.Stat(path)
+			if err != nil {
+				return fmt.Errorf("segmentlog: %w", err)
+			}
+			l.segs = append(l.segs, segmentFile{
+				path: path, size: fi.Size(), idx: true, lazy: true, sum: *ent.Sum,
+			})
+			l.segRecs = append(l.segRecs, nil)
+			l.stats.Bytes += fi.Size()
+			l.stats.Records += ent.Sum.records
+			l.indexDirty = true
+			return nil
+		}
 		if l.tryLoadIndex(path, ent) {
 			return nil
 		}
@@ -441,6 +509,23 @@ func (l *Log) loadSegment(path string, ent manifestSeg, final bool) error {
 	return nil
 }
 
+// sumMatches reports whether the summary computed from metas reproduces
+// a manifest summary. Both were sealed from the same metadata, so the
+// CRC-protected manifest — the log's source of truth — must agree with
+// what the index (or a rescan) claims; a structurally valid index that
+// diverges (a stale file from an earlier life of this sequence number,
+// a crafted CRC collision) is rejected.
+func sumMatches(metas []recordMeta, want segSummary) bool {
+	var sum segSummary
+	for _, m := range metas {
+		sum.add(m)
+	}
+	if !sum.bbAll {
+		sum.bb = emptyBBox() // the manifest omits a partial union
+	}
+	return sum == want
+}
+
 // tryLoadIndex loads a sealed segment through its block index; false
 // means the index is missing, corrupt, stale, or in disagreement with
 // the manifest's segment summary, and the caller must scan the segment
@@ -450,23 +535,8 @@ func (l *Log) tryLoadIndex(path string, ent manifestSeg) bool {
 	if err != nil {
 		return false
 	}
-	// Cross-check against the manifest summary: both were sealed from
-	// the same metadata, so the CRC-protected manifest — the log's
-	// source of truth — must agree with what the index claims. An index
-	// that validates structurally but diverges (a stale file from an
-	// earlier life of this sequence number, a crafted CRC collision) is
-	// rejected in favour of the scan.
-	if ent.Sum != nil {
-		var sum segSummary
-		for _, m := range metas {
-			sum.add(m)
-		}
-		if !sum.bbAll {
-			sum.bb = emptyBBox() // the manifest omits a partial union
-		}
-		if sum != *ent.Sum {
-			return false
-		}
+	if ent.Sum != nil && !sumMatches(metas, *ent.Sum) {
+		return false
 	}
 	seg := len(l.segs)
 	l.segs = append(l.segs, segmentFile{path: path, size: size, ver: ver, idx: true})
@@ -479,6 +549,130 @@ func (l *Log) tryLoadIndex(path string, ent manifestSeg) bool {
 	}
 	l.stats.Bytes += size
 	return true
+}
+
+// ensureSegLoadedLocked materializes a deferred segment's per-record
+// metadata: through its block index when it validates against the
+// manifest summary, by scanning the segment file otherwise. The loaded
+// records are NOT folded into the per-device index here — segments may
+// load out of logical order, and the index must list a device's
+// records in append order — so the flag indexDirty stays set until
+// ensureAllLoadedLocked rebuilds it. Callers hold mu.
+func (l *Log) ensureSegLoadedLocked(si int) error {
+	s := &l.segs[si]
+	if !s.lazy {
+		return nil
+	}
+	if l.loadHook != nil {
+		l.loadHook(s.path)
+	}
+	metas, size, ver, idxOK, err := l.lazySegMetas(s)
+	if err != nil {
+		return err
+	}
+	// Re-derive the summary and record count from what actually loaded:
+	// a torn-tail truncation in the fallback scan may have salvaged
+	// fewer records than the manifest summary credited at Open.
+	l.stats.Records += len(metas) - int(s.sum.records)
+	var sum segSummary
+	for _, m := range metas {
+		sum.add(m)
+	}
+	l.stats.Bytes += size - s.size
+	s.sum = sum
+	s.size = size
+	s.ver = ver
+	s.idx = idxOK
+	s.lazy = false
+	l.segRecs[si] = metas
+	l.indexDirty = true
+	return nil
+}
+
+// lazySegMetas reads a deferred segment's record metadata: through its
+// block index when it validates against the manifest summary, by
+// scanning the segment file otherwise. The scan applies exactly the
+// sealed-segment recovery policy of scanSegment — drop a legitimately
+// torn tail, refuse mid-file corruption on writable handles, stay
+// lenient read-only — the damage is simply discovered at first touch
+// instead of at Open. A writable scan reseals the block index so the
+// next load is cheap again.
+func (l *Log) lazySegMetas(s *segmentFile) ([]recordMeta, int64, byte, bool, error) {
+	if size, ver, metas, err := loadBlockIndex(s.path); err == nil && sumMatches(metas, s.sum) {
+		return metas, size, ver, true, nil
+	}
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("segmentlog: %w", err)
+	}
+	if len(data) < headerSize {
+		if l.ro {
+			l.stats.Truncated += int64(len(data))
+			return nil, int64(len(data)), version, false, nil
+		}
+		return nil, 0, 0, false, fmt.Errorf("%w: %s: sealed segment shorter than its header", ErrCorrupt, filepath.Base(s.path))
+	}
+	if [6]byte(data[:6]) != magic {
+		return nil, 0, 0, false, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, filepath.Base(s.path))
+	}
+	ver := data[6]
+	if ver != versionLegacy && ver != version {
+		return nil, 0, 0, false, fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, filepath.Base(s.path), ver)
+	}
+	var metas []recordMeta
+	valid := int64(headerSize)
+	pos := headerSize
+	for {
+		body, bodyOff, next, ok := nextRecord(data, pos)
+		if !ok {
+			break
+		}
+		dev, t0, t1, bb, hasBB, payload, err := splitBody(body, ver)
+		if err != nil || !trajstore.DeltaValidate(payload) {
+			break
+		}
+		metas = append(metas, recordMeta{
+			device: dev, off: int64(bodyOff), bodyLen: len(body),
+			t0: t0, t1: t1, bb: bb, hasBB: hasBB,
+		})
+		valid = int64(next)
+		pos = next
+	}
+	if torn := int64(len(data)) - valid; torn > 0 {
+		if !l.ro {
+			if off := resyncScan(data, int(valid), ver); off >= 0 {
+				return nil, 0, 0, false, fmt.Errorf("%w: %s: invalid record at offset %d but valid data at %d — refusing to truncate a sealed segment mid-file",
+					ErrCorrupt, filepath.Base(s.path), valid, off)
+			}
+			if err := os.Truncate(s.path, valid); err != nil {
+				return nil, 0, 0, false, fmt.Errorf("segmentlog: truncating torn tail: %w", err)
+			}
+		}
+		l.stats.Truncated += torn
+	}
+	idxOK := false
+	if !l.ro && ver == version {
+		if err := writeBlockIndex(s.path, valid, ver, metas); err == nil {
+			idxOK = true
+		}
+	}
+	return metas, valid, ver, idxOK, nil
+}
+
+// ensureAllLoadedLocked materializes every deferred segment and rebuilds
+// the per-device index once. Callers hold mu.
+func (l *Log) ensureAllLoadedLocked() error {
+	if !l.indexDirty {
+		return nil
+	}
+	for si := range l.segs {
+		if err := l.ensureSegLoadedLocked(si); err != nil {
+			return err
+		}
+	}
+	l.rebuildIndexLocked()
+	l.indexDirty = false
+	return nil
 }
 
 // acquireLock takes the directory's advisory write lock: an flock(2) on
@@ -1059,10 +1253,14 @@ func (l *Log) Close() error {
 	return l.active.Close()
 }
 
-// Stats returns a snapshot of the log's bookkeeping.
+// Stats returns a snapshot of the log's bookkeeping. The device count
+// comes from the per-device index, so the first call after an Open that
+// deferred segments materializes them (best-effort: an unreadable
+// deferred segment surfaces on the query paths, not here).
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	_ = l.ensureAllLoadedLocked()
 	s := l.stats
 	s.Segments = len(l.segs)
 	for i := range l.segs {
@@ -1078,10 +1276,12 @@ func (l *Log) Stats() Stats {
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.dir }
 
-// Devices returns the indexed device IDs, sorted.
+// Devices returns the indexed device IDs, sorted. Deferred segments are
+// materialized first (best-effort, as in Stats).
 func (l *Log) Devices() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	_ = l.ensureAllLoadedLocked()
 	out := make([]string, 0, len(l.index))
 	for dev := range l.index {
 		out = append(out, dev)
@@ -1095,6 +1295,7 @@ func (l *Log) Devices() []string {
 func (l *Log) DeviceSpan(device string) (records int, t0, t1 uint32, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	_ = l.ensureAllLoadedLocked()
 	addrs := l.index[device]
 	if len(addrs) == 0 {
 		return 0, 0, 0, false
@@ -1177,6 +1378,9 @@ func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]refSnap, []segSnap, 
 	if err := l.flushLocked(); err != nil {
 		return nil, nil, err
 	}
+	if err := l.ensureAllLoadedLocked(); err != nil {
+		return nil, nil, err
+	}
 	var refs []refSnap
 	for _, a := range l.index[device] {
 		m := l.metaAt(a)
@@ -1221,16 +1425,23 @@ func (r *segReader) readRecord(ref refSnap) ([]byte, error) {
 		}
 		r.files[ref.seg] = f
 	}
-	rec := make([]byte, recordHeaderSize+ref.bodyLen)
-	if _, err := f.ReadAt(rec, ref.off-recordHeaderSize); err != nil {
+	return readRecordAt(f, ref.off, ref.bodyLen)
+}
+
+// readRecordAt reads one record — header and body — at a known body
+// offset via pread (safe for concurrent use of a shared handle) and
+// re-verifies the length prefix and CRC against the indexed metadata.
+func readRecordAt(f *os.File, off int64, bodyLen int) ([]byte, error) {
+	rec := make([]byte, recordHeaderSize+bodyLen)
+	if _, err := f.ReadAt(rec, off-recordHeaderSize); err != nil {
 		return nil, fmt.Errorf("segmentlog: reading record: %w", err)
 	}
 	body := rec[recordHeaderSize:]
-	if got := int(binary.LittleEndian.Uint32(rec)); got != ref.bodyLen {
-		return nil, fmt.Errorf("%w: record length changed on disk (%d != %d)", ErrCorrupt, got, ref.bodyLen)
+	if got := int(binary.LittleEndian.Uint32(rec)); got != bodyLen {
+		return nil, fmt.Errorf("%w: record length changed on disk (%d != %d)", ErrCorrupt, got, bodyLen)
 	}
 	if crc := binary.LittleEndian.Uint32(rec[4:]); crc32.Checksum(body, castagnoli) != crc {
-		return nil, fmt.Errorf("%w: record checksum mismatch at offset %d", ErrCorrupt, ref.off)
+		return nil, fmt.Errorf("%w: record checksum mismatch at offset %d", ErrCorrupt, off)
 	}
 	return body, nil
 }

@@ -688,7 +688,9 @@ func TestSealedMidFileCorruptionRefused(t *testing.T) {
 		if err := l.Close(); err != nil {
 			t.Fatal(err)
 		}
-		// Without the index the writable Open must scan — and refuse to
+		// Without the index the segment must be rescanned. Sealed
+		// segments load lazily, so the writable Open itself succeeds —
+		// the scan runs at first query touch, and must refuse to
 		// truncate a sealed segment mid-file.
 		idxPath, ok := idxPathFor(seg)
 		if !ok {
@@ -697,8 +699,12 @@ func TestSealedMidFileCorruptionRefused(t *testing.T) {
 		if err := os.Remove(idxPath); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
-			t.Fatalf("writable Open of mid-file-corrupt sealed segment = %v, want ErrCorrupt", err)
+		lw := mustOpen(t, dir, Options{})
+		if _, err := lw.Query("dev", 0, ^uint32(0)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("query forcing scan of mid-file-corrupt sealed segment = %v, want ErrCorrupt", err)
+		}
+		if err := lw.Close(); err != nil {
+			t.Fatal(err)
 		}
 		// Read-only salvage still works and reports the loss.
 		ro := mustOpen(t, dir, Options{ReadOnly: true})

@@ -1,0 +1,617 @@
+package segmentlog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/trajstore"
+)
+
+func mustOpenSharded(t *testing.T, dir string, shards int, opts Options) *ShardedLog {
+	t.Helper()
+	s, err := OpenSharded(dir, shards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sortRecs orders records canonically so results from the sharded log
+// (shard-order concatenation) compare equal to single-log (log-order)
+// results as multisets.
+func sortRecs(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.T0 != b.T0 {
+			return a.T0 < b.T0
+		}
+		return a.T1 < b.T1
+	})
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpenSharded(t, dir, 3, Options{})
+	if s.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", s.NumShards())
+	}
+
+	want := map[string][]trajstore.GeoKey{}
+	for d := 0; d < 12; d++ {
+		dev := fmt.Sprintf("dev-%02d", d)
+		keys := genKeys(d+1, 15)
+		want[dev] = keys
+		if err := s.Append(dev, keys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different shards argument must not re-shard: the persisted
+	// SHARDS count is authoritative.
+	s2 := mustOpenSharded(t, dir, 7, Options{})
+	defer s2.Close()
+	if s2.NumShards() != 3 {
+		t.Fatalf("reopen NumShards = %d, want persisted 3", s2.NumShards())
+	}
+	devs := s2.Devices()
+	if len(devs) != 12 || !sort.StringsAreSorted(devs) {
+		t.Fatalf("Devices() = %v", devs)
+	}
+	if st := s2.Stats(); st.Records != 12 || st.Devices != 12 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	for dev, keys := range want {
+		recs, err := s2.Query(dev, 0, math.MaxUint32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || !reflect.DeepEqual(recs[0].Keys, keys) {
+			t.Fatalf("%s: round trip mismatch (%d records)", dev, len(recs))
+		}
+		n, lo, hi, ok := s2.DeviceSpan(dev)
+		if !ok || n != 1 || lo != keys[0].T || hi != keys[len(keys)-1].T {
+			t.Fatalf("%s: DeviceSpan = (%d, %d, %d, %v)", dev, n, lo, hi, ok)
+		}
+	}
+}
+
+// TestShardedMigratesLegacy: a single-log directory opened through
+// OpenSharded is migrated in place — every record lands in the shard
+// its device hashes to, the legacy root files disappear, and the
+// migration happens exactly once.
+func TestShardedMigratesLegacy(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 2 << 10})
+	want := map[string][][]trajstore.GeoKey{}
+	for d := 0; d < 9; d++ {
+		dev := fmt.Sprintf("dev-%d", d)
+		for r := 0; r < 3; r++ {
+			keys := genKeys(d*10+r+1, 25)
+			want[dev] = append(want[dev], keys)
+			if err := l.Append(dev, keys); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpenSharded(t, dir, 4, Options{})
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", s.NumShards())
+	}
+	for dev, chunks := range want {
+		recs, err := s.Query(dev, 0, math.MaxUint32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(chunks) {
+			t.Fatalf("%s: %d records after migration, want %d", dev, len(recs), len(chunks))
+		}
+		for i, rec := range recs {
+			if !reflect.DeepEqual(rec.Keys, chunks[i]) {
+				t.Fatalf("%s record %d: keys mutated by migration", dev, i)
+			}
+		}
+		// The device's records really live in the shard it hashes to.
+		sh := s.ShardLog(trajstore.ShardIndex(dev, 4))
+		if got := queryAll(t, sh, dev); len(got) != len(chunks) {
+			t.Fatalf("%s: %d records in its home shard, want %d", dev, len(got), len(chunks))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy root files are gone; only SHARDS + shard dirs remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == shardsName || name == lockName || strings.HasPrefix(name, "shard-") {
+			continue
+		}
+		t.Fatalf("legacy file %q survived migration", name)
+	}
+
+	// Idempotent: reopening does not migrate again or lose anything.
+	s2 := mustOpenSharded(t, dir, 0, Options{})
+	defer s2.Close()
+	if s2.NumShards() != 4 {
+		t.Fatalf("second open NumShards = %d", s2.NumShards())
+	}
+	if st := s2.Stats(); st.Records != 27 {
+		t.Fatalf("second open Stats = %+v", st)
+	}
+}
+
+// TestShardedMigrationDebris: crash shapes around the migration commit
+// point. Before the SHARDS rename the legacy root is authoritative and
+// half-built shard dirs are debris; after it, leftover legacy files are
+// swept on every open.
+func TestShardedMigrationDebris(t *testing.T) {
+	t.Run("pre-commit", func(t *testing.T) {
+		dir := t.TempDir()
+		l := mustOpen(t, dir, Options{})
+		if err := l.Append("alpha", genKeys(1, 20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// A crashed migration left shard dirs with bogus contents but no
+		// SHARDS file: they must be discarded, not trusted.
+		bogus := filepath.Join(dir, shardDirName(0))
+		bl := mustOpen(t, bogus, Options{})
+		if err := bl.Append("ghost", genKeys(9, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := bl.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		s := mustOpenSharded(t, dir, 2, Options{})
+		defer s.Close()
+		devs := s.Devices()
+		if !reflect.DeepEqual(devs, []string{"alpha"}) {
+			t.Fatalf("Devices after debris cleanup = %v, want [alpha]", devs)
+		}
+		recs, err := s.Query("alpha", 0, math.MaxUint32)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("alpha after re-migration: %d records, err %v", len(recs), err)
+		}
+	})
+
+	t.Run("post-commit", func(t *testing.T) {
+		dir := t.TempDir()
+		l := mustOpen(t, dir, Options{})
+		if err := l.Append("alpha", genKeys(1, 20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpenSharded(t, dir, 2, Options{})
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// A crash between the SHARDS rename and the legacy sweep left the
+		// old files behind; they are dead weight, removed on open.
+		stale := filepath.Join(dir, "seg-99999999.log")
+		if err := os.WriteFile(stale, []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2 := mustOpenSharded(t, dir, 0, Options{})
+		defer s2.Close()
+		if _, err := os.Stat(stale); !os.IsNotExist(err) {
+			t.Fatalf("stale legacy segment not swept: %v", err)
+		}
+		recs, err := s2.Query("alpha", 0, math.MaxUint32)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("alpha after sweep: %d records, err %v", len(recs), err)
+		}
+	})
+}
+
+// TestV1FixtureSharded: the checked-in version-1 single-log fixture
+// migrates through OpenSharded with nothing lost — same records, same
+// window answers as the single-log open.
+func TestV1FixtureSharded(t *testing.T) {
+	single := mustOpen(t, copyFixture(t), Options{})
+	defer single.Close()
+
+	dir := copyFixture(t)
+	s := mustOpenSharded(t, dir, 2, Options{})
+	defer s.Close()
+	if st := s.Stats(); st.Records != 18 || st.Devices != 3 {
+		t.Fatalf("migrated fixture Stats = %+v, want 18 records / 3 devices", st)
+	}
+	for _, w := range fixtureWindows {
+		got, err := s.QueryWindow(w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.QueryWindow(w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortRecs(got)
+		sortRecs(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %s: sharded %d records, single %d", w.name, len(got), len(want))
+		}
+	}
+}
+
+// differentialWindows are the windows the sharded/single comparison
+// runs; genKeys trajectories live within ~±0.01° of the origin.
+var differentialWindows = []struct {
+	name                   string
+	minX, minY, maxX, maxY float64
+	t0, t1                 uint32
+}{
+	{"all", -180, -90, 180, 90, 0, math.MaxUint32},
+	{"all-early", -180, -90, 180, 90, 0, 300},
+	{"ne", 0, 0, 1, 1, 0, math.MaxUint32},
+	{"sw", -1, -1, 0, 0, 0, math.MaxUint32},
+	{"empty", 50, 50, 60, 60, 0, math.MaxUint32},
+}
+
+// diffCompare asserts the sharded and single logs answer every
+// per-device Query and every differential window identically at wire
+// resolution (decoded records compare exactly; coordinates survive the
+// 1e-7 quantization unchanged because genKeys emits exact multiples).
+func diffCompare(t *testing.T, stage string, s *ShardedLog, single *Log, devices []string) {
+	t.Helper()
+	for _, dev := range devices {
+		got, err := s.Query(dev, 0, math.MaxUint32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := queryAll(t, single, dev)
+		sortRecs(got)
+		sortRecs(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: %s: sharded %d records, single %d", stage, dev, len(got), len(want))
+		}
+	}
+	for _, w := range differentialWindows {
+		got, err := s.QueryWindow(w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.QueryWindow(w.minX, w.minY, w.maxX, w.maxY, w.t0, w.t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortRecs(got)
+		sortRecs(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: window %s: sharded %d records, single %d", stage, w.name, len(got), len(want))
+		}
+	}
+}
+
+// TestShardedDifferential drives the same fleet through a 4-shard log
+// and a single log and asserts identical answers — after ingest, after
+// a torn-tail crash in one shard's log, and after compaction.
+func TestShardedDifferential(t *testing.T) {
+	sDir, lDir := t.TempDir(), t.TempDir()
+	s := mustOpenSharded(t, sDir, 4, Options{MaxSegmentBytes: 4 << 10})
+	single := mustOpen(t, lDir, Options{MaxSegmentBytes: 4 << 10})
+
+	var devices []string
+	for d := 0; d < 40; d++ {
+		dev := fmt.Sprintf("fleet-%03d", d)
+		devices = append(devices, dev)
+		for r := 0; r < 3; r++ {
+			keys := genKeys(d*7+r+1, 20)
+			if err := s.Append(dev, keys); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Append(dev, keys); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	diffCompare(t, "ingest", s, single, devices)
+
+	// Crash one shard with a torn tail: a record appended only to the
+	// sharded log, then cut mid-record. Recovery must drop exactly that
+	// record, restoring equality with the single log.
+	victim := devices[0]
+	shardIdx := trajstore.ShardIndex(victim, 4)
+	if err := s.Append(victim, genKeys(999, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(sDir, shardDirName(shardIdx))
+	segs, err := filepath.Glob(filepath.Join(shardDir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in crashed shard: %v", err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpenSharded(t, sDir, 0, Options{MaxSegmentBytes: 4 << 10})
+	if st := s.Stats(); st.Truncated == 0 {
+		t.Fatalf("torn tail not detected: %+v", st)
+	}
+	diffCompare(t, "post-crash", s, single, devices)
+
+	// Compaction on both sides preserves the differential.
+	if _, err := s.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
+		t.Fatal(err)
+	}
+	diffCompare(t, "post-compact", s, single, devices)
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCompactCrashAtEveryStep reruns the compaction crash matrix
+// against one shard of a sharded log: a crash at any hook point leaves
+// that shard consistent and the sharded open recovers the full fleet.
+func TestShardedCompactCrashAtEveryStep(t *testing.T) {
+	build := func(t *testing.T) (string, map[string][]trajstore.GeoKey) {
+		dir := t.TempDir()
+		s := mustOpenSharded(t, dir, 2, Options{MaxSegmentBytes: 512})
+		want := map[string][]trajstore.GeoKey{}
+		for d := 0; d < 8; d++ {
+			dev := fmt.Sprintf("dev-%d", d)
+			keys := genKeys(d*11+1, 90)
+			want[dev] = keys
+			for _, chunk := range chunkKeys(keys, 8) {
+				if err := s.Append(dev, chunk); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, want
+	}
+
+	// Discover the hook steps on a throwaway copy.
+	probeDir, _ := build(t)
+	probe := mustOpenSharded(t, probeDir, 0, Options{MaxSegmentBytes: 512})
+	var steps []string
+	probe.ShardLog(0).compactHook = func(step string) error {
+		steps = append(steps, step)
+		return nil
+	}
+	if _, err := probe.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 3 {
+		t.Fatalf("compaction fired only %d hook steps: %v", len(steps), steps)
+	}
+
+	for _, stop := range steps {
+		t.Run(strings.ReplaceAll(stop, ":", "_"), func(t *testing.T) {
+			dir, want := build(t)
+			s := mustOpenSharded(t, dir, 0, Options{MaxSegmentBytes: 512})
+			s.ShardLog(0).compactHook = func(step string) error {
+				if step == stop {
+					return errors.New("simulated crash at " + step)
+				}
+				return nil
+			}
+			_, err := s.Compact(CompactionPolicy{MergeChunks: true})
+			if err == nil {
+				t.Fatalf("compaction survived crash at %q", stop)
+			}
+			// "Crash": drop the handle (everything was synced before the
+			// pass, so the close flushes nothing) and recover fresh.
+			s.Close()
+
+			r := mustOpenSharded(t, dir, 0, Options{MaxSegmentBytes: 512})
+			defer r.Close()
+			if st := r.Stats(); st.Devices != 8 {
+				t.Fatalf("crash at %q lost devices: %+v", stop, st)
+			}
+			for dev, keys := range want {
+				recs, err := r.Query(dev, 0, math.MaxUint32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := stitch(recs); !reflect.DeepEqual(got, keys) {
+					t.Fatalf("crash at %q: %s polyline diverged after recovery", stop, dev)
+				}
+			}
+		})
+	}
+}
+
+// TestCompactBoundedMemory pins the streaming compactor's memory bound:
+// with W workers, at most W devices' decoded records are live at once —
+// the high-water mark stays far under the whole log's record count.
+func TestCompactBoundedMemory(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 1 << 10})
+	const devices, perDev = 40, 10
+	for d := 0; d < devices; d++ {
+		dev := fmt.Sprintf("dev-%02d", d)
+		for r := 0; r < perDev; r++ {
+			if err := l.Append(dev, genKeys(d*perDev+r+1, 20)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const workers = 2
+	res, err := l.Compact(CompactionPolicy{MergeChunks: true, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsIn < devices*perDev/2 {
+		t.Fatalf("compaction saw only %d records; fixture did not seal enough segments", res.RecordsIn)
+	}
+	hwm := l.compactLiveHWM.Load()
+	if hwm == 0 {
+		t.Fatal("compaction decoded nothing (high-water mark 0)")
+	}
+	if max := int64(workers * perDev); hwm > max {
+		t.Fatalf("decoded-record high-water mark %d exceeds the %d-worker bound %d (of %d total records)",
+			hwm, workers, max, res.RecordsIn)
+	}
+	if live := l.compactLive.Load(); live != 0 {
+		t.Fatalf("live decoded-record count %d after compaction, want 0", live)
+	}
+}
+
+// TestCompactParallelMatchesSequential: the worker count is a
+// performance knob, not a semantic one — 1 and 4 workers produce logs
+// with identical query answers and record counts.
+func TestCompactParallelMatchesSequential(t *testing.T) {
+	build := func(t *testing.T) (*Log, []string) {
+		dir := t.TempDir()
+		l := mustOpen(t, dir, Options{MaxSegmentBytes: 1 << 10})
+		var devices []string
+		for d := 0; d < 10; d++ {
+			dev := fmt.Sprintf("dev-%d", d)
+			devices = append(devices, dev)
+			for _, chunk := range chunkedKeys(d, 6, 12) {
+				if err := l.Append(dev, chunk); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		return l, devices
+	}
+
+	seq, devices := build(t)
+	par, _ := build(t)
+	rSeq, err := seq.Compact(CompactionPolicy{MergeChunks: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPar, err := par.Compact(CompactionPolicy{MergeChunks: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSeq.Merged == 0 || rSeq.Merged != rPar.Merged || rSeq.RecordsOut != rPar.RecordsOut {
+		t.Fatalf("sequential %+v vs parallel %+v", rSeq, rPar)
+	}
+	for _, dev := range devices {
+		a, b := queryAll(t, seq, dev), queryAll(t, par, dev)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: sequential and parallel compaction disagree", dev)
+		}
+	}
+}
+
+// TestLazySegmentLoading pins satellite behaviour: Open defers sealed
+// indexed segments entirely, a selective window query loads only the
+// segments its manifest summaries cannot prune, and a full-log
+// operation loads the rest exactly once.
+func TestLazySegmentLoading(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 2 << 10})
+	// Spatially separated devices (cellKeys cells), device-major so
+	// sealed segments cover distinct regions.
+	for d := 0; d < 6; d++ {
+		dev := fmt.Sprintf("dev-%d", d)
+		for r := 0; r < 20; r++ {
+			if err := l.Append(dev, cellKeys(d, r, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := l.Stats()
+	if st.IndexedSegs < 3 {
+		t.Fatalf("fixture too small to exercise laziness: %+v", st)
+	}
+	sealed := st.Segments - 1
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, Options{MaxSegmentBytes: 2 << 10})
+	defer l2.Close()
+	var loads int
+	l2.loadHook = func(string) { loads++ }
+
+	// A window over one device's cell: the summaries prune the other
+	// cells' segments without touching their bytes.
+	minX, minY, maxX, maxY := cellWindow(2, 2)
+	recs, err := l2.QueryWindow(minX, minY, maxX, maxY, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("selective window matched nothing")
+	}
+	if loads == 0 || loads >= sealed {
+		t.Fatalf("selective window loaded %d of %d sealed segments; want partial lazy load", loads, sealed)
+	}
+
+	// Devices() needs the full device index: everything else loads now,
+	// each segment exactly once.
+	if got := len(l2.Devices()); got != 6 {
+		t.Fatalf("Devices = %d, want 6", got)
+	}
+	if loads != sealed {
+		t.Fatalf("full load touched %d segments, want %d", loads, sealed)
+	}
+	prev := loads
+	if _ = l2.Stats(); loads != prev {
+		t.Fatalf("Stats reloaded segments: %d → %d", prev, loads)
+	}
+}

@@ -246,6 +246,12 @@ func (l *Log) snapshotWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]r
 			ws.SegmentsPruned++
 			continue
 		}
+		// Deferred segments carry their manifest summary, so the prune
+		// above worked without touching disk; only a segment the window
+		// might actually hit pays its load here.
+		if err := l.ensureSegLoadedLocked(si); err != nil {
+			return nil, nil, ws, err
+		}
 		for pi := range l.segRecs[si] {
 			m := &l.segRecs[si][pi]
 			ws.RecordsIndexed++
