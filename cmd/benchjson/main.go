@@ -8,6 +8,15 @@
 //	benchjson [-out BENCH.json] [-bench regexp] [-pkgs ./internal/core,.]
 //	          [-count 3] [-benchtime 1s] [-cpus 1,2,4,8]
 //	          [-note "environment note"]
+//	benchjson -check [BENCH_3.json BENCH_5.json ...]
+//
+// -check validates committed reports instead of running benchmarks:
+// every file (default: BENCH_*.json in the current directory, sorted)
+// must decode and pass schema validation, and — when two or more
+// reports are given — the joined perf trajectory must be non-empty,
+// i.e. at least one benchmark series must span multiple reports.
+// Entries without the cpus field (pre-matrix files) join as cpus=1.
+// The trajectory is printed; the exit status is the CI gate.
 //
 // With -count > 1 the per-benchmark median run is recorded, which is
 // robust against scheduler noise on CI-class containers. -cpus runs
@@ -16,8 +25,10 @@
 // matrix BENCH_6.json commits. The default benchmark set covers the
 // core per-fix decision loop (CorePush*, QuadrantBounds), the
 // end-to-end sharded ingest (EngineIngest*), the durable window queries
-// (QueryWindow{Selective,Full}) and compaction throughput
-// (CompactThroughput); see internal/benchjson for the schema.
+// (QueryWindow{Selective,Full}), compaction throughput
+// (CompactThroughput) and the full network path through bqsd's wire
+// protocol (ServerIngestLoopback); see internal/benchjson for the
+// schema.
 package main
 
 import (
@@ -27,7 +38,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -37,13 +50,21 @@ import (
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output file for the JSON report")
-	bench := flag.String("bench", "BenchmarkCorePush|BenchmarkQuadrantBounds|BenchmarkEngineIngest|BenchmarkQueryWindow|BenchmarkCompactThroughput", "benchmark regexp passed to go test")
-	pkgs := flag.String("pkgs", "./internal/core,.,./internal/trajstore/segmentlog", "comma-separated packages to benchmark")
+	bench := flag.String("bench", "BenchmarkCorePush|BenchmarkQuadrantBounds|BenchmarkEngineIngest|BenchmarkQueryWindow|BenchmarkCompactThroughput|BenchmarkServerIngest", "benchmark regexp passed to go test")
+	pkgs := flag.String("pkgs", "./internal/core,.,./internal/trajstore/segmentlog,./internal/server", "comma-separated packages to benchmark")
 	count := flag.Int("count", 3, "benchmark repetitions; the median per name is reported")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	cpus := flag.String("cpus", "", "comma-separated GOMAXPROCS matrix passed to go test -cpu (e.g. 1,2,4,8); empty runs at the current GOMAXPROCS only")
 	note := flag.String("note", "", "free-form environment note recorded in the report")
+	check := flag.Bool("check", false, "validate committed BENCH_*.json reports and their joined trajectory instead of benchmarking")
 	flag.Parse()
+
+	if *check {
+		if err := runCheck(flag.Args()); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *cpus != "" {
 		for _, c := range strings.Split(*cpus, ",") {
@@ -112,6 +133,65 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
+}
+
+// runCheck is the `-check` gate: decode + Validate every report, join
+// them into the cross-report trajectory, and fail when multiple reports
+// produce no multi-point series — exactly the silent break a schema
+// change in one report's entries would cause.
+func runCheck(files []string) error {
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+		sort.Strings(files)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("-check: no BENCH_*.json files found")
+	}
+	reports := make([]benchjson.Report, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var rep benchjson.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if err := benchjson.Validate(rep); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			return fmt.Errorf("%s: no benchmark entries", f)
+		}
+		reports = append(reports, rep)
+	}
+	series := benchjson.Trajectory(files, reports)
+	multi := 0
+	for _, s := range series {
+		if len(s.Points) > 1 {
+			multi++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d report(s), %d series, %d spanning multiple reports\n",
+		len(reports), len(series), multi)
+	for _, s := range series {
+		if len(s.Points) < 2 {
+			continue
+		}
+		line := fmt.Sprintf("  %-28s cpu=%-2d", s.Name, s.Cpus)
+		for _, p := range s.Points {
+			line += fmt.Sprintf("  %s:%.0fns", strings.TrimSuffix(strings.TrimPrefix(p.Label, "BENCH_"), ".json"), p.NsPerOp)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if len(reports) > 1 && multi == 0 {
+		return fmt.Errorf("-check: trajectory is empty — %d reports share no (benchmark, cpus) series; a schema or naming change broke the join", len(reports))
+	}
+	return nil
 }
 
 func fail(err error) {

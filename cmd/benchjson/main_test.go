@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/benchjson"
+)
+
+func writeReport(t *testing.T, dir, name string, rep benchjson.Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunCheck(t *testing.T) {
+	dir := t.TempDir()
+	legacy := writeReport(t, dir, "BENCH_1.json", benchjson.Report{
+		Schema: benchjson.Schema, Date: "2026-07-01",
+		Benchmarks: []benchjson.Result{{Name: "CorePushFast", NsPerOp: 133}},
+	})
+	tagged := writeReport(t, dir, "BENCH_2.json", benchjson.Report{
+		Schema: benchjson.Schema, Date: "2026-07-20",
+		Benchmarks: []benchjson.Result{{Name: "CorePushFast", Cpus: 1, NsPerOp: 118}},
+	})
+	if err := runCheck([]string{legacy, tagged}); err != nil {
+		t.Errorf("legacy+tagged pair: %v", err)
+	}
+	if err := runCheck([]string{legacy}); err != nil {
+		t.Errorf("single report: %v", err)
+	}
+
+	// Disjoint benchmark names across reports: the trajectory is empty
+	// and the gate must fail.
+	disjoint := writeReport(t, dir, "BENCH_3.json", benchjson.Report{
+		Schema:     benchjson.Schema,
+		Benchmarks: []benchjson.Result{{Name: "RenamedBench", Cpus: 1, NsPerOp: 1}},
+	})
+	if err := runCheck([]string{legacy, disjoint}); err == nil {
+		t.Error("disjoint reports passed -check")
+	}
+
+	// Schema and shape failures.
+	bad := writeReport(t, dir, "BENCH_4.json", benchjson.Report{
+		Schema:     "not-bqs-bench",
+		Benchmarks: []benchjson.Result{{Name: "X", NsPerOp: 1}},
+	})
+	if err := runCheck([]string{bad}); err == nil {
+		t.Error("unknown schema passed -check")
+	}
+	empty := writeReport(t, dir, "BENCH_5.json", benchjson.Report{Schema: benchjson.Schema})
+	if err := runCheck([]string{empty}); err == nil {
+		t.Error("report without benchmarks passed -check")
+	}
+	if err := runCheck([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file passed -check")
+	}
+}
+
+// TestRunCheckCommittedReports gates the real BENCH_*.json files at the
+// repository root: they must validate and their joined trajectory must
+// be non-empty — the regression the cpus-field normalization fixed.
+func TestRunCheckCommittedReports(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(files) == 0 {
+		t.Skipf("no committed reports found: %v", err)
+	}
+	if err := runCheck(files); err != nil {
+		t.Errorf("committed reports fail -check: %v", err)
+	}
+}

@@ -9,6 +9,8 @@
 //	bqsbench -engine [-devices N] [-shards M] [-fixes N] [-compressor name]
 //	         [-tol metres] [-merge metres] [-persist dir] [-query]
 //	bqsbench -engine -cpus 1,2,4,8 ...
+//	bqsbench -engine -serve [-devices N] [-fixes N] ...
+//	bqsbench -engine -client host:port [-devices N] [-fixes N] ...
 //	bqsbench ... [-cpuprofile file] [-memprofile file]
 //
 // -quick shrinks the datasets for a fast smoke run; -csv writes the raw
@@ -32,6 +34,12 @@
 // one worker per core, each owning its own log shard); -persist runs
 // write each pass into its own c<N> subdirectory so the passes stay
 // independent.
+//
+// -serve benchmarks the network ingest path end to end: an in-process
+// loopback server (the same engine bqsd runs) is driven through the
+// binary frame protocol, honoring backpressure retry hints, then the
+// durable result is queried back over the wire. -client does the same
+// against an external bqsd — a live daemon's load generator.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole run
 // (either mode), for `go tool pprof`; the memory profile is an allocation
@@ -76,6 +84,8 @@ func main() {
 	compact := flag.Bool("compact", false, "engine mode with -persist: compact the log after the run and report before/after disk bytes")
 	query := flag.Bool("query", false, "engine mode with -persist: benchmark durable window queries (selective + full) on the reopened log")
 	cpusFlag := flag.String("cpus", "", "engine mode: comma-separated GOMAXPROCS matrix (e.g. 1,2,4,8); the whole benchmark runs once per value")
+	serveMode := flag.Bool("serve", false, "engine mode: run an in-process loopback bqsd server and drive it over the wire protocol")
+	clientAddr := flag.String("client", "", "engine mode: drive an external bqsd at this address instead of an in-process engine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
@@ -102,6 +112,18 @@ func main() {
 			stopProfiles()
 			fmt.Fprintln(os.Stderr, "bqsbench:", err)
 			os.Exit(1)
+		}
+		if *serveMode || *clientAddr != "" {
+			if *serveMode && *clientAddr != "" {
+				fail(fmt.Errorf("-serve and -client are mutually exclusive"))
+			}
+			if cpuList != nil {
+				fail(fmt.Errorf("-cpus is not supported with -serve/-client"))
+			}
+			if err := runServerBench(*serveMode, *clientAddr, *devices, *shards, *fixesPer, *compName, *tol, *persistDir, *trailKeys, *segBytes); err != nil {
+				fail(err)
+			}
+			return
 		}
 		if cpuList == nil {
 			if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *compact, *query); err != nil {

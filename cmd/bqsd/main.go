@@ -1,0 +1,114 @@
+// Command bqsd is the BQS trajectory daemon: a TCP server that runs
+// the durable sharded ingestion engine behind the length-prefixed
+// binary frame protocol (internal/proto). Devices stream batched fixes
+// in; the server compresses them online (per-device sessions, bounded
+// deviation), persists finalized trajectories to per-tenant sharded
+// segment logs, and answers spatio-temporal window and per-device
+// time-range queries from disk.
+//
+// Usage:
+//
+//	bqsd -dir data [-addr 127.0.0.1:4980] [-tol 10] [-shards N]
+//	     [-queue N] [-idle 5m] [-trail N] [-segbytes N]
+//	     [-compact-interval 10m] [-retry-after 50ms] [-drain-timeout 10s]
+//
+// Each tenant named in a connection's handshake gets its own engine
+// and flock-guarded log directory under -dir. Ingest is explicitly
+// backpressured: a batch landing on a full shard queue is rejected in
+// the ack with a retry-after hint — the daemon never buffers rejected
+// fixes, so memory stays bounded no matter how far the disk falls
+// behind (see `bqsbench -client` for a load generator that honors the
+// hints).
+//
+// On SIGTERM/SIGINT the daemon drains: it stops accepting, aborts idle
+// connection reads, waits up to -drain-timeout for in-flight requests,
+// then flushes every tenant's sessions, syncs, runs a final compaction
+// and closes the logs. Exit status is non-zero if the drain surfaced a
+// persistence error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/trajcomp/bqs/internal/engine"
+	"github.com/trajcomp/bqs/internal/server"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:4980", "listen address")
+		dir          = flag.String("dir", "", "data directory; tenant logs live in per-name subdirectories (required)")
+		compressor   = flag.String("compressor", "", "compressor each session runs (default: engine default, fbqs)")
+		tol          = flag.Float64("tol", 10, "deviation tolerance in metres")
+		shards       = flag.Int("shards", 0, "shards per tenant engine/log (0 = GOMAXPROCS; an existing log keeps its persisted count)")
+		queue        = flag.Int("queue", 0, "per-shard ingest queue depth in batches (0 = engine default)")
+		idle         = flag.Duration("idle", 0, "evict a device session after this long without a fix (0 = only on drain)")
+		trail        = flag.Int("trail", 0, "max per-session key points before chunking to disk (0 = engine default)")
+		segBytes     = flag.Int64("segbytes", 0, "segment file rotation size in bytes (0 = log default)")
+		compactEvery = flag.Duration("compact-interval", 0, "background merge/dedup compaction interval per tenant (0 = off)")
+		retryAfter   = flag.Duration("retry-after", server.DefaultRetryAfter, "base backpressure retry hint sent to clients")
+		drain        = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "max wait for in-flight connections on shutdown")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "bqsd: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logOpts := segmentlog.Options{MaxSegmentBytes: *segBytes}
+	if *compactEvery > 0 {
+		logOpts.Compaction = &segmentlog.CompactionPolicy{MergeChunks: true}
+	}
+	srv, err := server.New(server.Config{
+		Dir: *dir,
+		Engine: engine.Config{
+			Compressor:      *compressor,
+			Tolerance:       *tol,
+			Shards:          *shards,
+			QueueDepth:      *queue,
+			IdleTimeout:     *idle,
+			MaxTrailKeys:    *trail,
+			CompactInterval: *compactEvery,
+		},
+		Log:          logOpts,
+		RetryAfter:   *retryAfter,
+		DrainTimeout: *drain,
+	})
+	if err != nil {
+		log.Fatalf("bqsd: %v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("bqsd: %v", err)
+	}
+	// The bound address goes to stdout on its own line so wrappers
+	// (smoke tests, bqsbench -serve scripts) can use -addr :0.
+	fmt.Printf("bqsd: listening on %s\n", ln.Addr())
+	log.Printf("bqsd: data dir %s, tolerance %g m", *dir, *tol)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("bqsd: %v — draining", s)
+	case err := <-serveErr:
+		if err != nil {
+			log.Printf("bqsd: accept loop failed: %v — draining", err)
+		}
+	}
+	if err := srv.Shutdown(); err != nil {
+		log.Fatalf("bqsd: drain: %v", err)
+	}
+	log.Print("bqsd: drained clean")
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/proto"
+	"github.com/trajcomp/bqs/internal/server"
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bqsd.bin")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDaemonLifecycle is the full smoke pass: start on an ephemeral
+// port, ingest over the wire, flush + query, SIGTERM-drain, then
+// reopen the tenant's log directory and check it recovered clean.
+func TestDaemonLifecycle(t *testing.T) {
+	bin := buildCmd(t)
+	dir := t.TempDir()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir, "-tol", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// First stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no address line: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr := line[strings.LastIndex(line, " ")+1:]
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("cannot parse address from %q", line)
+	}
+
+	c, err := server.Dial(addr, "smoke")
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	keys := make([]trajstore.GeoKey, 40)
+	for i := range keys {
+		keys[i] = trajstore.GeoKey{
+			Lat: float64(i%2) * 0.004,
+			Lon: float64(i) * 0.0055,
+			T:   1000 + uint32(i)*30,
+		}
+	}
+	if _, err := c.IngestAll([]proto.DeviceBatch{{Device: "probe", Keys: keys}}, 10); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := c.Sync(true); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	recs, err := c.QueryTime("probe", 0, math.MaxUint32)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("query: %d records, err %v", len(recs), err)
+	}
+	w, err := c.QueryWindow(-1, -1, 1, 1, 0, math.MaxUint32)
+	if err != nil || len(w) == 0 {
+		t.Fatalf("window query: %d records, err %v", len(w), err)
+	}
+	c.Close()
+
+	// SIGTERM must drain and exit 0 …
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited dirty: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// … leaving a log directory that reopens without repair: the lock
+	// is free, recovery truncates nothing, the data is still there.
+	lg, err := segmentlog.OpenSharded(filepath.Join(dir, "smoke"), 0, segmentlog.Options{})
+	if err != nil {
+		t.Fatalf("reopen tenant log: %v", err)
+	}
+	defer lg.Close()
+	if n := lg.Stats().Truncated; n != 0 {
+		t.Fatalf("recovery truncated %d bytes after a clean drain", n)
+	}
+	got, err := lg.Query("probe", 0, math.MaxUint32)
+	if err != nil || len(got) != len(recs) {
+		t.Fatalf("reopened log: %d records, err %v; want %d", len(got), err, len(recs))
+	}
+}
+
+func TestDaemonRequiresDir(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	if err == nil {
+		t.Fatalf("missing -dir accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-dir is required") {
+		t.Fatalf("unhelpful error:\n%s", out)
+	}
+}

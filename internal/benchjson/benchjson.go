@@ -188,6 +188,66 @@ func Median(runs []Result) []Result {
 	return out
 }
 
+// TrajectoryPoint is one report's measurement of a benchmark within a
+// TrajectorySeries.
+type TrajectoryPoint struct {
+	Label       string // the report's label (e.g. "BENCH_3.json")
+	Date        string // the report's date
+	NsPerOp     float64
+	FixesPerSec float64 // 0 when the benchmark doesn't report throughput
+}
+
+// TrajectorySeries is one benchmark's performance across reports: the
+// cross-PR line the committed BENCH_*.json files exist to draw.
+type TrajectorySeries struct {
+	Name   string
+	Cpus   int
+	Points []TrajectoryPoint
+}
+
+// Trajectory joins a sequence of reports (oldest first, one label per
+// report) into per-(benchmark, cpus) series. Entries whose cpus field
+// is absent (0 — files predating the scaling-matrix schema change) are
+// normalized to cpus=1: those reports were single-GOMAXPROCS runs, and
+// without the normalization the join silently drops every legacy/tagged
+// pair and the trajectory comes out empty. Series order follows first
+// appearance; a benchmark missing from a report simply has no point for
+// that label.
+func Trajectory(labels []string, reports []Report) []TrajectorySeries {
+	type key struct {
+		name string
+		cpus int
+	}
+	index := make(map[key]int)
+	var out []TrajectorySeries
+	for i, rep := range reports {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		for _, b := range rep.Benchmarks {
+			cpus := b.Cpus
+			if cpus == 0 {
+				cpus = 1
+			}
+			k := key{b.Name, cpus}
+			idx, ok := index[k]
+			if !ok {
+				idx = len(out)
+				index[k] = idx
+				out = append(out, TrajectorySeries{Name: b.Name, Cpus: cpus})
+			}
+			out[idx].Points = append(out[idx].Points, TrajectoryPoint{
+				Label:       label,
+				Date:        rep.Date,
+				NsPerOp:     b.NsPerOp,
+				FixesPerSec: b.FixesPerSec,
+			})
+		}
+	}
+	return out
+}
+
 // Validate rejects a report whose benchmark entries cannot be
 // interpreted unambiguously as a cpu matrix: if any entry omits the
 // cpus field (0 — a pre-matrix file) while the named benchmark appears

@@ -196,3 +196,62 @@ func TestParseGarbage(t *testing.T) {
 		t.Errorf("parsed %d runs from garbage", len(runs))
 	}
 }
+
+func TestTrajectoryJoinsLegacyAndTagged(t *testing.T) {
+	// A legacy report (cpus field absent, decoded as 0) and a tagged
+	// matrix report (cpus:1 explicit) must join into one series per
+	// shared benchmark — the exact pair the committed BENCH_3/5 vs
+	// BENCH_6 files form.
+	legacy := Report{
+		Schema: Schema, Date: "2026-07-01",
+		Benchmarks: []Result{
+			{Name: "CorePushFast", NsPerOp: 133, FixesPerSec: 7.6e6},
+			{Name: "OnlyInLegacy", NsPerOp: 50},
+		},
+	}
+	tagged := Report{
+		Schema: Schema, Date: "2026-07-20",
+		Benchmarks: []Result{
+			{Name: "CorePushFast", Cpus: 1, NsPerOp: 118, FixesPerSec: 8.5e6},
+			{Name: "CorePushFast", Cpus: 4, NsPerOp: 40},
+		},
+	}
+	series := Trajectory([]string{"a.json", "b.json"}, []Report{legacy, tagged})
+	if len(series) != 3 {
+		t.Fatalf("got %d series, want 3: %+v", len(series), series)
+	}
+	// First appearance order: CorePushFast cpu=1 (from the legacy file,
+	// normalized 0→1), OnlyInLegacy, then the cpu=4 entry.
+	s := series[0]
+	if s.Name != "CorePushFast" || s.Cpus != 1 {
+		t.Fatalf("series[0] = %s cpu=%d", s.Name, s.Cpus)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("joined series has %d points, want 2: %+v", len(s.Points), s.Points)
+	}
+	if s.Points[0].Label != "a.json" || s.Points[0].NsPerOp != 133 ||
+		s.Points[1].Label != "b.json" || s.Points[1].NsPerOp != 118 {
+		t.Errorf("joined points = %+v", s.Points)
+	}
+	if s.Points[1].Date != "2026-07-20" {
+		t.Errorf("point date = %q", s.Points[1].Date)
+	}
+	if series[1].Name != "OnlyInLegacy" || len(series[1].Points) != 1 {
+		t.Errorf("series[1] = %+v", series[1])
+	}
+	if series[2].Cpus != 4 || len(series[2].Points) != 1 {
+		t.Errorf("series[2] = %+v", series[2])
+	}
+}
+
+func TestTrajectoryDisjointReports(t *testing.T) {
+	// Reports sharing no (name, cpus) pair produce only single-point
+	// series — the condition `benchjson -check` fails on.
+	a := Report{Schema: Schema, Benchmarks: []Result{{Name: "Old", NsPerOp: 1}}}
+	b := Report{Schema: Schema, Benchmarks: []Result{{Name: "New", Cpus: 1, NsPerOp: 2}}}
+	for _, s := range Trajectory([]string{"a", "b"}, []Report{a, b}) {
+		if len(s.Points) > 1 {
+			t.Errorf("disjoint reports produced a joined series: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+// wedgedPersister simulates a persister stuck in the kernel (full disk,
+// hung fsync): Append parks until release is closed, then returns err.
+// entered is signalled once per Append so tests can wait until a shard
+// worker is provably wedged inside the persist call.
+type wedgedPersister struct {
+	entered chan struct{}
+	release chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+func newWedgedPersister() *wedgedPersister {
+	return &wedgedPersister{
+		entered: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (w *wedgedPersister) Append(string, []trajstore.GeoKey) error {
+	select {
+	case w.entered <- struct{}{}:
+	default:
+	}
+	<-w.release
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *wedgedPersister) Sync() error  { return nil }
+func (w *wedgedPersister) Close() error { return nil }
+
+// releaseWith unwedges every current and future Append, making them
+// return err.
+func (w *wedgedPersister) releaseWith(err error) {
+	w.mu.Lock()
+	w.err = err
+	w.mu.Unlock()
+	close(w.release)
+}
+
+// wedgeTrack is a fix stream whose every point is a key point at the
+// given tolerance (large jumps), so a tiny MaxTrailKeys forces the
+// shard worker into Append quickly.
+func wedgeTrack(n int) []core.Point {
+	pts := make([]core.Point, n)
+	for i := range pts {
+		x := float64(i * 500)
+		y := float64((i % 2) * 400)
+		pts[i] = core.Point{X: x, Y: y, T: float64(i)}
+	}
+	return pts
+}
+
+// wedgeEngine builds a 1-shard, depth-1 engine on a wedged persister and
+// drives it until the worker is parked inside Append and the shard
+// queue is full: the exact state in which the old Ingest deadlocked
+// Close. It returns the engine and the wedged persister.
+func wedgeEngine(t *testing.T, wp *wedgedPersister) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Compressor:   "fbqs",
+		Tolerance:    1,
+		Shards:       1,
+		QueueDepth:   1,
+		Persister:    wp,
+		MaxTrailKeys: 2, // persist after every 2 key points
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	track := wedgeTrack(8)
+	batch := make([]Fix, len(track))
+	for i, p := range track {
+		batch[i] = Fix{Device: "wedge", Point: p}
+	}
+	if err := e.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-wp.entered: // worker is now parked inside Append
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never reached the persister")
+	}
+	// Fill the queue behind the wedged worker.
+	if err := e.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineCloseUnderWedgedPersister is the shutdown-liveness
+// regression test: with a shard worker stuck inside the persister and
+// the shard queue full, a blocked Ingest used to hold e.mu.RLock
+// forever, deadlocking Close on e.mu.Lock. Now the blocked Ingest
+// aborts with ErrClosed as soon as Close begins — while the persister
+// is still wedged — and Close completes once the worker drains,
+// returning the latched persist error.
+func TestEngineCloseUnderWedgedPersister(t *testing.T) {
+	wp := newWedgedPersister()
+	e := wedgeEngine(t, wp)
+
+	// Park an Ingest on the full queue, lock-free.
+	track := wedgeTrack(8)
+	batch := make([]Fix, len(track))
+	for i, p := range track {
+		batch[i] = Fix{Device: "wedge", Point: p}
+	}
+	ingestDone := make(chan error, 1)
+	go func() { ingestDone <- e.Ingest(batch) }()
+	select {
+	case err := <-ingestDone:
+		t.Fatalf("Ingest returned %v with a full queue; expected it to block", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- e.Close() }()
+
+	// The parked Ingest must abort promptly even though the persister is
+	// still wedged — this is where the old code deadlocked.
+	select {
+	case err := <-ingestDone:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("parked Ingest = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Ingest still parked after Close began: shutdown-liveness regression")
+	}
+	// New senders are refused immediately too.
+	if _, err := e.TryIngest(batch); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryIngest during Close = %v, want ErrClosed", err)
+	}
+
+	// Close still owes the worker a drain (durability): it must be
+	// waiting, not returning early with unflushed sessions.
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close returned %v while the persister was still wedged", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Unwedge with a failure: the worker latches it, drains, and Close
+	// completes reporting it.
+	errWedge := errors.New("disk went away")
+	wp.releaseWith(errWedge)
+	select {
+	case err := <-closeDone:
+		if !errors.Is(err, errWedge) {
+			t.Fatalf("Close = %v, want the latched persist error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never completed after the persister unwedged")
+	}
+}
+
+// TestEngineSyncAbortsOnClose pins the same liveness property for the
+// barrier path: a Sync waiting behind a wedged shard returns ErrClosed
+// when Close begins instead of delaying shutdown.
+func TestEngineSyncAbortsOnClose(t *testing.T) {
+	wp := newWedgedPersister()
+	e := wedgeEngine(t, wp)
+
+	syncDone := make(chan error, 1)
+	go func() { syncDone <- e.Sync() }()
+	select {
+	case err := <-syncDone:
+		t.Fatalf("Sync returned %v behind a wedged shard; expected it to block", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- e.Close() }()
+	select {
+	case err := <-syncDone:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Sync = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sync still parked after Close began")
+	}
+
+	wp.releaseWith(nil)
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("Close = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never completed")
+	}
+}
+
+// TestTryIngestBackpressure checks the non-blocking path end to end:
+// accepted counts are exact, a full shard queue rejects with
+// ErrBackpressure instead of blocking, QueueStats reports the
+// occupancy, and the queue drains back to accepting once the stall
+// clears.
+func TestTryIngestBackpressure(t *testing.T) {
+	wp := newWedgedPersister()
+	e := wedgeEngine(t, wp) // worker wedged, queue full
+
+	track := wedgeTrack(8)
+	batch := make([]Fix, len(track))
+	for i, p := range track {
+		batch[i] = Fix{Device: "wedge", Point: p}
+	}
+
+	if qs := e.QueueStats(); qs.Cap != 1 || len(qs.Len) != 1 || qs.Len[0] != 1 {
+		t.Fatalf("QueueStats = %+v, want Cap 1, Len [1]", qs)
+	} else if qs.Fullness() != 1 {
+		t.Fatalf("Fullness = %v, want 1", qs.Fullness())
+	}
+
+	start := time.Now()
+	n, err := e.TryIngest(batch)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("TryIngest took %v; must not block", elapsed)
+	}
+	if n != 0 || !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("TryIngest on full queue = (%d, %v), want (0, ErrBackpressure)", n, err)
+	}
+
+	// Unwedge cleanly: the queue drains and the same batch is accepted.
+	wp.releaseWith(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n, err = e.TryIngest(batch)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrBackpressure) || time.Now().After(deadline) {
+			t.Fatalf("TryIngest after unwedge = (%d, %v)", n, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n != len(batch) {
+		t.Fatalf("accepted %d fixes, want %d", n, len(batch))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTryIngestSurfacesPersistError is the sick-backend bugfix test: a
+// persist failure latched mid-stream used to surface only at the next
+// Sync/Close; TryIngest must report it on the very next call so a
+// client (or the server acking its frames) learns before the
+// durability barrier.
+func TestTryIngestSurfacesPersistError(t *testing.T) {
+	fp := &failingPersister{} // fails from the first Append
+	e, err := New(Config{
+		Compressor:   "fbqs",
+		Tolerance:    1,
+		Shards:       2,
+		Persister:    fp,
+		MaxTrailKeys: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	track := wedgeTrack(16)
+	batch := make([]Fix, len(track))
+	for i, p := range track {
+		batch[i] = Fix{Device: "sick", Point: p}
+	}
+	if _, err := e.TryIngest(batch); err != nil {
+		t.Fatalf("first TryIngest = %v before any persist could fail", err)
+	}
+	// The failure latches asynchronously in the shard worker; poll with
+	// the empty-batch health probe, never through Sync.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err = e.TryIngest(nil); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TryIngest never surfaced the latched persist error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(err, errPersistBoom) {
+		t.Fatalf("TryIngest = %v, want the persist failure", err)
+	}
+	if err := e.Err(); !errors.Is(err, errPersistBoom) {
+		t.Fatalf("Err() = %v, want the persist failure", err)
+	}
+	// Accepted fixes still count even when the error rides along.
+	if n, err := e.TryIngest(batch); n != len(batch) || !errors.Is(err, errPersistBoom) {
+		t.Fatalf("TryIngest = (%d, %v), want (%d, persist failure)", n, err, len(batch))
+	}
+	if err := e.Close(); !errors.Is(err, errPersistBoom) {
+		t.Fatalf("Close = %v, want the latched persist error", err)
+	}
+}
+
+// TestFlushSessions checks the explicit flush barrier: every open
+// session is finalized and persisted without closing the engine, and a
+// device's next fix starts a fresh session.
+func TestFlushSessions(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := segmentlog.Open(dir, segmentlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Compressor: "fbqs", Tolerance: 5, Shards: 2, Persister: lg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const devices = 6
+	for d := 0; d < devices; d++ {
+		track := deviceTrack(int64(d)+1, 80)
+		for _, p := range track {
+			if err := e.IngestOne(fmt.Sprintf("dev-%d", d), p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.FlushSessions(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.ActiveSessions != 0 {
+		t.Fatalf("ActiveSessions = %d after FlushSessions, want 0", s.ActiveSessions)
+	}
+	if s.Persisted != devices {
+		t.Fatalf("Persisted = %d, want %d", s.Persisted, devices)
+	}
+	for d := 0; d < devices; d++ {
+		recs, err := lg.Query(fmt.Sprintf("dev-%d", d), 0, ^uint32(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("dev-%d: %d records after flush, want 1", d, len(recs))
+		}
+	}
+	// The engine stays usable; a flushed device reopens a session.
+	if err := e.IngestOne("dev-0", core.Point{X: 1, Y: 1, T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.SessionsOpened != devices+1 {
+		t.Fatalf("SessionsOpened = %d, want %d", s.SessionsOpened, devices+1)
+	}
+}

@@ -97,6 +97,13 @@ type Config struct {
 // ErrClosed reports an operation on a closed engine.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrBackpressure reports that TryIngest found a shard queue full: the
+// engine is processing slower than fixes arrive (typically a persister
+// stalled on disk). Callers should back off and retry rather than
+// buffer unboundedly — the server layer turns this into a reject frame
+// with a retry-after hint.
+var ErrBackpressure = errors.New("engine: shard queue full (backpressure)")
+
 // Stats is a point-in-time snapshot of engine activity, merged across
 // shards.
 type Stats struct {
@@ -137,6 +144,14 @@ type Engine struct {
 	mu     sync.RWMutex // guards closed against Ingest/Sync racing Close
 	closed bool
 	wg     sync.WaitGroup
+
+	// closing is closed when Close begins; senders parked on a full
+	// shard queue select on it so a stalled shard (wedged persister,
+	// full disk) cannot wedge shutdown. ingestWG counts in-flight
+	// senders — registered under mu like compactWG — so Close can wait
+	// for them to retire before closing the shard channels.
+	closing  chan struct{}
+	ingestWG sync.WaitGroup
 
 	// stopCompact ends the periodic compaction goroutine (nil when
 	// CompactInterval is 0); the goroutine is counted in wg. compactWG
@@ -201,10 +216,11 @@ type shard struct {
 // when non-nil, is the pooled buffer backing fixes; the worker returns it
 // to the engine's batch pool after draining.
 type shardMsg struct {
-	fixes   []Fix
-	batch   *fixBatch
-	evict   bool
-	barrier chan struct{}
+	fixes    []Fix
+	batch    *fixBatch
+	evict    bool
+	flushAll bool
+	barrier  chan struct{}
 }
 
 // fixBatch is a pooled per-shard staging buffer for Ingest.
@@ -278,6 +294,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg: cfg, clock: cfg.Clock, stores: stores,
 		persisting: cfg.Persister != nil, mPerDegree: cfg.MetersPerDegree,
+		closing: make(chan struct{}),
 	}
 	stores.SetPersister(cfg.Persister)
 	if e.clock == nil {
@@ -371,43 +388,147 @@ func (e *Engine) shardIndex(device string) int {
 	return trajstore.ShardIndex(device, len(e.shards))
 }
 
+// beginSend registers the caller as an in-flight queue sender. The
+// closed check and the ingestWG registration happen under the same lock
+// Close writes closed under, so Close's ingestWG.Wait() observes every
+// sender admitted before it; the lock is NOT held while the caller then
+// parks on a shard queue.
+func (e *Engine) beginSend() error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	e.ingestWG.Add(1)
+	e.mu.RUnlock()
+	return nil
+}
+
+// send enqueues msg on the shard, parking WITHOUT any engine lock when
+// the queue is full. A send in flight when Close begins aborts with
+// ErrClosed (recycling the batch) instead of wedging shutdown behind a
+// stalled shard. The non-blocking fast path keeps the common case a
+// single channel operation.
+func (e *Engine) send(sh *shard, msg shardMsg) error {
+	select {
+	case sh.in <- msg:
+		return nil
+	default:
+	}
+	select {
+	case sh.in <- msg:
+		return nil
+	case <-e.closing:
+		if msg.batch != nil {
+			e.batchPool.Put(msg.batch)
+		}
+		return ErrClosed
+	}
+}
+
+// scatterFixes distributes a caller batch over per-shard staging buffers.
+// The returned scatter table must go back to scatterPool with all slots
+// nil.
+func (e *Engine) scatterFixes(fixes []Fix) *scatter {
+	sc := e.getScatter()
+	for _, f := range fixes {
+		i := e.shardIndex(f.Device)
+		b := sc.byShard[i]
+		if b == nil {
+			b = e.getBatch()
+			sc.byShard[i] = b
+		}
+		b.fixes = append(b.fixes, f)
+	}
+	return sc
+}
+
 // Ingest routes a batch of fixes to their shards. Fixes for the same
 // device are processed in slice order; the engine does not retain the
-// slice. It blocks when a target shard's queue is full and returns
-// ErrClosed after Close.
+// slice. It blocks when a target shard's queue is full — without
+// holding the engine lock, so a blocked Ingest never delays Close — and
+// returns ErrClosed after (or during) Close. Fixes already handed to a
+// shard before an ErrClosed abort are still processed by the shutdown
+// flush. TryIngest is the non-blocking variant.
 func (e *Engine) Ingest(fixes []Fix) error {
 	if len(fixes) == 0 {
 		return nil
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return ErrClosed
+	if err := e.beginSend(); err != nil {
+		return err
 	}
+	defer e.ingestWG.Done()
 	if len(e.shards) == 1 {
 		b := e.getBatch()
 		b.fixes = append(b.fixes, fixes...)
-		e.shards[0].in <- shardMsg{fixes: b.fixes, batch: b}
-	} else {
-		sc := e.getScatter()
-		for _, f := range fixes {
-			i := e.shardIndex(f.Device)
-			b := sc.byShard[i]
-			if b == nil {
-				b = e.getBatch()
-				sc.byShard[i] = b
-			}
-			b.fixes = append(b.fixes, f)
+		return e.send(e.shards[0], shardMsg{fixes: b.fixes, batch: b})
+	}
+	sc := e.scatterFixes(fixes)
+	var err error
+	for i, b := range sc.byShard {
+		if b == nil {
+			continue
 		}
+		sc.byShard[i] = nil
+		if err != nil { // aborted mid-scatter: recycle the rest unsent
+			e.batchPool.Put(b)
+			continue
+		}
+		err = e.send(e.shards[i], shardMsg{fixes: b.fixes, batch: b})
+	}
+	e.scatterPool.Put(sc)
+	return err
+}
+
+// TryIngest is the non-blocking Ingest: fixes whose shard queue has
+// room are enqueued, fixes bound for a full shard are dropped as a unit
+// (per-shard granularity — a batch routed entirely to one shard is
+// accepted or rejected whole). It returns how many fixes were accepted
+// and ErrBackpressure when any were not; callers own retrying the
+// remainder after a backoff. A standing asynchronous persister failure
+// is returned in place of ErrBackpressure — before the Sync durability
+// barrier would surface it — so a caller streaming fixes learns the
+// backend is sick on the next call, not at the next checkpoint; calling
+// TryIngest(nil) is a cheap health probe. The server layer builds its
+// reject-with-retry-after frames on this.
+func (e *Engine) TryIngest(fixes []Fix) (accepted int, err error) {
+	if err := e.beginSend(); err != nil {
+		return 0, err
+	}
+	defer e.ingestWG.Done()
+	full := false
+	trySend := func(i int, b *fixBatch) {
+		select {
+		case e.shards[i].in <- shardMsg{fixes: b.fixes, batch: b}:
+			accepted += len(b.fixes)
+		default:
+			full = true
+			e.batchPool.Put(b)
+		}
+	}
+	switch {
+	case len(fixes) == 0:
+	case len(e.shards) == 1:
+		b := e.getBatch()
+		b.fixes = append(b.fixes, fixes...)
+		trySend(0, b)
+	default:
+		sc := e.scatterFixes(fixes)
 		for i, b := range sc.byShard {
 			if b != nil {
 				sc.byShard[i] = nil
-				e.shards[i].in <- shardMsg{fixes: b.fixes, batch: b}
+				trySend(i, b)
 			}
 		}
 		e.scatterPool.Put(sc)
 	}
-	return nil
+	if perr := e.loadPersistErr(); perr != nil {
+		return accepted, perr
+	}
+	if full {
+		return accepted, ErrBackpressure
+	}
+	return accepted, nil
 }
 
 // IngestOne routes a single fix; a convenience wrapper over Ingest.
@@ -416,25 +537,34 @@ func (e *Engine) IngestOne(device string, p core.Point) error {
 }
 
 // barrier sends msg to every shard with a fresh barrier channel and
-// waits until all shards have drained up to it.
+// waits until all shards have drained up to it. Like Ingest, the engine
+// lock is not held across the queue sends, and both the sends and the
+// waits abort with ErrClosed when Close begins — barriers already
+// enqueued are still honoured by the workers' shutdown drain, so
+// abandoning the wait leaks nothing.
 func (e *Engine) barrier(msg shardMsg) error {
-	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		return ErrClosed
+	if err := e.beginSend(); err != nil {
+		return err
 	}
-	waits := make([]chan struct{}, len(e.shards))
-	for i, sh := range e.shards {
+	defer e.ingestWG.Done()
+	waits := make([]chan struct{}, 0, len(e.shards))
+	var err error
+	for _, sh := range e.shards {
 		m := msg
 		m.barrier = make(chan struct{})
-		waits[i] = m.barrier
-		sh.in <- m
+		if err = e.send(sh, m); err != nil {
+			break
+		}
+		waits = append(waits, m.barrier)
 	}
-	e.mu.RUnlock()
 	for _, w := range waits {
-		<-w
+		select {
+		case <-w:
+		case <-e.closing:
+			return ErrClosed
+		}
 	}
-	return nil
+	return err
 }
 
 // Sync blocks until every fix ingested before the call has been fully
@@ -471,6 +601,56 @@ func (e *Engine) loadPersistErr() error {
 // IdleTimeout 0 the sweep is a no-op.
 func (e *Engine) EvictIdle() error { return e.barrier(shardMsg{evict: true}) }
 
+// FlushSessions finalizes every open session now — emitting each
+// compressor's pending tail key points and, with a Persister
+// configured, handing the finalized trails to it — without closing the
+// engine. The next fix for a flushed device opens a fresh session (its
+// compression restarts). Combined with Sync this makes everything
+// ingested before the call durable and queryable from the log; the
+// server's drain and its flush-and-sync frame are built on it.
+func (e *Engine) FlushSessions() error { return e.barrier(shardMsg{flushAll: true}) }
+
+// Err reports the engine's standing asynchronous failures without a
+// barrier: the first latched persister error (also surfaced by
+// Sync/Close and TryIngest) joined with any standing background-
+// compaction failure. nil means healthy.
+func (e *Engine) Err() error {
+	return errors.Join(e.loadPersistErr(), e.CompactErr())
+}
+
+// QueueStats is a point-in-time snapshot of the per-shard ingest queue
+// occupancy, in batches. A shard pinned at Cap is applying
+// backpressure: Ingest would block and TryIngest rejects.
+type QueueStats struct {
+	Cap int   // per-shard queue capacity (Config.QueueDepth)
+	Len []int // queued batches per shard
+}
+
+// Fullness returns the worst shard's occupancy fraction in [0, 1] —
+// the server scales its retry-after hint by it.
+func (q QueueStats) Fullness() float64 {
+	if q.Cap == 0 {
+		return 0
+	}
+	m := 0
+	for _, n := range q.Len {
+		if n > m {
+			m = n
+		}
+	}
+	return float64(m) / float64(q.Cap)
+}
+
+// QueueStats samples the ingest queue depths. Like Stats, the snapshot
+// is advisory — depths move concurrently.
+func (e *Engine) QueueStats() QueueStats {
+	qs := QueueStats{Cap: e.cfg.QueueDepth, Len: make([]int, len(e.shards))}
+	for i, sh := range e.shards {
+		qs.Len[i] = len(sh.in)
+	}
+	return qs
+}
+
 // Stats returns a merged snapshot of engine activity. Counters are read
 // atomically but not mutually consistent; call Sync first for a quiescent
 // reading.
@@ -501,13 +681,18 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.closing) // aborts senders parked on full shard queues
 	if e.stopCompact != nil {
 		close(e.stopCompact)
 	}
+	e.mu.Unlock()
+	// Every sender registered before closed was set is in ingestWG and
+	// either completes its sends or aborts on closing, so after Wait the
+	// shard channels have no writers and closing them is safe.
+	e.ingestWG.Wait()
 	for _, sh := range e.shards {
 		close(sh.in)
 	}
-	e.mu.Unlock()
 	e.wg.Wait()
 	e.compactWG.Wait() // external CompactNow callers still in flight
 	// Join the persister's close error with any latched asynchronous
@@ -539,6 +724,9 @@ func (sh *shard) run() {
 			}
 			if msg.evict {
 				sh.evictIdle()
+			}
+			if msg.flushAll {
+				sh.closeAll()
 			}
 			if len(msg.fixes) > 0 {
 				sh.ingestBatch(msg.fixes)

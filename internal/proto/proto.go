@@ -1,0 +1,602 @@
+// Package proto defines bqsd's wire protocol: length-prefixed binary
+// frames over a byte stream, reusing the storage layer's delta-varint
+// idiom for trajectory payloads (trajstore.DeltaEncode — the same bytes
+// the segment log persists, so a batch travels, lands on disk and is
+// queried back in one representation).
+//
+// Framing: every frame is a 4-byte little-endian length N (1 ≤ N ≤
+// MaxFrame) followed by N bytes — a 1-byte frame type and the message
+// payload. Integers inside payloads are unsigned/zig-zag varints,
+// strings are length-prefixed, coordinates ride as delta-varint key
+// blocks or (for query windows) IEEE-754 bits.
+//
+// A session is: client sends Hello naming a tenant, server answers
+// HelloAck, then the client issues Ingest / Sync / QueryWindow /
+// QueryTime requests and the server answers each in order (IngestAck /
+// SyncAck / QueryResp). Requests carry a client-chosen Seq echoed in
+// the response, so clients may pipeline. A frame the server cannot
+// parse is answered with an Error frame and the connection is closed.
+//
+// Backpressure is explicit: an IngestAck reports which device batches
+// were rejected because their shard queue was full, plus a retry-after
+// hint in milliseconds. The server never buffers rejected fixes — the
+// client owns the retry. A standing backend failure (a latched persist
+// error) rides in the ack's Err field, so a streaming client learns the
+// backend is sick without waiting for a Sync barrier.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/trajcomp/bqs/internal/trajstore"
+)
+
+// Version is the protocol version spoken by this package; Hello carries
+// it and the server rejects mismatches.
+const Version = 1
+
+// MaxFrame caps a frame's body (type byte + payload). Large enough for
+// an ingest batch of ~100k fixes or a fat query response; small enough
+// that a malicious length prefix cannot balloon memory.
+const MaxFrame = 4 << 20
+
+// Frame types.
+const (
+	TypeHello       byte = 0x01 // client → server: version + tenant
+	TypeHelloAck    byte = 0x02 // server → client: accept/reject
+	TypeIngest      byte = 0x03 // client → server: per-device fix batches
+	TypeIngestAck   byte = 0x04 // server → client: accepted/rejected + retry hint
+	TypeSync        byte = 0x05 // client → server: durability barrier (optionally flush)
+	TypeSyncAck     byte = 0x06 // server → client
+	TypeQueryWindow byte = 0x07 // client → server: spatio-temporal window
+	TypeQueryTime   byte = 0x08 // client → server: device + time range
+	TypeQueryResp   byte = 0x09 // server → client: records
+	TypeError       byte = 0x0A // server → client: fatal; connection closes
+)
+
+// ErrFrameTooBig reports a frame exceeding MaxFrame.
+var ErrFrameTooBig = errors.New("proto: frame exceeds size cap")
+
+// ErrMalformed reports a syntactically invalid frame payload.
+var ErrMalformed = errors.New("proto: malformed frame")
+
+// WriteFrame writes one frame. The payload must not include the type
+// byte; WriteFrame prepends it.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	n := len(payload) + 1
+	if n > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf when it is large enough, and
+// returns the frame type, the payload (aliasing the returned buffer —
+// valid until the next ReadFrame on it) and the buffer to pass back in.
+// io.EOF is returned verbatim on a clean end between frames; a frame
+// cut off mid-body yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) (typ byte, payload []byte, bufOut []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n == 0 {
+		return 0, nil, buf, ErrMalformed
+	}
+	if n > MaxFrame {
+		return 0, nil, buf, ErrFrameTooBig
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	b := buf[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	return b[0], b[1:], buf, nil
+}
+
+// Hello opens a session and names the tenant whose engine and log the
+// connection binds to.
+type Hello struct {
+	Version uint32
+	Tenant  string
+}
+
+// HelloAck accepts (Err == "") or rejects a session.
+type HelloAck struct {
+	Version uint32
+	Err     string
+}
+
+// DeviceBatch is one device's fixes within an Ingest frame, in arrival
+// order. The engine routes a device to exactly one shard, so a batch is
+// accepted or rejected as a unit.
+type DeviceBatch struct {
+	Device string
+	Keys   []trajstore.GeoKey
+}
+
+// Ingest carries a batch of fixes grouped by device.
+type Ingest struct {
+	Seq     uint64
+	Batches []DeviceBatch
+}
+
+// IngestAck answers an Ingest frame. Accepted counts fixes enqueued;
+// Rejected lists the indices (into the request's Batches) refused by
+// backpressure — resend those after RetryAfterMillis. Err carries a
+// standing backend failure (latched persist error): fixes may still
+// have been accepted, but durability is no longer assured until the
+// operator intervenes.
+type IngestAck struct {
+	Seq              uint64
+	Accepted         uint64
+	Rejected         []uint32
+	RetryAfterMillis uint32
+	Err              string
+}
+
+// Sync requests the durability barrier: when the ack returns, every fix
+// accepted before the request is processed and (with Flush) every open
+// session has been finalized into the log. Flush makes freshly
+// ingested trajectories visible to queries at the cost of restarting
+// those devices' compression sessions.
+type Sync struct {
+	Seq   uint64
+	Flush bool
+}
+
+// SyncAck answers Sync; Err carries the barrier failure, if any.
+type SyncAck struct {
+	Seq uint64
+	Err string
+}
+
+// QueryWindow asks for every durable record with a trajectory segment
+// intersecting [MinLon, MaxLon] × [MinLat, MaxLat] (degrees) during
+// [T0, T1] (seconds).
+type QueryWindow struct {
+	Seq            uint64
+	MinLon, MinLat float64
+	MaxLon, MaxLat float64
+	T0, T1         uint32
+}
+
+// QueryTime asks for one device's durable records overlapping [T0, T1].
+type QueryTime struct {
+	Seq    uint64
+	Device string
+	T0, T1 uint32
+}
+
+// QueryResp answers QueryWindow/QueryTime.
+type QueryResp struct {
+	Seq     uint64
+	Records []trajstore.PersistedRecord
+	Err     string
+}
+
+// ErrorMsg is the fatal server response to an unparseable or
+// unexpected frame; the server closes the connection after sending it.
+type ErrorMsg struct {
+	Err string
+}
+
+// ---- encoding ----
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendHello appends h's payload to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = binary.AppendUvarint(dst, uint64(h.Version))
+	return appendString(dst, h.Tenant)
+}
+
+// AppendHelloAck appends a's payload to dst.
+func AppendHelloAck(dst []byte, a HelloAck) []byte {
+	dst = binary.AppendUvarint(dst, uint64(a.Version))
+	return appendString(dst, a.Err)
+}
+
+// AppendIngest appends m's payload to dst. Keys outside the wire
+// format's coordinate range fail with trajstore.ErrRange.
+func AppendIngest(dst []byte, m Ingest) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, m.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Batches)))
+	for _, b := range m.Batches {
+		dst = appendString(dst, b.Device)
+		block, err := trajstore.DeltaEncode(b.Keys)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(block)))
+		dst = append(dst, block...)
+	}
+	return dst, nil
+}
+
+// AppendIngestAck appends a's payload to dst.
+func AppendIngestAck(dst []byte, a IngestAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Seq)
+	dst = binary.AppendUvarint(dst, a.Accepted)
+	dst = binary.AppendUvarint(dst, uint64(len(a.Rejected)))
+	for _, r := range a.Rejected {
+		dst = binary.AppendUvarint(dst, uint64(r))
+	}
+	dst = binary.AppendUvarint(dst, uint64(a.RetryAfterMillis))
+	return appendString(dst, a.Err)
+}
+
+// AppendSync appends m's payload to dst.
+func AppendSync(dst []byte, m Sync) []byte {
+	dst = binary.AppendUvarint(dst, m.Seq)
+	flush := byte(0)
+	if m.Flush {
+		flush = 1
+	}
+	return append(dst, flush)
+}
+
+// AppendSyncAck appends a's payload to dst.
+func AppendSyncAck(dst []byte, a SyncAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Seq)
+	return appendString(dst, a.Err)
+}
+
+// AppendQueryWindow appends m's payload to dst.
+func AppendQueryWindow(dst []byte, m QueryWindow) []byte {
+	dst = binary.AppendUvarint(dst, m.Seq)
+	for _, f := range [4]float64{m.MinLon, m.MinLat, m.MaxLon, m.MaxLat} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	dst = binary.AppendUvarint(dst, uint64(m.T0))
+	dst = binary.AppendUvarint(dst, uint64(m.T1))
+	return dst
+}
+
+// AppendQueryTime appends m's payload to dst.
+func AppendQueryTime(dst []byte, m QueryTime) []byte {
+	dst = binary.AppendUvarint(dst, m.Seq)
+	dst = appendString(dst, m.Device)
+	dst = binary.AppendUvarint(dst, uint64(m.T0))
+	dst = binary.AppendUvarint(dst, uint64(m.T1))
+	return dst
+}
+
+// AppendQueryResp appends m's payload to dst.
+func AppendQueryResp(dst []byte, m QueryResp) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, m.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Records)))
+	for _, r := range m.Records {
+		dst = appendString(dst, r.Device)
+		dst = binary.AppendUvarint(dst, uint64(r.T0))
+		dst = binary.AppendUvarint(dst, uint64(r.T1))
+		block, err := trajstore.DeltaEncode(r.Keys)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(block)))
+		dst = append(dst, block...)
+	}
+	return appendString(dst, m.Err), nil
+}
+
+// AppendError appends m's payload to dst.
+func AppendError(dst []byte, m ErrorMsg) []byte {
+	return appendString(dst, m.Err)
+}
+
+// ---- decoding ----
+
+// cursor is a bounds-checked payload reader; every decode error is
+// ErrMalformed so fuzzed garbage can never panic or allocate
+// implausibly.
+type cursor struct {
+	b []byte
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	v, err := c.uvarint()
+	if err != nil || v > math.MaxUint32 {
+		return 0, ErrMalformed
+	}
+	return uint32(v), nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil || n > uint64(len(c.b)) {
+		return "", ErrMalformed
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s, nil
+}
+
+func (c *cursor) f64() (float64, error) {
+	if len(c.b) < 8 {
+		return 0, ErrMalformed
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b))
+	c.b = c.b[8:]
+	return v, nil
+}
+
+func (c *cursor) byte() (byte, error) {
+	if len(c.b) < 1 {
+		return 0, ErrMalformed
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v, nil
+}
+
+// keyBlock reads a length-prefixed delta-varint key block.
+func (c *cursor) keyBlock() ([]trajstore.GeoKey, error) {
+	n, err := c.uvarint()
+	if err != nil || n > uint64(len(c.b)) {
+		return nil, ErrMalformed
+	}
+	keys, err := trajstore.DeltaDecode(c.b[:n])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	// DeltaDecode bounds the timestamp but not the coordinates (deltas
+	// can walk them off the globe); reject here so a decoded batch is
+	// always persistable and re-encodable.
+	for _, k := range keys {
+		if math.Abs(k.Lat) > 90 || math.Abs(k.Lon) > 180 {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, trajstore.ErrRange)
+		}
+	}
+	c.b = c.b[n:]
+	return keys, nil
+}
+
+// done reports trailing garbage as ErrMalformed: payloads are exact.
+func (c *cursor) done() error {
+	if len(c.b) != 0 {
+		return ErrMalformed
+	}
+	return nil
+}
+
+// ParseHello decodes a Hello payload.
+func ParseHello(p []byte) (Hello, error) {
+	c := cursor{p}
+	v, err := c.uvarint()
+	if err != nil || v > math.MaxUint32 {
+		return Hello{}, ErrMalformed
+	}
+	tenant, err := c.str()
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{Version: uint32(v), Tenant: tenant}, c.done()
+}
+
+// ParseHelloAck decodes a HelloAck payload.
+func ParseHelloAck(p []byte) (HelloAck, error) {
+	c := cursor{p}
+	v, err := c.uvarint()
+	if err != nil || v > math.MaxUint32 {
+		return HelloAck{}, ErrMalformed
+	}
+	msg, err := c.str()
+	if err != nil {
+		return HelloAck{}, err
+	}
+	return HelloAck{Version: uint32(v), Err: msg}, c.done()
+}
+
+// ParseIngest decodes an Ingest payload.
+func ParseIngest(p []byte) (Ingest, error) {
+	c := cursor{p}
+	seq, err := c.uvarint()
+	if err != nil {
+		return Ingest{}, err
+	}
+	n, err := c.uvarint()
+	if err != nil || n > uint64(len(c.b)) { // every batch needs ≥ 2 bytes
+		return Ingest{}, ErrMalformed
+	}
+	m := Ingest{Seq: seq, Batches: make([]DeviceBatch, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		dev, err := c.str()
+		if err != nil {
+			return Ingest{}, err
+		}
+		keys, err := c.keyBlock()
+		if err != nil {
+			return Ingest{}, err
+		}
+		m.Batches = append(m.Batches, DeviceBatch{Device: dev, Keys: keys})
+	}
+	return m, c.done()
+}
+
+// ParseIngestAck decodes an IngestAck payload.
+func ParseIngestAck(p []byte) (IngestAck, error) {
+	c := cursor{p}
+	a := IngestAck{}
+	var err error
+	if a.Seq, err = c.uvarint(); err != nil {
+		return IngestAck{}, err
+	}
+	if a.Accepted, err = c.uvarint(); err != nil {
+		return IngestAck{}, err
+	}
+	n, err := c.uvarint()
+	if err != nil || n > uint64(len(c.b)) {
+		return IngestAck{}, ErrMalformed
+	}
+	if n > 0 {
+		a.Rejected = make([]uint32, 0, n)
+		for i := uint64(0); i < n; i++ {
+			r, err := c.u32()
+			if err != nil {
+				return IngestAck{}, err
+			}
+			a.Rejected = append(a.Rejected, r)
+		}
+	}
+	if a.RetryAfterMillis, err = c.u32(); err != nil {
+		return IngestAck{}, err
+	}
+	if a.Err, err = c.str(); err != nil {
+		return IngestAck{}, err
+	}
+	return a, c.done()
+}
+
+// ParseSync decodes a Sync payload.
+func ParseSync(p []byte) (Sync, error) {
+	c := cursor{p}
+	seq, err := c.uvarint()
+	if err != nil {
+		return Sync{}, err
+	}
+	flush, err := c.byte()
+	if err != nil || flush > 1 {
+		return Sync{}, ErrMalformed
+	}
+	return Sync{Seq: seq, Flush: flush == 1}, c.done()
+}
+
+// ParseSyncAck decodes a SyncAck payload.
+func ParseSyncAck(p []byte) (SyncAck, error) {
+	c := cursor{p}
+	seq, err := c.uvarint()
+	if err != nil {
+		return SyncAck{}, err
+	}
+	msg, err := c.str()
+	if err != nil {
+		return SyncAck{}, err
+	}
+	return SyncAck{Seq: seq, Err: msg}, c.done()
+}
+
+// ParseQueryWindow decodes a QueryWindow payload. NaN bounds are
+// rejected (they would silently match nothing).
+func ParseQueryWindow(p []byte) (QueryWindow, error) {
+	c := cursor{p}
+	m := QueryWindow{}
+	var err error
+	if m.Seq, err = c.uvarint(); err != nil {
+		return QueryWindow{}, err
+	}
+	for _, f := range [4]*float64{&m.MinLon, &m.MinLat, &m.MaxLon, &m.MaxLat} {
+		if *f, err = c.f64(); err != nil {
+			return QueryWindow{}, err
+		}
+		if math.IsNaN(*f) {
+			return QueryWindow{}, ErrMalformed
+		}
+	}
+	if m.T0, err = c.u32(); err != nil {
+		return QueryWindow{}, err
+	}
+	if m.T1, err = c.u32(); err != nil {
+		return QueryWindow{}, err
+	}
+	return m, c.done()
+}
+
+// ParseQueryTime decodes a QueryTime payload.
+func ParseQueryTime(p []byte) (QueryTime, error) {
+	c := cursor{p}
+	m := QueryTime{}
+	var err error
+	if m.Seq, err = c.uvarint(); err != nil {
+		return QueryTime{}, err
+	}
+	if m.Device, err = c.str(); err != nil {
+		return QueryTime{}, err
+	}
+	if m.T0, err = c.u32(); err != nil {
+		return QueryTime{}, err
+	}
+	if m.T1, err = c.u32(); err != nil {
+		return QueryTime{}, err
+	}
+	return m, c.done()
+}
+
+// ParseQueryResp decodes a QueryResp payload.
+func ParseQueryResp(p []byte) (QueryResp, error) {
+	c := cursor{p}
+	m := QueryResp{}
+	var err error
+	if m.Seq, err = c.uvarint(); err != nil {
+		return QueryResp{}, err
+	}
+	n, err := c.uvarint()
+	if err != nil || n > uint64(len(c.b)) {
+		return QueryResp{}, ErrMalformed
+	}
+	if n > 0 {
+		m.Records = make([]trajstore.PersistedRecord, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var r trajstore.PersistedRecord
+		if r.Device, err = c.str(); err != nil {
+			return QueryResp{}, err
+		}
+		if r.T0, err = c.u32(); err != nil {
+			return QueryResp{}, err
+		}
+		if r.T1, err = c.u32(); err != nil {
+			return QueryResp{}, err
+		}
+		if r.Keys, err = c.keyBlock(); err != nil {
+			return QueryResp{}, err
+		}
+		m.Records = append(m.Records, r)
+	}
+	if m.Err, err = c.str(); err != nil {
+		return QueryResp{}, err
+	}
+	return m, c.done()
+}
+
+// ParseError decodes an ErrorMsg payload.
+func ParseError(p []byte) (ErrorMsg, error) {
+	c := cursor{p}
+	msg, err := c.str()
+	if err != nil {
+		return ErrorMsg{}, err
+	}
+	return ErrorMsg{Err: msg}, c.done()
+}

@@ -1,0 +1,235 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/trajstore"
+)
+
+func testKeys(n int) []trajstore.GeoKey {
+	keys := make([]trajstore.GeoKey, n)
+	for i := range keys {
+		keys[i] = trajstore.GeoKey{
+			Lat: 39.9 + float64(i)*0.0011,
+			Lon: 116.3 - float64(i)*0.0007,
+			T:   1000 + uint32(i)*30,
+		}
+	}
+	return keys
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {0x42}, bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		typ, got, s, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		scratch = s
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type = %#x, want %#x", i, typ, i+1)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+	if _, _, _, err := ReadFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	if err := WriteFrame(io.Discard, TypeIngest, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized write: err = %v, want ErrFrameTooBig", err)
+	}
+
+	// Oversized length prefix must be rejected before allocating.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, _, _, err := ReadFrame(bytes.NewReader(hdr[:]), nil); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized read: err = %v, want ErrFrameTooBig", err)
+	}
+
+	// Zero-length frame (no type byte) is malformed.
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, _, _, err := ReadFrame(bytes.NewReader(hdr[:]), nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-length read: err = %v, want ErrMalformed", err)
+	}
+
+	// Truncated body is an unexpected EOF, not a clean one.
+	binary.LittleEndian.PutUint32(hdr[:], 10)
+	if _, _, _, err := ReadFrame(bytes.NewReader(append(hdr[:], 1, 2, 3)), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated read: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	keys := testKeys(12)
+
+	t.Run("hello", func(t *testing.T) {
+		in := Hello{Version: Version, Tenant: "fleet-a"}
+		out, err := ParseHello(AppendHello(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v, %v; want %+v", out, err, in)
+		}
+	})
+	t.Run("helloAck", func(t *testing.T) {
+		in := HelloAck{Version: Version, Err: "bad tenant"}
+		out, err := ParseHelloAck(AppendHelloAck(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v, %v; want %+v", out, err, in)
+		}
+	})
+	t.Run("ingest", func(t *testing.T) {
+		in := Ingest{Seq: 7, Batches: []DeviceBatch{
+			{Device: "bus-001", Keys: keys},
+			{Device: "bus-002", Keys: keys[:1]},
+		}}
+		p, err := AppendIngest(nil, in)
+		if err != nil {
+			t.Fatalf("AppendIngest: %v", err)
+		}
+		out, err := ParseIngest(p)
+		if err != nil {
+			t.Fatalf("ParseIngest: %v", err)
+		}
+		if out.Seq != in.Seq || len(out.Batches) != len(in.Batches) {
+			t.Fatalf("got %+v", out)
+		}
+		for i := range in.Batches {
+			if out.Batches[i].Device != in.Batches[i].Device {
+				t.Fatalf("batch %d device %q", i, out.Batches[i].Device)
+			}
+			assertKeysEqual(t, out.Batches[i].Keys, in.Batches[i].Keys)
+		}
+	})
+	t.Run("ingestAck", func(t *testing.T) {
+		in := IngestAck{Seq: 7, Accepted: 12, Rejected: []uint32{1, 3}, RetryAfterMillis: 50, Err: "disk on fire"}
+		out, err := ParseIngestAck(AppendIngestAck(nil, in))
+		if err != nil || !reflect.DeepEqual(out, in) {
+			t.Fatalf("got %+v, %v; want %+v", out, err, in)
+		}
+		// Empty Rejected decodes to nil, not []uint32{}.
+		in2 := IngestAck{Seq: 1, Accepted: 5}
+		out2, err := ParseIngestAck(AppendIngestAck(nil, in2))
+		if err != nil || !reflect.DeepEqual(out2, in2) {
+			t.Fatalf("got %+v, %v; want %+v", out2, err, in2)
+		}
+	})
+	t.Run("sync", func(t *testing.T) {
+		for _, flush := range []bool{false, true} {
+			in := Sync{Seq: 9, Flush: flush}
+			out, err := ParseSync(AppendSync(nil, in))
+			if err != nil || out != in {
+				t.Fatalf("got %+v, %v; want %+v", out, err, in)
+			}
+		}
+	})
+	t.Run("syncAck", func(t *testing.T) {
+		in := SyncAck{Seq: 9, Err: "sync: EIO"}
+		out, err := ParseSyncAck(AppendSyncAck(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v, %v; want %+v", out, err, in)
+		}
+	})
+	t.Run("queryWindow", func(t *testing.T) {
+		in := QueryWindow{Seq: 3, MinLon: 116.2, MinLat: 39.8, MaxLon: 116.5, MaxLat: 40.1, T0: 100, T1: 9000}
+		out, err := ParseQueryWindow(AppendQueryWindow(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v, %v; want %+v", out, err, in)
+		}
+	})
+	t.Run("queryTime", func(t *testing.T) {
+		in := QueryTime{Seq: 4, Device: "bus-001", T0: 0, T1: 1 << 30}
+		out, err := ParseQueryTime(AppendQueryTime(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v, %v; want %+v", out, err, in)
+		}
+	})
+	t.Run("queryResp", func(t *testing.T) {
+		in := QueryResp{Seq: 4, Records: []trajstore.PersistedRecord{
+			{Device: "bus-001", T0: 1000, T1: 1330, Keys: keys[:4]},
+			{Device: "bus-002", T0: 2000, T1: 2000, Keys: keys[:1]},
+		}}
+		p, err := AppendQueryResp(nil, in)
+		if err != nil {
+			t.Fatalf("AppendQueryResp: %v", err)
+		}
+		out, err := ParseQueryResp(p)
+		if err != nil {
+			t.Fatalf("ParseQueryResp: %v", err)
+		}
+		if out.Seq != in.Seq || out.Err != "" || len(out.Records) != 2 {
+			t.Fatalf("got %+v", out)
+		}
+		for i := range in.Records {
+			g, w := out.Records[i], in.Records[i]
+			if g.Device != w.Device || g.T0 != w.T0 || g.T1 != w.T1 {
+				t.Fatalf("record %d: got %+v, want %+v", i, g, w)
+			}
+			assertKeysEqual(t, g.Keys, w.Keys)
+		}
+	})
+	t.Run("error", func(t *testing.T) {
+		in := ErrorMsg{Err: "protocol violation"}
+		out, err := ParseError(AppendError(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v, %v; want %+v", out, err, in)
+		}
+	})
+}
+
+// assertKeysEqual compares at wire resolution: encoding quantizes
+// coordinates, so compare re-encoded blocks.
+func assertKeysEqual(t *testing.T, got, want []trajstore.GeoKey) {
+	t.Helper()
+	g, err1 := trajstore.DeltaEncode(got)
+	w, err2 := trajstore.DeltaEncode(want)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("re-encode: %v, %v", err1, err2)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatalf("key blocks differ: %d vs %d keys", len(got), len(want))
+	}
+}
+
+func TestParseRejectsTrailingGarbage(t *testing.T) {
+	p := AppendSync(nil, Sync{Seq: 1, Flush: true})
+	if _, err := ParseSync(append(p, 0xFF)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing garbage: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestParseIngestRejectsHugeCount(t *testing.T) {
+	// A batch count far beyond the payload length must fail before any
+	// large allocation.
+	p := binary.AppendUvarint(nil, 1)  // seq
+	p = binary.AppendUvarint(p, 1<<40) // absurd batch count
+	if _, err := ParseIngest(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("huge count: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestParseQueryWindowRejectsNaN(t *testing.T) {
+	in := QueryWindow{Seq: 1, MinLon: 1, MinLat: 2, MaxLon: 3, MaxLat: 4, T0: 0, T1: 10}
+	p := AppendQueryWindow(nil, in)
+	// MinLon float64 starts right after the 1-byte seq varint.
+	for i := 1; i < 9; i++ {
+		p[i] = 0xFF // quiet NaN pattern
+	}
+	if _, err := ParseQueryWindow(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("NaN bound: err = %v, want ErrMalformed", err)
+	}
+}

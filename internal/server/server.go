@@ -1,0 +1,451 @@
+// Package server puts the durable sharded ingestion engine behind a
+// TCP listener speaking the proto frame protocol: batched fix frames
+// in, ack/reject frames out, plus spatio-temporal window and per-device
+// time-range queries answered from the segment log.
+//
+// Each tenant named in a connection's Hello maps to its own engine and
+// sharded-log directory under Config.Dir, opened lazily on first use
+// and flock-guarded by the log itself. Ingest uses the engine's
+// non-blocking TryIngest: a device batch that lands on a full shard
+// queue is rejected in the ack with a retry-after hint — the server
+// never buffers rejected fixes and never blocks a connection goroutine
+// on a wedged persister, so accept/drain liveness does not depend on
+// disk health.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/engine"
+	"github.com/trajcomp/bqs/internal/proto"
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+const (
+	// DefaultRetryAfter is the base backpressure retry hint; the hint
+	// scales up to 2x with the worst shard queue's occupancy.
+	DefaultRetryAfter = 50 * time.Millisecond
+	// DefaultDrainTimeout bounds how long Shutdown waits for in-flight
+	// connections before force-closing them.
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// tenantName admits one path component: no separators, no dot-prefixed
+// names (which also excludes "." and ".."), bounded length.
+var tenantName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dir is the root data directory; tenant <name> lives in Dir/<name>.
+	Dir string
+	// Engine is the per-tenant engine template. Persister and Shards
+	// are overridden per tenant (the log's persisted shard count is
+	// authoritative); everything else applies as-is.
+	Engine engine.Config
+	// Log is the per-tenant segment-log options template.
+	Log segmentlog.Options
+	// RetryAfter is the base retry hint attached to backpressure
+	// rejections. Default DefaultRetryAfter.
+	RetryAfter time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight connections.
+	// Default DefaultDrainTimeout.
+	DrainTimeout time.Duration
+}
+
+// tenantLog is the slice of segmentlog.ShardedLog the server consumes;
+// tests substitute it via openLog to wedge persistence.
+type tenantLog interface {
+	trajstore.Persister
+	NumShards() int
+	Query(device string, t0, t1 uint32) ([]trajstore.PersistedRecord, error)
+	QueryWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]trajstore.PersistedRecord, error)
+	CompactNow() error
+}
+
+// openLog is the tenant-storage constructor; a test hook.
+var openLog = func(dir string, shards int, opts segmentlog.Options) (tenantLog, error) {
+	return segmentlog.OpenSharded(dir, shards, opts)
+}
+
+// tenant is one namespace: engine + log, opened at most once.
+type tenant struct {
+	name string
+	once sync.Once
+	eng  *engine.Engine
+	log  tenantLog
+	err  error
+}
+
+// Server serves the bqsd protocol over a listener.
+type Server struct {
+	cfg     Config
+	mPerDeg float64
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	conns   map[net.Conn]struct{}
+	ln      net.Listener
+	closed  bool
+	closing chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New validates cfg and builds a Server. The engine template must carry
+// a positive Tolerance — failing here beats failing on every Hello.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("server: Config.Dir is required")
+	}
+	if !(cfg.Engine.Tolerance > 0) {
+		return nil, errors.New("server: Config.Engine.Tolerance must be positive")
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	m := cfg.Engine.MetersPerDegree
+	if m == 0 {
+		m = 1e5 // mirror the engine's default so wire→metric inverts persist exactly
+	}
+	return &Server{
+		cfg:     cfg,
+		mPerDeg: m,
+		tenants: make(map[string]*tenant),
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts connections on ln until Shutdown or a listener error.
+// After Shutdown it returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// tenant returns the namespace for name, opening engine + log on first
+// use. The open runs outside s.mu (directory recovery can be slow);
+// concurrent Hellos for the same tenant serialize on the tenant's once.
+func (s *Server) tenant(name string) (*tenant, error) {
+	if !tenantName.MatchString(name) {
+		return nil, fmt.Errorf("server: invalid tenant name %q", name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenant{name: name}
+		s.tenants[name] = t
+	}
+	s.mu.Unlock()
+	t.once.Do(func() { t.open(s) })
+	return t, t.err
+}
+
+func (t *tenant) open(s *Server) {
+	lg, err := openLog(filepath.Join(s.cfg.Dir, t.name), s.cfg.Engine.Shards, s.cfg.Log)
+	if err != nil {
+		t.err = fmt.Errorf("server: open tenant %q: %w", t.name, err)
+		return
+	}
+	ec := s.cfg.Engine
+	ec.Shards = lg.NumShards() // the log's persisted count is authoritative
+	ec.Persister = lg
+	eng, err := engine.New(ec)
+	if err != nil {
+		lg.Close()
+		t.err = fmt.Errorf("server: engine for tenant %q: %w", t.name, err)
+		return
+	}
+	t.eng, t.log = eng, lg
+}
+
+// retryMillis derives the backpressure hint: the base interval, scaled
+// up to 2x by the worst shard queue's occupancy so a nearly-drained
+// queue invites a quick retry and a pinned one backs clients off.
+func (s *Server) retryMillis(eng *engine.Engine) uint32 {
+	d := s.cfg.RetryAfter
+	d += time.Duration(float64(d) * eng.QueueStats().Fullness())
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return uint32(ms)
+}
+
+// Shutdown drains and closes the server: stop accepting, abort idle
+// connection reads, wait up to DrainTimeout for handlers, then flush
+// sessions, sync, run a final compaction and close every tenant. Safe
+// to call once; later calls return nil immediately.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Unpark readers waiting for the next frame; a response already
+	// being written still goes out (the deadline only covers reads).
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	// Tenants close in name order for deterministic error joining.
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	var errs []error
+	for _, t := range ts {
+		if t.eng == nil {
+			continue
+		}
+		fail := func(op string, err error) {
+			if err != nil {
+				errs = append(errs, fmt.Errorf("tenant %q: %s: %w", t.name, op, err))
+			}
+		}
+		fail("flush", t.eng.FlushSessions())
+		fail("sync", t.eng.Sync())
+		fail("compact", t.eng.CompactNow())
+		fail("close", t.eng.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// handleConn owns one connection: Hello handshake, then a strict
+// request/response loop. Any protocol violation gets an Error frame and
+// the connection is dropped — resynchronizing a byte stream after a
+// framing error is guesswork.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	var buf, out []byte
+	typ, payload, buf, err := proto.ReadFrame(conn, buf)
+	if err != nil {
+		return
+	}
+	if typ != proto.TypeHello {
+		s.sendError(conn, "expected Hello")
+		return
+	}
+	h, err := proto.ParseHello(payload)
+	if err != nil {
+		s.sendError(conn, err.Error())
+		return
+	}
+	ack := proto.HelloAck{Version: proto.Version}
+	var tn *tenant
+	if h.Version != proto.Version {
+		ack.Err = fmt.Sprintf("unsupported protocol version %d (want %d)", h.Version, proto.Version)
+	} else if tn, err = s.tenant(h.Tenant); err != nil {
+		ack.Err = err.Error()
+	}
+	if err := proto.WriteFrame(conn, proto.TypeHelloAck, proto.AppendHelloAck(out[:0], ack)); err != nil || ack.Err != "" {
+		return
+	}
+
+	var fixes []engine.Fix
+	for {
+		typ, payload, buf, err = proto.ReadFrame(conn, buf)
+		if err != nil {
+			return // EOF, drain deadline, or garbage framing — all terminal
+		}
+		switch typ {
+		case proto.TypeIngest:
+			m, perr := proto.ParseIngest(payload)
+			if perr != nil {
+				s.sendError(conn, perr.Error())
+				return
+			}
+			ack := s.ingest(tn, m, &fixes)
+			out = proto.AppendIngestAck(out[:0], ack)
+			if err := proto.WriteFrame(conn, proto.TypeIngestAck, out); err != nil {
+				return
+			}
+		case proto.TypeSync:
+			m, perr := proto.ParseSync(payload)
+			if perr != nil {
+				s.sendError(conn, perr.Error())
+				return
+			}
+			ack := proto.SyncAck{Seq: m.Seq}
+			serr := error(nil)
+			if m.Flush {
+				serr = tn.eng.FlushSessions()
+			}
+			if serr == nil {
+				serr = tn.eng.Sync()
+			}
+			if serr != nil {
+				ack.Err = serr.Error()
+			}
+			out = proto.AppendSyncAck(out[:0], ack)
+			if err := proto.WriteFrame(conn, proto.TypeSyncAck, out); err != nil {
+				return
+			}
+		case proto.TypeQueryWindow:
+			q, perr := proto.ParseQueryWindow(payload)
+			if perr != nil {
+				s.sendError(conn, perr.Error())
+				return
+			}
+			recs, qerr := tn.log.QueryWindow(q.MinLon, q.MinLat, q.MaxLon, q.MaxLat, q.T0, q.T1)
+			if !s.sendQueryResp(conn, q.Seq, recs, qerr, &out) {
+				return
+			}
+		case proto.TypeQueryTime:
+			q, perr := proto.ParseQueryTime(payload)
+			if perr != nil {
+				s.sendError(conn, perr.Error())
+				return
+			}
+			recs, qerr := tn.log.Query(q.Device, q.T0, q.T1)
+			if !s.sendQueryResp(conn, q.Seq, recs, qerr, &out) {
+				return
+			}
+		default:
+			s.sendError(conn, fmt.Sprintf("unexpected frame type %#x", typ))
+			return
+		}
+	}
+}
+
+// ingest runs one Ingest frame through TryIngest batch by batch. A
+// device maps to exactly one shard, so each batch is accepted or
+// rejected whole; rejected indices plus a retry hint go back in the
+// ack. A latched persist error rides in ack.Err even when every batch
+// was accepted — the client learns the backend is sick now, not at the
+// next Sync barrier.
+func (s *Server) ingest(tn *tenant, m proto.Ingest, fixes *[]engine.Fix) proto.IngestAck {
+	ack := proto.IngestAck{Seq: m.Seq}
+	for i, b := range m.Batches {
+		fx := (*fixes)[:0]
+		for _, k := range b.Keys {
+			fx = append(fx, engine.Fix{Device: b.Device, Point: core.Point{
+				X: k.Lon * s.mPerDeg,
+				Y: k.Lat * s.mPerDeg,
+				T: float64(k.T),
+			}})
+		}
+		*fixes = fx
+		n, err := tn.eng.TryIngest(fx)
+		ack.Accepted += uint64(n)
+		switch {
+		case err == nil:
+		case errors.Is(err, engine.ErrBackpressure):
+			ack.Rejected = append(ack.Rejected, uint32(i))
+		default:
+			ack.Err = err.Error() // latched persist error or engine closed
+		}
+	}
+	if len(ack.Rejected) > 0 {
+		ack.RetryAfterMillis = s.retryMillis(tn.eng)
+	}
+	if ack.Err == "" {
+		if perr := tn.eng.Err(); perr != nil {
+			ack.Err = perr.Error()
+		}
+	}
+	return ack
+}
+
+// sendQueryResp writes a QueryResp, downgrading unencodable or
+// oversized results to an in-band error. Returns false when the
+// connection is dead.
+func (s *Server) sendQueryResp(conn net.Conn, seq uint64, recs []trajstore.PersistedRecord, qerr error, out *[]byte) bool {
+	resp := proto.QueryResp{Seq: seq, Records: recs}
+	if qerr != nil {
+		resp = proto.QueryResp{Seq: seq, Err: qerr.Error()}
+	}
+	p, err := proto.AppendQueryResp((*out)[:0], resp)
+	if err == nil && len(p)+1 > proto.MaxFrame {
+		err = proto.ErrFrameTooBig
+	}
+	if err != nil {
+		resp = proto.QueryResp{Seq: seq, Err: fmt.Sprintf("result not sendable (%d records): %v — narrow the window", len(recs), err)}
+		p, _ = proto.AppendQueryResp((*out)[:0], resp)
+	}
+	*out = p
+	return proto.WriteFrame(conn, proto.TypeQueryResp, p) == nil
+}
+
+func (s *Server) sendError(conn net.Conn, msg string) {
+	_ = proto.WriteFrame(conn, proto.TypeError, proto.AppendError(nil, proto.ErrorMsg{Err: msg}))
+}

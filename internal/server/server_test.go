@@ -1,0 +1,525 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trajcomp/bqs/internal/core"
+	"github.com/trajcomp/bqs/internal/engine"
+	"github.com/trajcomp/bqs/internal/proto"
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+)
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Shutdown() })
+	return s, ln.Addr().String()
+}
+
+// quant snaps a degree coordinate to the wire format's 1e-7 grid, so a
+// key fed to the direct engine matches what the server decodes.
+func quant(v float64) float64 { return math.Round(v*1e7) / 1e7 }
+
+// track builds a zigzag device trajectory — ~550 m forward per fix
+// with a ~400 m lateral flip — so at small tolerances every fix is a
+// key point (a straight line would compress to its endpoints and never
+// grow a persistable trail). The device index offsets the path so
+// devices do not overlap.
+func track(dev, n int) []trajstore.GeoKey {
+	keys := make([]trajstore.GeoKey, n)
+	base := float64(dev) * 0.1
+	for i := range keys {
+		keys[i] = trajstore.GeoKey{
+			Lat: quant(base + float64(i%2)*0.004),
+			Lon: quant(base + float64(i)*0.0055),
+			T:   1000 + uint32(i)*30,
+		}
+	}
+	return keys
+}
+
+// toFixes converts wire keys to engine fixes exactly as the server
+// does.
+func toFixes(device string, keys []trajstore.GeoKey, mPerDeg float64) []engine.Fix {
+	fixes := make([]engine.Fix, len(keys))
+	for i, k := range keys {
+		fixes[i] = engine.Fix{Device: device, Point: core.Point{
+			X: k.Lon * mPerDeg, Y: k.Lat * mPerDeg, T: float64(k.T),
+		}}
+	}
+	return fixes
+}
+
+// TestLoopbackDifferential is the acceptance test: fixes streamed
+// through the server must land in the tenant's segment log byte-
+// identical — at wire resolution — to the same fixes pushed through
+// Engine.Ingest directly.
+func TestLoopbackDifferential(t *testing.T) {
+	ecfg := engine.Config{Tolerance: 2, Shards: 2, MaxTrailKeys: 16}
+	_, addr := startServer(t, Config{Dir: t.TempDir(), Engine: ecfg})
+	c, err := Dial(addr, "fleet")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	const devices, perDevice, chunks = 6, 120, 3
+	tracks := make([][]trajstore.GeoKey, devices)
+	for d := range tracks {
+		tracks[d] = track(d, perDevice)
+	}
+
+	// Direct path: same engine config persisting into its own log.
+	lg, err := segmentlog.OpenSharded(t.TempDir(), ecfg.Shards, segmentlog.Options{})
+	if err != nil {
+		t.Fatalf("open direct log: %v", err)
+	}
+	dcfg := ecfg
+	dcfg.Shards = lg.NumShards()
+	dcfg.Persister = lg
+	eng, err := engine.New(dcfg)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	defer eng.Close()
+
+	// Stream both paths in the same chunked order.
+	per := perDevice / chunks
+	for chunk := 0; chunk < chunks; chunk++ {
+		batches := make([]proto.DeviceBatch, 0, devices)
+		var fixes []engine.Fix
+		for d := range tracks {
+			part := tracks[d][chunk*per : (chunk+1)*per]
+			dev := fmt.Sprintf("dev-%03d", d)
+			batches = append(batches, proto.DeviceBatch{Device: dev, Keys: part})
+			fixes = append(fixes, toFixes(dev, part, 1e5)...)
+		}
+		if _, err := c.IngestAll(batches, 20); err != nil {
+			t.Fatalf("chunk %d: IngestAll: %v", chunk, err)
+		}
+		if err := eng.Ingest(fixes); err != nil {
+			t.Fatalf("chunk %d: direct Ingest: %v", chunk, err)
+		}
+	}
+	if err := c.Sync(true); err != nil {
+		t.Fatalf("client Sync(flush): %v", err)
+	}
+	if err := eng.FlushSessions(); err != nil {
+		t.Fatalf("direct FlushSessions: %v", err)
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatalf("direct Sync: %v", err)
+	}
+
+	for d := 0; d < devices; d++ {
+		dev := fmt.Sprintf("dev-%03d", d)
+		sRecs, err := c.QueryTime(dev, 0, math.MaxUint32)
+		if err != nil {
+			t.Fatalf("%s: server QueryTime: %v", dev, err)
+		}
+		dRecs, err := lg.Query(dev, 0, math.MaxUint32)
+		if err != nil {
+			t.Fatalf("%s: direct Query: %v", dev, err)
+		}
+		assertRecordsIdentical(t, dev, sRecs, dRecs)
+	}
+
+	// Window queries must agree too (both paths prune + decode the
+	// same persisted bytes).
+	sW, err := c.QueryWindow(-0.5, -0.5, 0.25, 0.25, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatalf("server QueryWindow: %v", err)
+	}
+	dW, err := lg.QueryWindow(-0.5, -0.5, 0.25, 0.25, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatalf("direct QueryWindow: %v", err)
+	}
+	if len(sW) == 0 {
+		t.Fatal("window query returned nothing; widen the test window")
+	}
+	byDev := func(recs []trajstore.PersistedRecord) map[string][]trajstore.PersistedRecord {
+		m := make(map[string][]trajstore.PersistedRecord)
+		for _, r := range recs {
+			m[r.Device] = append(m[r.Device], r)
+		}
+		return m
+	}
+	sM, dM := byDev(sW), byDev(dW)
+	if len(sM) != len(dM) {
+		t.Fatalf("window devices differ: server %d, direct %d", len(sM), len(dM))
+	}
+	for dev, sr := range sM {
+		assertRecordsIdentical(t, "window:"+dev, sr, dM[dev])
+	}
+}
+
+func assertRecordsIdentical(t *testing.T, label string, got, want []trajstore.PersistedRecord) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records via server, %d direct", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.T0 != w.T0 || g.T1 != w.T1 {
+			t.Fatalf("%s record %d: time span [%d,%d] vs [%d,%d]", label, i, g.T0, g.T1, w.T0, w.T1)
+		}
+		gb, err1 := trajstore.DeltaEncode(g.Keys)
+		wb, err2 := trajstore.DeltaEncode(w.Keys)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s record %d: re-encode: %v, %v", label, i, err1, err2)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("%s record %d: wire bytes differ (%d vs %d keys)", label, i, len(g.Keys), len(w.Keys))
+		}
+	}
+}
+
+// wedgeLog wraps the real sharded log with a parkable Append, driving
+// the server's persist path into the stuck-disk regime.
+type wedgeLog struct {
+	tenantLog
+	mu      sync.Mutex
+	wedged  chan struct{} // nil = pass through; non-nil = park until closed
+	entered chan struct{} // signaled once per parked Append
+	err     error         // returned by Append after release
+}
+
+func (w *wedgeLog) Append(device string, keys []trajstore.GeoKey) error {
+	w.mu.Lock()
+	wedged, entered, aerr := w.wedged, w.entered, w.err
+	w.mu.Unlock()
+	if wedged != nil {
+		if entered != nil {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+		}
+		<-wedged
+		w.mu.Lock()
+		aerr = w.err
+		w.mu.Unlock()
+	}
+	if aerr != nil {
+		return aerr
+	}
+	return w.tenantLog.Append(device, keys)
+}
+
+func (w *wedgeLog) releaseWith(err error) {
+	w.mu.Lock()
+	wedged := w.wedged
+	w.wedged, w.err = nil, err
+	w.mu.Unlock()
+	if wedged != nil {
+		close(wedged)
+	}
+}
+
+// hookOpenLog reroutes tenant opens through fn for the test's duration.
+func hookOpenLog(t *testing.T, fn func(tenantLog) tenantLog) {
+	t.Helper()
+	orig := openLog
+	openLog = func(dir string, shards int, opts segmentlog.Options) (tenantLog, error) {
+		lg, err := orig(dir, shards, opts)
+		if err != nil {
+			return nil, err
+		}
+		return fn(lg), nil
+	}
+	t.Cleanup(func() { openLog = orig })
+}
+
+var errDiskFire = errors.New("append: disk on fire")
+
+// TestOverloadBackpressureAndDrain is the second acceptance test:
+// under a wedged persister, ingest frames are rejected with a
+// retry-after hint (never buffered), and Shutdown's drain completes —
+// returning the latched error — once the wedge resolves.
+func TestOverloadBackpressureAndDrain(t *testing.T) {
+	wl := &wedgeLog{wedged: make(chan struct{}), entered: make(chan struct{}, 1)}
+	hookOpenLog(t, func(inner tenantLog) tenantLog {
+		wl.tenantLog = inner
+		return wl
+	})
+	srv, addr := startServer(t, Config{
+		Dir: t.TempDir(),
+		// One shard, queue depth 1, chunk at 2 trail keys: the first
+		// batch parks the worker inside Append, the second fills the
+		// queue, the third must bounce.
+		Engine:       engine.Config{Tolerance: 1, Shards: 1, QueueDepth: 1, MaxTrailKeys: 2},
+		RetryAfter:   20 * time.Millisecond,
+		DrainTimeout: 200 * time.Millisecond,
+	})
+	c, err := Dial(addr, "hot")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// 12 jumpy fixes per frame: plenty of confirmed key points, so the
+	// 2-key trail cap forces a persist while the batch is processed.
+	batch := func(int) []proto.DeviceBatch {
+		return []proto.DeviceBatch{{Device: "d0", Keys: track(0, 12)}}
+	}
+	if ack, err := c.Ingest(batch(0)); err != nil || len(ack.Rejected) != 0 {
+		t.Fatalf("batch 0: ack %+v, err %v", ack, err)
+	}
+	<-wl.entered // worker is parked inside Append now
+	if ack, err := c.Ingest(batch(1)); err != nil || len(ack.Rejected) != 0 {
+		t.Fatalf("batch 1 (fills queue): ack %+v, err %v", ack, err)
+	}
+
+	// Everything past the full queue must bounce with a hint, forever,
+	// without growing any buffer.
+	for i := 2; i < 6; i++ {
+		ack, err := c.Ingest(batch(i))
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if ack.Accepted != 0 || len(ack.Rejected) != 1 || ack.Rejected[0] != 0 {
+			t.Fatalf("batch %d: want whole-batch rejection, got %+v", i, ack)
+		}
+		if ack.RetryAfterMillis < 20 {
+			t.Fatalf("batch %d: RetryAfterMillis = %d, want >= base 20", i, ack.RetryAfterMillis)
+		}
+	}
+
+	// Drain begins while the persister is still wedged…
+	shut := make(chan error, 1)
+	go func() { shut <- srv.Shutdown() }()
+	select {
+	case err := <-shut:
+		t.Fatalf("Shutdown returned %v while persister wedged", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// …and completes once the disk resolves (here: to a hard error),
+	// surfacing that error from the drain.
+	wl.releaseWith(errDiskFire)
+	select {
+	case err := <-shut:
+		if err == nil || !strings.Contains(err.Error(), errDiskFire.Error()) {
+			t.Fatalf("Shutdown error = %v, want it to carry %v", err, errDiskFire)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not complete after wedge released")
+	}
+}
+
+// TestPersistErrorSurfacesInAck covers the mid-batch latched error: a
+// failing backend must show up in ingest acks (and Sync) without
+// waiting for Close.
+func TestPersistErrorSurfacesInAck(t *testing.T) {
+	wl := &wedgeLog{err: errDiskFire}
+	hookOpenLog(t, func(inner tenantLog) tenantLog {
+		wl.tenantLog = inner
+		return wl
+	})
+	_, addr := startServer(t, Config{
+		Dir:    t.TempDir(),
+		Engine: engine.Config{Tolerance: 1, Shards: 1, MaxTrailKeys: 2},
+	})
+	c, err := Dial(addr, "sick")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// The worker persists asynchronously; keep feeding small batches
+	// until the latched error propagates into an ack.
+	deadline := time.After(5 * time.Second)
+	for i := 0; ; i++ {
+		ack, err := c.Ingest([]proto.DeviceBatch{{Device: "d0", Keys: track(0, 12)}})
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		if ack.Err != "" {
+			if !strings.Contains(ack.Err, errDiskFire.Error()) {
+				t.Fatalf("ack.Err = %q, want it to carry %v", ack.Err, errDiskFire)
+			}
+			if ack.Accepted == 0 {
+				t.Fatalf("ingest %d: error ack should still report accepted fixes, got %+v", i, ack)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("persist error never surfaced in an ack")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if err := c.Sync(false); err == nil || !strings.Contains(err.Error(), errDiskFire.Error()) {
+		t.Fatalf("Sync error = %v, want it to carry %v", err, errDiskFire)
+	}
+}
+
+func TestTenantIsolationAndValidation(t *testing.T) {
+	dir := t.TempDir()
+	_, addr := startServer(t, Config{Dir: dir, Engine: engine.Config{Tolerance: 2, Shards: 1}})
+
+	ca, err := Dial(addr, "alpha")
+	if err != nil {
+		t.Fatalf("dial alpha: %v", err)
+	}
+	defer ca.Close()
+	cb, err := Dial(addr, "beta")
+	if err != nil {
+		t.Fatalf("dial beta: %v", err)
+	}
+	defer cb.Close()
+
+	if _, err := ca.IngestAll([]proto.DeviceBatch{{Device: "shared-id", Keys: track(1, 30)}}, 10); err != nil {
+		t.Fatalf("alpha ingest: %v", err)
+	}
+	if err := ca.Sync(true); err != nil {
+		t.Fatalf("alpha sync: %v", err)
+	}
+	recs, err := ca.QueryTime("shared-id", 0, math.MaxUint32)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("alpha sees %d records, err %v; want >= 1", len(recs), err)
+	}
+	recs, err = cb.QueryTime("shared-id", 0, math.MaxUint32)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("beta sees %d records, err %v; want 0 (tenant bleed)", len(recs), err)
+	}
+
+	// Tenant state is real directories, one per namespace.
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := os.Stat(filepath.Join(dir, name, "SHARDS")); err != nil {
+			t.Fatalf("tenant %q has no sharded log: %v", name, err)
+		}
+	}
+
+	// Traversal and junk names never reach the filesystem.
+	for _, bad := range []string{"", ".", "..", "../evil", "a/b", ".hidden", strings.Repeat("x", 65)} {
+		if _, err := Dial(addr, bad); err == nil {
+			t.Fatalf("tenant %q accepted", bad)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "evil")); !os.IsNotExist(err) {
+		t.Fatalf("traversal escaped the data dir: %v", err)
+	}
+}
+
+func TestHelloVersionMismatch(t *testing.T) {
+	_, addr := startServer(t, Config{Dir: t.TempDir(), Engine: engine.Config{Tolerance: 2, Shards: 1}})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	p := proto.AppendHello(nil, proto.Hello{Version: proto.Version + 9, Tenant: "x"})
+	if err := proto.WriteFrame(conn, proto.TypeHello, p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	typ, payload, _, err := proto.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if typ != proto.TypeHelloAck {
+		t.Fatalf("frame type %#x, want HelloAck", typ)
+	}
+	ack, err := proto.ParseHelloAck(payload)
+	if err != nil || ack.Err == "" {
+		t.Fatalf("ack %+v, err %v; want version rejection", ack, err)
+	}
+}
+
+func TestProtocolViolationGetsErrorFrame(t *testing.T) {
+	_, addr := startServer(t, Config{Dir: t.TempDir(), Engine: engine.Config{Tolerance: 2, Shards: 1}})
+	c, err := Dial(addr, "x")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	// A server-to-client frame type from the client is a violation.
+	if err := proto.WriteFrame(c.conn, proto.TypeHelloAck, nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	typ, payload, _, err := proto.ReadFrame(c.conn, nil)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if typ != proto.TypeError {
+		t.Fatalf("frame type %#x, want Error", typ)
+	}
+	if m, err := proto.ParseError(payload); err != nil || m.Err == "" {
+		t.Fatalf("error frame %+v, %v", m, err)
+	}
+}
+
+// TestServeAfterShutdown pins the ErrServerClosed contract.
+func TestServeAfterShutdown(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Engine: engine.Config{Tolerance: 1}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if err := s.Serve(ln); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve after Shutdown = %v, want ErrServerClosed", err)
+	}
+}
+
+// BenchmarkServerIngestLoopback measures the full wire path: encode,
+// TCP loopback, decode, TryIngest. SetBytes follows the repo's
+// convention of 24 bytes per fix.
+func BenchmarkServerIngestLoopback(b *testing.B) {
+	dir := b.TempDir()
+	s, err := New(Config{Dir: dir, Engine: engine.Config{Tolerance: 2, Shards: 1, QueueDepth: 4096}})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	go s.Serve(ln)
+	defer s.Shutdown()
+	c, err := Dial(ln.Addr().String(), "bench")
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	const devices, perDevice = 16, 64
+	batches := make([]proto.DeviceBatch, devices)
+	for d := range batches {
+		batches[d] = proto.DeviceBatch{Device: fmt.Sprintf("dev-%03d", d), Keys: track(d, perDevice)}
+	}
+	b.SetBytes(int64(devices * perDevice * 24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.IngestAll(batches, 50); err != nil {
+			b.Fatalf("IngestAll: %v", err)
+		}
+	}
+	b.StopTimer()
+	if err := c.Sync(false); err != nil {
+		b.Fatalf("Sync: %v", err)
+	}
+}
