@@ -52,6 +52,21 @@ var ErrLogLocked = segmentlog.ErrLocked
 // ErrLogReadOnly reports a mutating operation on a read-only log.
 var ErrLogReadOnly = segmentlog.ErrReadOnly
 
+// ErrDegraded reports that an engine is in degraded read-only mode: a
+// terminal persister failure (full disk, corrupt log) — or one that
+// outlived the EngineConfig.PersistRetry budget — means new fixes
+// cannot be made durable, so Ingest/TryIngest reject them while
+// queries keep answering. Match with errors.Is; the error wraps the
+// root cause. Engine.Heal re-arms ingestion once the fault is cleared,
+// re-appending the trajectories parked in memory meanwhile.
+var ErrDegraded = engine.ErrDegraded
+
+// PersistRetryPolicy bounds the engine's retry loop for transient
+// persister failures (I/O hiccups, timeouts); terminal failures and
+// exhausted retries degrade the engine instead. The zero value selects
+// the defaults. See engine.RetryPolicy.
+type PersistRetryPolicy = engine.RetryPolicy
+
 // ShardedSegmentLog is a segment log fanned out over per-shard
 // subdirectories, each a complete single log under its own MANIFEST; it
 // implements Persister and routes devices with the same hash the engine

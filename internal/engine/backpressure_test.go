@@ -300,9 +300,14 @@ func TestTryIngestSurfacesPersistError(t *testing.T) {
 	if err := e.Err(); !errors.Is(err, errPersistBoom) {
 		t.Fatalf("Err() = %v, want the persist failure", err)
 	}
-	// Accepted fixes still count even when the error rides along.
-	if n, err := e.TryIngest(batch); n != len(batch) || !errors.Is(err, errPersistBoom) {
-		t.Fatalf("TryIngest = (%d, %v), want (%d, persist failure)", n, err, len(batch))
+	// A terminal persist failure degrades the engine: further batches
+	// are rejected whole with a distinguishable ErrDegraded that still
+	// wraps the root cause.
+	if n, err := e.TryIngest(batch); n != 0 || !errors.Is(err, ErrDegraded) || !errors.Is(err, errPersistBoom) {
+		t.Fatalf("TryIngest while degraded = (%d, %v), want (0, ErrDegraded wrapping the cause)", n, err)
+	}
+	if !e.Degraded() {
+		t.Fatal("Degraded() = false after a terminal persist failure")
 	}
 	if err := e.Close(); !errors.Is(err, errPersistBoom) {
 		t.Fatalf("Close = %v, want the latched persist error", err)

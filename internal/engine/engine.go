@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,13 @@ type Config struct {
 	// and by Close if still standing. Zero disables periodic
 	// compaction; CompactNow remains available.
 	CompactInterval time.Duration
+	// PersistRetry bounds the retry loop applied to persister append
+	// failures that trajstore.TransientErr classifies as transient (I/O
+	// hiccups, timeouts, interrupted syscalls). Terminal failures — a
+	// full disk, corruption, anything unrecognized — and exhausted
+	// retries instead flip the engine into degraded mode (ErrDegraded).
+	// The zero value selects the defaults documented on RetryPolicy.
+	PersistRetry RetryPolicy
 	// MaxTrailKeys bounds the per-session key-point trail kept for
 	// persistence: a session that accumulates this many key points is
 	// chunked — the trail is persisted as a record and restarted from
@@ -94,8 +102,30 @@ type Config struct {
 	Clock func() time.Time
 }
 
+// RetryPolicy bounds the transient-persist-failure retry loop: up to
+// Max retries per append, sleeping an exponentially growing, jittered
+// delay that starts near BaseDelay and is capped at MaxDelay. Zero
+// fields take the defaults (4 retries, 10ms base, 500ms cap); Max < 0
+// disables retrying entirely — the first failure of any kind degrades
+// the engine.
+type RetryPolicy struct {
+	Max       int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
 // ErrClosed reports an operation on a closed engine.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrDegraded reports that the engine is in degraded read-only mode: a
+// terminal persister failure (or one that outlived the PersistRetry
+// budget) means new fixes cannot be made durable, so Ingest/TryIngest
+// reject them while queries keep answering from the data already
+// stored. Errors carrying it (match with errors.Is) wrap the root
+// cause. Heal re-arms ingestion once the fault is cleared; trajectory
+// trails that finalized while degraded are parked in memory and
+// re-appended then, so nothing accepted before the fault is lost.
+var ErrDegraded = errors.New("engine: degraded: persistence failing, ingest suspended (queries still served; call Heal after clearing the fault)")
 
 // ErrBackpressure reports that TryIngest found a shard queue full: the
 // engine is processing slower than fixes arrive (typically a persister
@@ -113,6 +143,7 @@ type Stats struct {
 	Fixes           uint64          // fixes accepted by Ingest
 	KeyPoints       uint64          // key points emitted by all sessions
 	Persisted       uint64          // finalized trajectories handed to the persister
+	ParkedTrails    uint64          // trajectories parked in memory by degraded mode, awaiting Heal
 	Store           trajstore.Stats // merged per-shard store statistics
 }
 
@@ -163,6 +194,14 @@ type Engine struct {
 	// persistErr latches the first asynchronous persister failure (shard
 	// workers append during eviction); Sync and Close surface it.
 	persistErr atomic.Pointer[error]
+	// degraded latches the composed ErrDegraded (wrapping the root
+	// cause) once a persist failure proves terminal or exhausts the
+	// retry budget. While set, Ingest/TryIngest reject new fixes and
+	// shard workers park finalized trails instead of appending them.
+	// Heal clears it after a successful persister probe.
+	degraded atomic.Pointer[error]
+	// retry is cfg.PersistRetry with defaults resolved by New.
+	retry RetryPolicy
 	// compactErr holds the most recent background-compaction failure.
 	// Unlike persistErr it does NOT poison Sync — a failed compaction
 	// pass leaves the published generation (and every durable record)
@@ -195,6 +234,15 @@ type shard struct {
 	store    *trajstore.Store
 	sessions map[string]*session
 
+	// parked holds finalized trajectories whose persister append failed
+	// terminally (degraded mode), in append order. They are retained so
+	// acked data survives the outage and re-appended by drainParked when
+	// Heal succeeds; order matters because a device's chunked records
+	// must land in trail order. Owned by this worker goroutine; parkedN
+	// mirrors len(parked) for the Stats reader.
+	parked  []parkedTrail
+	parkedN atomic.Uint64
+
 	// persist, when non-nil, is this shard's private slice of a sharded
 	// persister (trajstore.ShardedPersister with a shard count matching
 	// the engine's): both route devices through trajstore.ShardIndex, so
@@ -220,7 +268,15 @@ type shardMsg struct {
 	batch    *fixBatch
 	evict    bool
 	flushAll bool
+	drain    bool // re-append parked trails (Heal)
 	barrier  chan struct{}
+}
+
+// parkedTrail is one finalized trajectory held in memory while the
+// engine is degraded, awaiting re-append after Heal.
+type parkedTrail struct {
+	device string
+	keys   []trajstore.GeoKey
 }
 
 // fixBatch is a pooled per-shard staging buffer for Ingest.
@@ -291,10 +347,26 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxTrailKeys == 0 {
 		cfg.MaxTrailKeys = 8192
 	}
+	retry := cfg.PersistRetry
+	if retry.Max == 0 {
+		retry.Max = 4
+	}
+	if retry.Max < 0 {
+		retry.Max = 0 // explicit opt-out: no transient retries
+	}
+	if retry.BaseDelay <= 0 {
+		retry.BaseDelay = 10 * time.Millisecond
+	}
+	if retry.MaxDelay <= 0 {
+		retry.MaxDelay = 500 * time.Millisecond
+	}
+	if retry.MaxDelay < retry.BaseDelay {
+		retry.MaxDelay = retry.BaseDelay
+	}
 	e := &Engine{
 		cfg: cfg, clock: cfg.Clock, stores: stores,
 		persisting: cfg.Persister != nil, mPerDegree: cfg.MetersPerDegree,
-		closing: make(chan struct{}),
+		closing: make(chan struct{}), retry: retry,
 	}
 	stores.SetPersister(cfg.Persister)
 	if e.clock == nil {
@@ -449,7 +521,9 @@ func (e *Engine) scatterFixes(fixes []Fix) *scatter {
 // holding the engine lock, so a blocked Ingest never delays Close — and
 // returns ErrClosed after (or during) Close. Fixes already handed to a
 // shard before an ErrClosed abort are still processed by the shutdown
-// flush. TryIngest is the non-blocking variant.
+// flush. While the engine is degraded the batch is rejected whole with
+// an error matching ErrDegraded (new fixes could not be made durable).
+// TryIngest is the non-blocking variant.
 func (e *Engine) Ingest(fixes []Fix) error {
 	if len(fixes) == 0 {
 		return nil
@@ -458,6 +532,9 @@ func (e *Engine) Ingest(fixes []Fix) error {
 		return err
 	}
 	defer e.ingestWG.Done()
+	if derr := e.degradedErr(); derr != nil {
+		return derr
+	}
 	if len(e.shards) == 1 {
 		b := e.getBatch()
 		b.fixes = append(b.fixes, fixes...)
@@ -485,7 +562,9 @@ func (e *Engine) Ingest(fixes []Fix) error {
 // (per-shard granularity — a batch routed entirely to one shard is
 // accepted or rejected whole). It returns how many fixes were accepted
 // and ErrBackpressure when any were not; callers own retrying the
-// remainder after a backoff. A standing asynchronous persister failure
+// remainder after a backoff. A degraded engine (terminal persister
+// failure — see ErrDegraded) rejects the whole batch with an error
+// matching ErrDegraded, and a standing asynchronous persister failure
 // is returned in place of ErrBackpressure — before the Sync durability
 // barrier would surface it — so a caller streaming fixes learns the
 // backend is sick on the next call, not at the next checkpoint; calling
@@ -496,6 +575,9 @@ func (e *Engine) TryIngest(fixes []Fix) (accepted int, err error) {
 		return 0, err
 	}
 	defer e.ingestWG.Done()
+	if derr := e.degradedErr(); derr != nil {
+		return 0, derr
+	}
 	full := false
 	trySend := func(i int, b *fixBatch) {
 		select {
@@ -570,14 +652,31 @@ func (e *Engine) barrier(msg shardMsg) error {
 // Sync blocks until every fix ingested before the call has been fully
 // processed (compressed and stored). With a Persister configured it is
 // also the durability barrier: every trajectory finalized before the
-// call is on disk when Sync returns. Useful before reading Stats or the
-// stores in tests and benchmarks.
+// call is on disk when Sync returns. A degraded engine reports the
+// cause: the returned error matches ErrDegraded and wraps the persist
+// failure that triggered it. Useful before reading Stats or the stores
+// in tests and benchmarks.
 func (e *Engine) Sync() error {
 	if err := e.barrier(shardMsg{}); err != nil {
 		return err
 	}
-	if err := e.stores.SyncPersist(); err != nil {
-		return fmt.Errorf("engine: persister sync: %w", err)
+	syncErr := e.stores.SyncPersist()
+	if syncErr != nil {
+		syncErr = fmt.Errorf("engine: persister sync: %w", syncErr)
+		// A terminal failure at the durability barrier means acked
+		// fixes cannot be made durable: latch degraded so clients stop
+		// streaming into a backend that can only lose their data. A
+		// transient hiccup just reports — the log's own salvage already
+		// absorbed anything it could, and the next barrier retries.
+		if !trajstore.TransientErr(syncErr) {
+			e.enterDegraded(syncErr)
+		}
+	}
+	if derr := e.degradedErr(); derr != nil {
+		return errors.Join(derr, syncErr)
+	}
+	if syncErr != nil {
+		return syncErr
 	}
 	return e.loadPersistErr()
 }
@@ -593,6 +692,61 @@ func (e *Engine) loadPersistErr() error {
 		return fmt.Errorf("engine: persist: %w", *p)
 	}
 	return nil
+}
+
+// enterDegraded latches degraded mode with its root cause. The persist
+// error latch is set too, so Sync/Close report the cause even after a
+// later Heal clears only the degraded state.
+func (e *Engine) enterDegraded(cause error) {
+	e.setPersistErr(cause)
+	derr := fmt.Errorf("%w: %w", ErrDegraded, cause)
+	e.degraded.CompareAndSwap(nil, &derr)
+}
+
+// degradedErr returns the latched degraded error (matching ErrDegraded
+// and wrapping the root cause), nil when the engine is healthy.
+func (e *Engine) degradedErr() error {
+	if p := e.degraded.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Degraded reports whether the engine is in degraded read-only mode.
+func (e *Engine) Degraded() bool { return e.degraded.Load() != nil }
+
+// Heal attempts to bring a degraded engine back to full service once
+// the underlying fault is believed cleared (space freed, device back).
+// It probes the persister with a durability barrier — a poisoned
+// segment log salvages itself into a fresh file here — and, only if the
+// probe succeeds, clears the degraded and persist-error latches and
+// re-appends the trails parked while degraded, preserving per-device
+// order. A probe failure leaves the engine degraded and reports why; a
+// failure while re-appending parked trails re-enters degraded mode with
+// the new cause. Heal is safe to call on a healthy engine (a cheap
+// no-op) and concurrently with ingest and queries.
+func (e *Engine) Heal() error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	e.compactWG.Add(1) // holds ClosePersist off the probe, like CompactNow
+	e.mu.RUnlock()
+	probeErr := e.stores.SyncPersist()
+	e.compactWG.Done()
+	if probeErr != nil {
+		return fmt.Errorf("engine: heal: persister still failing: %w", probeErr)
+	}
+	if e.degraded.Load() == nil && e.persistErr.Load() == nil {
+		return nil
+	}
+	e.persistErr.Store(nil)
+	e.degraded.Store(nil)
+	if err := e.barrier(shardMsg{drain: true}); err != nil {
+		return err
+	}
+	return e.degradedErr()
 }
 
 // EvictIdle forces an idle-eviction sweep on every shard now, regardless
@@ -663,6 +817,7 @@ func (e *Engine) Stats() Stats {
 		s.Fixes += sh.fixes.Load()
 		s.KeyPoints += sh.keys.Load()
 		s.Persisted += sh.persisted.Load()
+		s.ParkedTrails += sh.parkedN.Load()
 	}
 	return s
 }
@@ -724,6 +879,9 @@ func (sh *shard) run() {
 			}
 			if msg.evict {
 				sh.evictIdle()
+			}
+			if msg.drain {
+				sh.drainParked()
 			}
 			if msg.flushAll {
 				sh.closeAll()
@@ -820,16 +978,8 @@ func (sh *shard) persistTrail(device string, s *session, final bool) {
 	}
 	m := sh.eng.mPerDegree
 	geo := trajstore.PointKeysToGeo(s.keys, m, m)
-	var err error
-	if sh.persist != nil && len(geo) > 0 {
-		err = sh.persist.Append(device, geo)
-	} else {
-		err = sh.eng.stores.Persist(device, geo)
-	}
-	if err != nil {
-		sh.eng.setPersistErr(err)
-	} else {
-		sh.persisted.Add(1)
+	if len(geo) > 0 {
+		sh.persistGeo(device, geo)
 	}
 	if final {
 		s.keys, s.chunked = nil, false
@@ -838,6 +988,96 @@ func (sh *shard) persistTrail(device string, s *session, final bool) {
 	last := s.keys[len(s.keys)-1]
 	s.keys = append(s.keys[:0], last)
 	s.chunked = true
+}
+
+// persistGeo hands one finalized trajectory to the persister. Transient
+// failures are retried by appendGeo; a terminal failure (or exhausted
+// retries) flips the engine into degraded mode and parks the trajectory
+// on the shard, so data the engine already accepted survives the outage
+// in memory and is re-appended — in order — when Heal succeeds. While
+// anything is parked (or the engine is degraded) new trails join the
+// park queue rather than jumping it: a device's chunked records must
+// reach the log in trail order.
+func (sh *shard) persistGeo(device string, geo []trajstore.GeoKey) {
+	if len(sh.parked) > 0 || sh.eng.degraded.Load() != nil {
+		sh.park(device, geo)
+		return
+	}
+	if err := sh.appendGeo(device, geo); err != nil {
+		sh.eng.enterDegraded(err)
+		sh.park(device, geo)
+		return
+	}
+	sh.persisted.Add(1)
+}
+
+// park retains a finalized trajectory in memory for re-append after
+// Heal. geo is freshly allocated per trail (PointKeysToGeo), so holding
+// it aliases nothing.
+func (sh *shard) park(device string, geo []trajstore.GeoKey) {
+	sh.parked = append(sh.parked, parkedTrail{device: device, keys: geo})
+	sh.parkedN.Add(1)
+}
+
+// drainParked re-appends the trails parked while degraded, oldest
+// first. A failure re-enters degraded mode (keeping the remainder
+// parked) so a premature Heal downgrades gracefully.
+func (sh *shard) drainParked() {
+	for len(sh.parked) > 0 {
+		p := sh.parked[0]
+		if err := sh.appendGeo(p.device, p.keys); err != nil {
+			sh.eng.enterDegraded(err)
+			return
+		}
+		sh.parked[0] = parkedTrail{} // release the drained trail's memory
+		sh.parked = sh.parked[1:]
+		sh.parkedN.Add(^uint64(0))
+		sh.persisted.Add(1)
+	}
+	sh.parked = nil
+}
+
+// appendGeo is one persister append wrapped in the transient-failure
+// retry loop: trajstore.TransientErr failures are retried up to
+// retry.Max times behind capped exponential backoff with jitter, and
+// the sleep aborts when Close begins. Terminal failures return
+// immediately. Blocking briefly here is fine — the worker owns its
+// queue, so backpressure propagates naturally to senders.
+func (sh *shard) appendGeo(device string, geo []trajstore.GeoKey) error {
+	e := sh.eng
+	for attempt := 0; ; attempt++ {
+		var err error
+		if sh.persist != nil {
+			err = sh.persist.Append(device, geo)
+		} else {
+			err = e.stores.Persist(device, geo)
+		}
+		if err == nil || attempt >= e.retry.Max || !trajstore.TransientErr(err) {
+			return err
+		}
+		select {
+		case <-time.After(e.retry.backoff(attempt)):
+		case <-e.closing:
+			return err
+		}
+	}
+}
+
+// backoff computes the sleep before retry attempt+1: an exponentially
+// grown base capped at MaxDelay, with the upper half jittered so
+// retries across shard workers decorrelate.
+func (r RetryPolicy) backoff(attempt int) time.Duration {
+	d := r.BaseDelay
+	for i := 0; i < attempt && d < r.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	if half := int64(d / 2); half > 0 {
+		d = d/2 + time.Duration(rand.Int63n(half+1))
+	}
+	return d
 }
 
 // closeSession flushes the session's compressor, emits the tail key

@@ -146,13 +146,18 @@ type Ingest struct {
 // backpressure — resend those after RetryAfterMillis. Err carries a
 // standing backend failure (latched persist error): fixes may still
 // have been accepted, but durability is no longer assured until the
-// operator intervenes.
+// operator intervenes. Degraded marks the engine's degraded read-only
+// mode (terminal persist failure): the batch was rejected whole, resends
+// are futile until the operator clears the fault and heals the engine,
+// but queries keep answering — clients should stop resending rather
+// than retry.
 type IngestAck struct {
 	Seq              uint64
 	Accepted         uint64
 	Rejected         []uint32
 	RetryAfterMillis uint32
 	Err              string
+	Degraded         bool
 }
 
 // Sync requests the durability barrier: when the ack returns, every fix
@@ -246,7 +251,12 @@ func AppendIngestAck(dst []byte, a IngestAck) []byte {
 		dst = binary.AppendUvarint(dst, uint64(r))
 	}
 	dst = binary.AppendUvarint(dst, uint64(a.RetryAfterMillis))
-	return appendString(dst, a.Err)
+	dst = appendString(dst, a.Err)
+	degraded := byte(0)
+	if a.Degraded {
+		degraded = 1
+	}
+	return append(dst, degraded)
 }
 
 // AppendSync appends m's payload to dst.
@@ -477,6 +487,11 @@ func ParseIngestAck(p []byte) (IngestAck, error) {
 	if a.Err, err = c.str(); err != nil {
 		return IngestAck{}, err
 	}
+	degraded, err := c.byte()
+	if err != nil || degraded > 1 {
+		return IngestAck{}, ErrMalformed
+	}
+	a.Degraded = degraded == 1
 	return a, c.done()
 }
 

@@ -10,6 +10,13 @@ import (
 	"github.com/trajcomp/bqs/internal/trajstore"
 )
 
+// ErrDegraded reports a degraded ack from the server: its engine is in
+// read-only mode after a terminal persist failure (full disk, corrupt
+// log). Ingest is suspended — resending is futile until the operator
+// clears the fault and the engine heals — but queries keep answering.
+// Match with errors.Is on IngestAll's error.
+var ErrDegraded = errors.New("server: backend degraded, ingest suspended")
+
 // Client is a synchronous bqsd protocol client: one request in flight
 // at a time, not safe for concurrent use. A device's fixes must flow
 // through a single client (the engine orders a device's stream by
@@ -120,7 +127,11 @@ func (c *Client) Ingest(batches []proto.DeviceBatch) (proto.IngestAck, error) {
 // IngestAll sends batches and keeps resending backpressure-rejected
 // ones, honoring the server's retry-after hint, until everything is
 // accepted, the server reports a backend error, or maxRetries rounds
-// of rejection pass. It returns the total fixes accepted.
+// of rejection pass. A degraded ack (the server's engine is in
+// read-only mode — see engine.ErrDegraded) stops the resend loop
+// immediately with an error matching ErrDegraded: retrying cannot
+// succeed until the operator clears the fault. It returns the total
+// fixes accepted.
 func (c *Client) IngestAll(batches []proto.DeviceBatch, maxRetries int) (accepted uint64, err error) {
 	if maxRetries <= 0 {
 		maxRetries = 100
@@ -136,6 +147,9 @@ func (c *Client) IngestAll(batches []proto.DeviceBatch, maxRetries int) (accepte
 			return accepted, err
 		}
 		accepted += ack.Accepted
+		if ack.Degraded {
+			return accepted, fmt.Errorf("%w: %s", ErrDegraded, ack.Err)
+		}
 		if ack.Err != "" {
 			return accepted, fmt.Errorf("server: %s", ack.Err)
 		}

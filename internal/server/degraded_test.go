@@ -1,0 +1,154 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/engine"
+	"github.com/trajcomp/bqs/internal/proto"
+	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
+)
+
+// TestDegradedModeEndToEnd drives the whole degraded-mode lifecycle
+// over a loopback connection with a fault-injected disk. A healthy
+// batch lands durably; then the disk "fills" (sustained ENOSPC via
+// vfs.FaultFS) and the next durability barrier latches the tenant's
+// engine degraded: ingest acks carry the degraded flag, IngestAll
+// stops resending with ErrDegraded, and queries keep answering from
+// the durable generation. Clearing the fault and calling Server.Heal
+// resumes ingest — and the fixes acked while the disk was sick (parked
+// in memory meanwhile) drain to disk, so no acked data is lost.
+func TestDegradedModeEndToEnd(t *testing.T) {
+	fs := vfs.NewFaultFS(7)
+	srv, addr := startServer(t, Config{
+		Dir:    t.TempDir(),
+		Engine: engine.Config{Tolerance: 2, Shards: 1, MaxTrailKeys: 16},
+		Log:    segmentlog.Options{FS: fs},
+	})
+	c, err := Dial(addr, "fleet")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// coverage asserts the device's durable records span exactly the
+	// acked track: first fix time through last fix time.
+	coverage := func(dev string, keys []trajstore.GeoKey, ctx string) {
+		t.Helper()
+		recs, err := c.QueryTime(dev, 0, math.MaxUint32)
+		if err != nil {
+			t.Fatalf("%s: query %s: %v", ctx, dev, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("%s: %s has no durable records — acked fixes lost", ctx, dev)
+		}
+		lo, hi := recs[0].T0, recs[0].T1
+		for _, r := range recs[1:] {
+			if r.T0 < lo {
+				lo = r.T0
+			}
+			if r.T1 > hi {
+				hi = r.T1
+			}
+		}
+		if lo != keys[0].T || hi != keys[len(keys)-1].T {
+			t.Fatalf("%s: %s durable span [%d,%d], want [%d,%d]",
+				ctx, dev, lo, hi, keys[0].T, keys[len(keys)-1].T)
+		}
+	}
+
+	// Phase 1: healthy ingest, made durable by a flush barrier.
+	trackA := track(0, 40)
+	if _, err := c.IngestAll([]proto.DeviceBatch{{Device: "dev-a", Keys: trackA}}, 20); err != nil {
+		t.Fatalf("healthy IngestAll: %v", err)
+	}
+	if err := c.Sync(true); err != nil {
+		t.Fatalf("healthy Sync: %v", err)
+	}
+	coverage("dev-a", trackA, "healthy phase")
+
+	// Phase 2: the disk fills. Batch B is small enough (< MaxTrailKeys
+	// key points) to be accepted entirely into the in-memory session —
+	// the acks are honest, nothing touched the disk yet — and the flush
+	// barrier then forces its trail at the sick disk: ENOSPC is
+	// terminal, so the engine parks the trail and latches degraded.
+	fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Fault: vfs.FaultENOSPC})
+	fs.AddRule(vfs.Rule{Op: vfs.OpSync, Fault: vfs.FaultENOSPC})
+	trackB := track(1, 10)
+	if _, err := c.IngestAll([]proto.DeviceBatch{{Device: "dev-b", Keys: trackB}}, 20); err != nil {
+		t.Fatalf("IngestAll into memory with sick disk: %v", err)
+	}
+	if err := c.Sync(true); err == nil {
+		t.Fatal("Sync with sustained ENOSPC reported success")
+	}
+
+	// Degraded: acks carry the flag with nothing accepted, and
+	// IngestAll gives up immediately instead of hammering the backend.
+	probe := []proto.DeviceBatch{{Device: "dev-c", Keys: track(2, 8)}}
+	ack, err := c.Ingest(probe)
+	if err != nil {
+		t.Fatalf("Ingest while degraded: %v", err)
+	}
+	if !ack.Degraded || ack.Accepted != 0 {
+		t.Fatalf("degraded ack = %+v, want Degraded with 0 accepted", ack)
+	}
+	if _, err := c.IngestAll(probe, 20); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("IngestAll while degraded = %v, want ErrDegraded", err)
+	}
+
+	// Queries still answer from the durable generation.
+	coverage("dev-a", trackA, "degraded phase")
+	if recs, err := c.QueryWindow(-1, -1, 2, 2, 0, math.MaxUint32); err != nil || len(recs) == 0 {
+		t.Fatalf("window query while degraded: %d records, err %v", len(recs), err)
+	}
+
+	// Phase 3: the operator clears the fault and heals. The engine
+	// re-probes its persister (salvaging the poisoned segment), drains
+	// the trails parked while degraded, and resumes taking fixes.
+	fs.ClearRules()
+	if err := srv.Heal(); err != nil {
+		t.Fatalf("Heal after clearing the fault: %v", err)
+	}
+	trackD := track(3, 40)
+	if _, err := c.IngestAll([]proto.DeviceBatch{{Device: "dev-d", Keys: trackD}}, 20); err != nil {
+		t.Fatalf("IngestAll after heal: %v", err)
+	}
+	if err := c.Sync(true); err != nil {
+		t.Fatalf("Sync after heal: %v", err)
+	}
+
+	// No lost acked fixes: every batch that was acked — including batch
+	// B, acked while the disk was failing — is durable in full.
+	coverage("dev-a", trackA, "healed")
+	coverage("dev-b", trackB, "healed")
+	coverage("dev-d", trackD, "healed")
+}
+
+// TestHealNoop: Heal on a healthy server (and on one with no tenants
+// opened yet) is a no-op; on a shut-down server it reports closure.
+func TestHealNoop(t *testing.T) {
+	srv, addr := startServer(t, Config{Dir: t.TempDir(), Engine: engine.Config{Tolerance: 2}})
+	if err := srv.Heal(); err != nil {
+		t.Fatalf("Heal with no tenants: %v", err)
+	}
+	c, err := Dial(addr, "fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.IngestAll([]proto.DeviceBatch{{Device: "dev", Keys: track(0, 8)}}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Heal(); err != nil {
+		t.Fatalf("Heal on a healthy tenant: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Heal(); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Heal after Shutdown = %v, want ErrServerClosed", err)
+	}
+}

@@ -283,6 +283,37 @@ func (s *Server) Shutdown() error {
 	return errors.Join(errs...)
 }
 
+// Heal re-arms ingestion on every open tenant whose engine latched
+// degraded mode (see engine.Heal): the operator clears the underlying
+// fault — frees disk space, remounts the volume — then calls Heal, and
+// each engine re-probes its persister, drains the trajectories parked
+// while degraded, and resumes accepting fixes. Tenants that were never
+// degraded are no-ops. Per-tenant failures are joined; a tenant whose
+// persister still fails stays degraded and can be healed again later.
+func (s *Server) Heal() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	var errs []error
+	for _, t := range ts {
+		if t.eng == nil {
+			continue
+		}
+		if err := t.eng.Heal(); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %q: heal: %w", t.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // handleConn owns one connection: Hello handshake, then a strict
 // request/response loop. Any protocol violation gets an Error frame and
 // the connection is dropped — resynchronizing a byte stream after a
@@ -411,12 +442,22 @@ func (s *Server) ingest(tn *tenant, m proto.Ingest, fixes *[]engine.Fix) proto.I
 		case err == nil:
 		case errors.Is(err, engine.ErrBackpressure):
 			ack.Rejected = append(ack.Rejected, uint32(i))
+		case errors.Is(err, engine.ErrDegraded):
+			// Degraded read-only mode: the engine rejected the batch
+			// whole and resends are futile until the fault clears, but
+			// queries still answer. Flag it so the client stops retrying
+			// instead of hammering a sick backend.
+			ack.Degraded = true
+			ack.Err = err.Error()
 		default:
 			ack.Err = err.Error() // latched persist error or engine closed
 		}
 	}
 	if len(ack.Rejected) > 0 {
 		ack.RetryAfterMillis = s.retryMillis(tn.eng)
+	}
+	if !ack.Degraded && tn.eng.Degraded() {
+		ack.Degraded = true // e.g. an empty Ingest frame used as a probe
 	}
 	if ack.Err == "" {
 		if perr := tn.eng.Err(); perr != nil {

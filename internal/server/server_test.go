@@ -356,8 +356,11 @@ func TestPersistErrorSurfacesInAck(t *testing.T) {
 			if !strings.Contains(ack.Err, errDiskFire.Error()) {
 				t.Fatalf("ack.Err = %q, want it to carry %v", ack.Err, errDiskFire)
 			}
-			if ack.Accepted == 0 {
-				t.Fatalf("ingest %d: error ack should still report accepted fixes, got %+v", i, ack)
+			// Either the error latched after this batch was accepted (it
+			// rides along in ack.Err) or the engine already degraded and
+			// rejected the batch whole — then the ack must say so.
+			if ack.Accepted == 0 && !ack.Degraded {
+				t.Fatalf("ingest %d: empty non-degraded error ack, got %+v", i, ack)
 			}
 			break
 		}
@@ -369,6 +372,19 @@ func TestPersistErrorSurfacesInAck(t *testing.T) {
 	}
 	if err := c.Sync(false); err == nil || !strings.Contains(err.Error(), errDiskFire.Error()) {
 		t.Fatalf("Sync error = %v, want it to carry %v", err, errDiskFire)
+	}
+	// The generic disk error is terminal, so the engine is degraded by
+	// now: the next batch is rejected whole with the flag set, telling
+	// clients to stop resending.
+	ack, err := c.Ingest([]proto.DeviceBatch{{Device: "d0", Keys: track(0, 12)}})
+	if err != nil {
+		t.Fatalf("ingest after degrade: %v", err)
+	}
+	if !ack.Degraded || ack.Accepted != 0 {
+		t.Fatalf("ack after degrade = %+v, want Degraded with nothing accepted", ack)
+	}
+	if _, err := c.IngestAll([]proto.DeviceBatch{{Device: "d0", Keys: track(0, 12)}}, 3); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("IngestAll while degraded = %v, want ErrDegraded", err)
 	}
 }
 

@@ -1,6 +1,27 @@
 package trajstore
 
-import "sync"
+import (
+	"errors"
+	"sync"
+	"syscall"
+)
+
+// TransientErr classifies a persist-path failure: true for errors that
+// plausibly clear on their own (an I/O hiccup, an interrupted or timed
+// out syscall) and are worth retrying with backoff; false for terminal
+// conditions — a full disk (ENOSPC/EDQUOT), corruption, or anything
+// unrecognized — where retrying the same append can only burn time
+// while the engine should be flipping into degraded mode. The
+// classifier lives here rather than in the engine so it can be applied
+// to any Persister implementation's errors.
+func TransientErr(err error) bool {
+	for _, t := range []error{syscall.EIO, syscall.ETIMEDOUT, syscall.EINTR, syscall.EAGAIN} {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}
 
 // Persister is the durability hook of the storage layer: finalized
 // (flushed or evicted) session trajectories are handed to it as wire

@@ -38,6 +38,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 const (
@@ -231,27 +233,27 @@ func parseBlockIndex(data []byte) (segSize int64, segVer byte, metas []recordMet
 // writeBlockIndex persists (and fsyncs) the index of one sealed
 // segment next to it. The write is not atomic: a torn index fails the
 // CRC on load and degrades to a scan, never to wrong results.
-func writeBlockIndex(segPath string, segSize int64, segVer byte, metas []recordMeta) error {
+func writeBlockIndex(fsys vfs.FS, segPath string, segSize int64, segVer byte, metas []recordMeta) error {
 	path, ok := idxPathFor(segPath)
 	if !ok {
 		return fmt.Errorf("segmentlog: %s is not a canonical segment name", segPath)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("segmentlog: block index: %w", err)
 	}
 	if _, err := f.Write(formatBlockIndex(segSize, segVer, metas)); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return fmt.Errorf("segmentlog: block index: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return fmt.Errorf("segmentlog: block index: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
+		fsys.Remove(path)
 		return fmt.Errorf("segmentlog: block index: %w", err)
 	}
 	return nil
@@ -262,12 +264,12 @@ func writeBlockIndex(segPath string, segSize int64, segVer byte, metas []recordM
 // a sealed segment never changes, so any difference means the index
 // belongs to an earlier life of the file (an unpublished rotation) and
 // must not be trusted.
-func loadBlockIndex(segPath string) (segSize int64, segVer byte, metas []recordMeta, err error) {
+func loadBlockIndex(fsys vfs.FS, segPath string) (segSize int64, segVer byte, metas []recordMeta, err error) {
 	path, ok := idxPathFor(segPath)
 	if !ok {
 		return 0, 0, nil, fmt.Errorf("%w: non-canonical segment name", errBadIndex)
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("%w: %v", errBadIndex, err)
 	}
@@ -275,7 +277,7 @@ func loadBlockIndex(segPath string) (segSize int64, segVer byte, metas []recordM
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	fi, err := os.Stat(segPath)
+	fi, err := fsys.Stat(segPath)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("%w: %v", errBadIndex, err)
 	}

@@ -51,6 +51,7 @@ import (
 	"github.com/trajcomp/bqs/internal/core"
 	"github.com/trajcomp/bqs/internal/stream"
 	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 // CompactionPolicy parameterizes Compact.
@@ -108,14 +109,6 @@ type compactRecord struct {
 	device string
 	t0, t1 uint32
 	keys   []trajstore.GeoKey
-}
-
-// fire invokes the test-only crash-injection hook.
-func (l *Log) fire(step string) error {
-	if l.compactHook != nil {
-		return l.compactHook(step)
-	}
-	return nil
 }
 
 // CompactNow runs Compact with the policy configured in
@@ -264,14 +257,10 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 			upgrade = true
 		}
 	}
-	if err := l.fire("scan"); err != nil {
-		return res, err
-	}
-
 	// Open every sealed file once; workers share the handles via pread.
-	files := make([]*os.File, len(sealed))
+	files := make([]vfs.File, len(sealed))
 	for i, sf := range sealed {
-		f, err := os.Open(sf.path)
+		f, err := l.fs.Open(sf.path)
 		if err != nil {
 			for _, of := range files[:i] {
 				of.Close()
@@ -382,10 +371,6 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	for _, s := range newSegs {
 		res.BytesOut += s.size
 	}
-	if err := l.fire("segments"); err != nil {
-		return res, err
-	}
-
 	// Publish: swap the sealed prefix for the new segments in one
 	// manifest generation, then rebuild the in-memory view to match.
 	l.mu.Lock()
@@ -399,7 +384,7 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	tailOnlyActive := len(tail) == 1
 	combined := append(append([]segmentFile(nil), newSegs...), tail...)
 	combinedRecs := append(append([][]recordMeta(nil), newRecs...), tailRecs...)
-	if err := writeManifest(l.dir, manifest{Gen: l.gen + 1, Segs: manifestSegs(combined)}); err != nil {
+	if err := writeManifest(l.fs, l.dir, manifest{Gen: l.gen + 1, Segs: manifestSegs(combined)}); err != nil {
 		l.mu.Unlock()
 		return res, err
 	}
@@ -420,27 +405,20 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	l.stats.Bytes = bytes
 	l.mu.Unlock()
 
-	if err := l.fire("manifest"); err != nil {
-		return res, err
-	}
-
 	// Delete the superseded generation — segment files and their block
 	// indexes. Failures (and crashes) here are benign: the files are
 	// unreferenced and the next Open sweeps them.
-	for i, sf := range sealed {
-		if err := l.fire(fmt.Sprintf("delete:%d", i)); err != nil {
-			return res, err
-		}
-		if err := os.Remove(sf.path); err != nil && !os.IsNotExist(err) {
+	for _, sf := range sealed {
+		if err := l.fs.Remove(sf.path); err != nil && !os.IsNotExist(err) {
 			return res, fmt.Errorf("segmentlog: removing superseded %s: %w", sf.path, err)
 		}
 		if ip, ok := idxPathFor(sf.path); ok {
-			if err := os.Remove(ip); err != nil && !os.IsNotExist(err) {
+			if err := l.fs.Remove(ip); err != nil && !os.IsNotExist(err) {
 				return res, fmt.Errorf("segmentlog: removing superseded %s: %w", ip, err)
 			}
 		}
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		return res, err
 	}
 	// The published generation is now the compactor's own output; if no
@@ -465,7 +443,7 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 // old generation untouched) rather than drop the record and then
 // delete its only copy. out.decoded is reported even on error so the
 // writer's live-memory accounting stays balanced.
-func (l *Log) compactDevice(refs []devRef, sealed []segmentFile, files []*os.File, p CompactionPolicy, cutoff uint32) (out devOut) {
+func (l *Log) compactDevice(refs []devRef, sealed []segmentFile, files []vfs.File, p CompactionPolicy, cutoff uint32) (out devOut) {
 	out.nextAgeT1 = math.MaxUint32
 	decoded := 0
 	defer func() { out.decoded = decoded }()
@@ -688,7 +666,7 @@ type compactWriter struct {
 	segs    []segmentFile
 	segRecs [][]recordMeta
 	cur     []recordMeta
-	f       *os.File
+	f       vfs.File
 	off     int64
 	buf     []byte
 }
@@ -711,7 +689,7 @@ func (w *compactWriter) closeCurrent() error {
 		return err
 	}
 	w.f = nil
-	if err := writeBlockIndex(s.path, s.size, s.ver, w.cur); err != nil {
+	if err := writeBlockIndex(w.l.fs, s.path, s.size, s.ver, w.cur); err != nil {
 		return err
 	}
 	s.idx = true
@@ -743,7 +721,7 @@ func (w *compactWriter) add(r compactRecord) error {
 		w.l.nextSeq++
 		w.l.mu.Unlock()
 		path := filepath.Join(w.l.dir, segName(seq))
-		nf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		nf, err := w.l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 		if err != nil {
 			return fmt.Errorf("segmentlog: compact: %w", err)
 		}
@@ -778,7 +756,7 @@ func (w *compactWriter) finish() ([]segmentFile, [][]recordMeta, error) {
 		return nil, nil, err
 	}
 	if len(w.segs) > 0 {
-		if err := syncDir(w.l.dir); err != nil {
+		if err := syncDir(w.l.fs, w.l.dir); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -794,9 +772,9 @@ func (w *compactWriter) discard() {
 		w.f = nil
 	}
 	for _, s := range w.segs {
-		os.Remove(s.path)
+		w.l.fs.Remove(s.path)
 		if ip, ok := idxPathFor(s.path); ok {
-			os.Remove(ip)
+			w.l.fs.Remove(ip)
 		}
 	}
 	w.segs, w.segRecs, w.cur = nil, nil, nil

@@ -6,13 +6,13 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/trajcomp/bqs/internal/geom"
 	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 // chunkKeys splits keys into engine-style chunks of at most n keys that
@@ -321,46 +321,53 @@ func verifyFixture(t *testing.T, dir string, want map[string][]trajstore.GeoKey,
 	}
 }
 
-// TestCompactCrashAtEveryStep kills compaction at each protocol step and
-// verifies reopen recovers exactly one consistent generation with every
-// committed record intact: the old generation before the MANIFEST
-// rename, the new one after.
+// TestCompactCrashAtEveryStep power-fails compaction at every single
+// filesystem operation it performs — each write, fsync, rename and
+// delete — via vfs.FaultFS, and verifies each reopen recovers exactly
+// one consistent generation with every committed record intact: the
+// old generation before the MANIFEST rename became durable, the new
+// one after. The crash model is the hostile one: handles drop their
+// un-synced bytes and an un-synced rename may or may not have reached
+// the directory (a seeded coin flip), so the sweep crosses the
+// crash-after-partial-rename window both ways.
 func TestCompactCrashAtEveryStep(t *testing.T) {
-	// Discover the step sequence with a probe run.
+	// Observer pass: an identical fixture compacted over a ruleless
+	// FaultFS measures the op window (n0, n1] a compaction spans. The
+	// fixture content is deterministic and shard-free, so op k lands on
+	// the same operation in every run.
 	probeDir, _ := compactionFixture(t)
-	probe := mustOpen(t, probeDir, Options{MaxSegmentBytes: 512})
-	var steps []string
-	probe.compactHook = func(step string) error {
-		steps = append(steps, step)
-		return nil
-	}
+	obs := vfs.NewFaultFS(0)
+	probe := mustOpen(t, probeDir, Options{MaxSegmentBytes: 512, FS: obs})
+	n0 := obs.Ops()
 	if _, err := probe.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
 		t.Fatal(err)
 	}
+	n1 := obs.Ops()
 	probe.Close()
-	if len(steps) < 4 {
-		t.Fatalf("expected several compaction steps, got %v", steps)
+	if n1-n0 < 10 {
+		t.Fatalf("compaction spanned only %d fs ops; observer pass broken?", n1-n0)
 	}
 
-	errBoom := fmt.Errorf("injected crash")
-	for _, crashAt := range steps {
-		t.Run(strings.ReplaceAll(crashAt, ":", "_"), func(t *testing.T) {
+	for k := n0 + 1; k <= n1; k++ {
+		k := k
+		t.Run(fmt.Sprintf("op-%03d", k), func(t *testing.T) {
+			t.Parallel()
 			dir, want := compactionFixture(t)
-			l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
-			l.compactHook = func(step string) error {
-				if step == crashAt {
-					return errBoom
-				}
-				return nil
+			fs := vfs.NewFaultFS(int64(k)) // seed varies the torn-rename coin flips
+			fs.AddRule(vfs.Rule{Fault: vfs.FaultCrash, After: k - 1, Count: 1})
+			l, err := Open(dir, Options{MaxSegmentBytes: 512, FS: fs})
+			if err != nil {
+				t.Fatalf("open died before the crash point: %v", err)
 			}
-			if _, err := l.Compact(CompactionPolicy{MergeChunks: true}); err != errBoom {
-				t.Fatalf("Compact = %v, want injected crash", err)
+			// The pass usually dies at op k; a crash inside the
+			// best-effort delete sweep can still report success. Either
+			// way the handle is dead afterwards.
+			_, _ = l.Compact(CompactionPolicy{MergeChunks: true})
+			if !fs.Crashed() {
+				t.Fatalf("schedule never crashed: %s", fs)
 			}
-			// "Crash": drop the process state without a clean close (a
-			// clean Close would flush, which a real crash wouldn't; the
-			// fixture synced, so nothing is pending anyway).
 			l.Close()
-			verifyFixture(t, dir, want, crashAt)
+			verifyFixture(t, dir, want, fmt.Sprintf("crash at op %d", k))
 		})
 	}
 }
@@ -612,19 +619,14 @@ func TestCompactBitRotAborts(t *testing.T) {
 // periodic ticks on an already-compacted log stay cheap.
 func TestCompactNoopSkipsRewrite(t *testing.T) {
 	dir, want := compactionFixture(t)
-	l := mustOpen(t, dir, Options{MaxSegmentBytes: 512})
+	fs := vfs.NewFaultFS(0) // ruleless: pure op observer
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 512, FS: fs})
 	defer l.Close()
-	scans := 0
-	l.compactHook = func(step string) error {
-		if step == "scan" {
-			scans++
-		}
-		return nil
-	}
 	if _, err := l.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
 		t.Fatal(err)
 	}
 	g1 := l.Stats().Gen
+	before := fs.Ops()
 	res, err := l.Compact(CompactionPolicy{MergeChunks: true})
 	if err != nil {
 		t.Fatal(err)
@@ -632,10 +634,11 @@ func TestCompactNoopSkipsRewrite(t *testing.T) {
 	if res.Gen != 0 || res.Merged+res.Deduped+res.Aged != 0 {
 		t.Fatalf("second pass was not a no-op: %+v", res)
 	}
-	// The second pass must hit the generation memo and skip even the
-	// read+decode phase (no "scan" step fired).
-	if scans != 1 {
-		t.Fatalf("expected 1 scan across both passes (memo fast path), got %d", scans)
+	// The second pass must hit the generation memo before touching the
+	// filesystem at all — zero ops means even the read+decode phase was
+	// skipped, so periodic ticks on an already-compacted log stay free.
+	if d := fs.Ops() - before; d != 0 {
+		t.Fatalf("no-op pass performed %d fs ops, want 0 (memo fast path)", d)
 	}
 	if g := l.Stats().Gen; g != g1 {
 		t.Fatalf("no-op pass published a generation: %d → %d", g1, g)
@@ -645,12 +648,13 @@ func TestCompactNoopSkipsRewrite(t *testing.T) {
 			t.Fatalf("%s polyline diverged across no-op pass", dev)
 		}
 	}
-	// A changed policy invalidates the memo: this pass scans again (and
-	// may legitimately rewrite, since ageing is now enabled).
+	// A changed policy invalidates the memo: this pass must hit the disk
+	// again (and may legitimately rewrite, since ageing is now enabled).
+	before = fs.Ops()
 	if _, err := l.Compact(CompactionPolicy{MergeChunks: true, CoarseTolerance: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if scans != 2 {
-		t.Fatalf("policy change did not invalidate the memo: %d scans", scans)
+	if fs.Ops() == before {
+		t.Fatal("policy change did not invalidate the memo: no fs ops")
 	}
 }

@@ -50,6 +50,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 const (
@@ -265,8 +267,8 @@ func parseManifest(data []byte) (manifest, error) {
 // readManifest loads dir's MANIFEST. found is false when none exists
 // (a legacy or empty directory); a present-but-invalid manifest is an
 // error — guessing at segment order risks serving records out of order.
-func readManifest(dir string) (m manifest, found bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func readManifest(fsys vfs.FS, dir string) (m manifest, found bool, err error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if os.IsNotExist(err) {
 		return manifest{}, false, nil
 	}
@@ -283,29 +285,29 @@ func readManifest(dir string) (m manifest, found bool, err error) {
 // writeManifest atomically replaces dir's MANIFEST with m: temp file,
 // fsync, rename, directory fsync. On any error the previous manifest is
 // untouched.
-func writeManifest(dir string, m manifest) error {
+func writeManifest(fsys vfs.FS, dir string, m manifest) error {
 	tmp := filepath.Join(dir, manifestTmpName)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}
 	if _, err := f.Write(formatManifest(m)); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }

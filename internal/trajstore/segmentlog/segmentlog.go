@@ -61,6 +61,7 @@ import (
 	"syscall"
 
 	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 const (
@@ -133,6 +134,12 @@ type Options struct {
 	// Explicit Compact calls pass their own policy and ignore this
 	// field.
 	Compaction *CompactionPolicy
+	// FS substitutes the filesystem every disk operation goes through.
+	// nil means vfs.OS, the zero-overhead passthrough to the os
+	// package — production callers never set this. Tests inject
+	// vfs.FaultFS to exercise ENOSPC/EIO/fsync-failure/crash schedules
+	// against the whole durable stack.
+	FS vfs.FS
 }
 
 // Record is one persisted trajectory, decoded. It is an alias of
@@ -201,16 +208,12 @@ type Log struct {
 	dir  string
 	opts Options
 	ro   bool
-	lock *os.File // flock'd LOCK file handle (nil in read-only mode)
+	fs   vfs.FS   // never nil: Options.FS or vfs.OS
+	lock vfs.File // flock'd LOCK file handle (nil in read-only mode)
 
 	// compactMu serializes compactions; it is never held together with
 	// mu except for the brief publish step.
 	compactMu sync.Mutex
-	// compactHook, when non-nil, is called at each compaction step; a
-	// non-nil return aborts Compact mid-flight with on-disk state
-	// exactly as a crash at that step would leave it. Test-only: after
-	// an injected abort the log must be closed and reopened.
-	compactHook func(step string) error
 	// lastCompact memoizes the previous pass (guarded by compactMu) so
 	// a periodic tick on an unchanged log returns without re-reading
 	// and re-decoding every sealed segment. gen is the generation the
@@ -249,11 +252,33 @@ type Log struct {
 	// rebuilds the index; window queries load only the segments their
 	// summary pruning cannot skip and leave the flag set.
 	indexDirty bool
-	active     *os.File // write handle of segs[len(segs)-1] (nil in RO mode)
+	active     vfs.File // write handle of segs[len(segs)-1] (nil in RO mode)
 	wbuf       []byte   // record assembly buffer, reused across appends
 	pend       []byte   // appended but not yet written-through bytes
 	off        int64    // logical size of the active segment (incl. pend)
-	stats      Stats
+	// syncedOff is the active-segment offset covered by the last
+	// successful fsync: everything below it is durable, everything at
+	// or above it exists only in the page cache (and in unsynced).
+	syncedOff int64
+	// unsynced mirrors every byte appended since the last successful
+	// fsync of the active segment (flushed or not). After a failed
+	// fsync the page-cache state of those bytes is unknown — the
+	// kernel may have dropped them — so this buffer is the only copy
+	// salvage (healLocked) can rewrite into a fresh segment. Cleared
+	// on every successful Sync; bounded by MaxSegmentBytes.
+	unsynced []byte
+	// poisoned marks the active segment as unusable after a failed
+	// write or fsync: no further byte may be appended to it, and the
+	// records in atRisk are withheld from the index until healLocked
+	// lands them in a fresh segment. poisonErr is the causing error.
+	poisoned  bool
+	poisonErr error
+	// atRisk holds the record metadata of the unsynced region while
+	// poisoned: removed from the index (so "indexed ⇒ servable" holds
+	// even though their segment bytes may be gone) and re-indexed by a
+	// successful heal.
+	atRisk []recordMeta
+	stats  Stats
 }
 
 // compactLiveAdd advances the live decoded-record count and its
@@ -327,9 +352,13 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 	if opts.MaxSegmentBytes < headerSize+recordHeaderSize {
 		return nil, fmt.Errorf("segmentlog: MaxSegmentBytes %d too small", opts.MaxSegmentBytes)
 	}
-	l := &Log{dir: dir, opts: opts, ro: opts.ReadOnly, index: make(map[string][]recordAddr)}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	l := &Log{dir: dir, opts: opts, ro: opts.ReadOnly, fs: fsys, index: make(map[string][]recordAddr)}
 	if l.ro {
-		fi, err := os.Stat(dir)
+		fi, err := l.fs.Stat(dir)
 		if err != nil {
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
@@ -337,11 +366,11 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 			return nil, fmt.Errorf("segmentlog: %s is not a directory", dir)
 		}
 	} else {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := l.fs.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
 		if takeLock {
-			lock, err := acquireLock(dir)
+			lock, err := acquireLock(l.fs, dir)
 			if err != nil {
 				return nil, err
 			}
@@ -355,7 +384,7 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 		}
 	}()
 
-	man, found, err := readManifest(dir)
+	man, found, err := readManifest(l.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +395,7 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 	} else {
 		// Legacy (pre-manifest) directory: lexical order was logical
 		// order back when files were only ever appended in sequence.
-		globbed, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+		globbed, err := l.fs.Glob(filepath.Join(dir, "seg-*.log"))
 		if err != nil {
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
@@ -406,7 +435,7 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 				}
 			}
 		}
-		if err := cleanUnreferenced(dir, man, keep); err != nil {
+		if err := cleanUnreferenced(l.fs, dir, man, keep); err != nil {
 			return nil, err
 		}
 	}
@@ -440,7 +469,7 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 		l.stats.Bytes += headerSize
 	} else {
 		// Reopen the last segment for appending at its recovered size.
-		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+		f, err := l.fs.OpenFile(last.path, os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
@@ -451,6 +480,8 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 		l.active = f
 		l.off = last.size
 	}
+	// Whatever recovery read back from disk is the durable baseline.
+	l.syncedOff = l.off
 	// Publish the live set: after a successful writable Open the
 	// MANIFEST always exists and matches memory (adopting legacy
 	// directories and sealing any recovery edits under a fresh
@@ -478,7 +509,7 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 func (l *Log) loadSegment(path string, ent manifestSeg, final bool) error {
 	if !final && ent.Idx {
 		if ent.Sum != nil {
-			fi, err := os.Stat(path)
+			fi, err := l.fs.Stat(path)
 			if err != nil {
 				return fmt.Errorf("segmentlog: %w", err)
 			}
@@ -501,7 +532,7 @@ func (l *Log) loadSegment(path string, ent manifestSeg, final bool) error {
 	if !l.ro && !final {
 		s := &l.segs[len(l.segs)-1]
 		if s.ver == version {
-			if err := writeBlockIndex(s.path, s.size, s.ver, l.segRecs[len(l.segs)-1]); err == nil {
+			if err := writeBlockIndex(l.fs, s.path, s.size, s.ver, l.segRecs[len(l.segs)-1]); err == nil {
 				s.idx = true
 			}
 		}
@@ -531,7 +562,7 @@ func sumMatches(metas []recordMeta, want segSummary) bool {
 // the manifest's segment summary, and the caller must scan the segment
 // file instead.
 func (l *Log) tryLoadIndex(path string, ent manifestSeg) bool {
-	size, ver, metas, err := loadBlockIndex(path)
+	size, ver, metas, err := loadBlockIndex(l.fs, path)
 	if err != nil {
 		return false
 	}
@@ -598,10 +629,10 @@ func (l *Log) ensureSegLoadedLocked(si int) error {
 // instead of at Open. A writable scan reseals the block index so the
 // next load is cheap again.
 func (l *Log) lazySegMetas(s *segmentFile) ([]recordMeta, int64, byte, bool, error) {
-	if size, ver, metas, err := loadBlockIndex(s.path); err == nil && sumMatches(metas, s.sum) {
+	if size, ver, metas, err := loadBlockIndex(l.fs, s.path); err == nil && sumMatches(metas, s.sum) {
 		return metas, size, ver, true, nil
 	}
-	data, err := os.ReadFile(s.path)
+	data, err := l.fs.ReadFile(s.path)
 	if err != nil {
 		return nil, 0, 0, false, fmt.Errorf("segmentlog: %w", err)
 	}
@@ -644,7 +675,7 @@ func (l *Log) lazySegMetas(s *segmentFile) ([]recordMeta, int64, byte, bool, err
 				return nil, 0, 0, false, fmt.Errorf("%w: %s: invalid record at offset %d but valid data at %d — refusing to truncate a sealed segment mid-file",
 					ErrCorrupt, filepath.Base(s.path), valid, off)
 			}
-			if err := os.Truncate(s.path, valid); err != nil {
+			if err := l.fs.Truncate(s.path, valid); err != nil {
 				return nil, 0, 0, false, fmt.Errorf("segmentlog: truncating torn tail: %w", err)
 			}
 		}
@@ -652,7 +683,7 @@ func (l *Log) lazySegMetas(s *segmentFile) ([]recordMeta, int64, byte, bool, err
 	}
 	idxOK := false
 	if !l.ro && ver == version {
-		if err := writeBlockIndex(s.path, valid, ver, metas); err == nil {
+		if err := writeBlockIndex(l.fs, s.path, valid, ver, metas); err == nil {
 			idxOK = true
 		}
 	}
@@ -679,10 +710,13 @@ func (l *Log) ensureAllLoadedLocked() error {
 // the LOCK file, which the kernel releases automatically if the process
 // dies, so a crashed owner never wedges the directory. The holder's PID
 // is written into the file purely as a diagnostic.
-func acquireLock(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_RDWR|os.O_CREATE, 0o644)
+func acquireLock(fsys vfs.FS, dir string) (vfs.File, error) {
+	f, err := fsys.OpenFile(filepath.Join(dir, lockName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("segmentlog: %w", err)
+		// Name the directory, not just the LOCK path buried in a
+		// *PathError: a bqsd tenant-open failure must say which tenant
+		// directory could not be locked.
+		return nil, fmt.Errorf("segmentlog: locking %s: %w", dir, err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
@@ -724,7 +758,7 @@ func (l *Log) releaseLock() {
 // deletion was interrupted). keep names extra files the caller intends
 // to publish in the next manifest (freshly rebuilt block indexes). Only
 // called on writable opens with a validated manifest in hand.
-func cleanUnreferenced(dir string, man manifest, keep map[string]bool) error {
+func cleanUnreferenced(fsys vfs.FS, dir string, man manifest, keep map[string]bool) error {
 	live := make(map[string]bool, 2*len(man.Segs)+len(keep))
 	for name := range keep {
 		live[name] = true
@@ -737,7 +771,7 @@ func cleanUnreferenced(dir string, man manifest, keep map[string]bool) error {
 			}
 		}
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("segmentlog: %w", err)
 	}
@@ -751,7 +785,7 @@ func cleanUnreferenced(dir string, man manifest, keep map[string]bool) error {
 			stale = true
 		}
 		if stale {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return fmt.Errorf("segmentlog: removing unreferenced %s: %w", name, err)
 			}
 		}
@@ -788,7 +822,7 @@ func manifestSegs(segs []segmentFile) []manifestSeg {
 // Open/publish).
 func (l *Log) writeManifestLocked() error {
 	m := l.manifestLocked()
-	if err := writeManifest(l.dir, m); err != nil {
+	if err := writeManifest(l.fs, l.dir, m); err != nil {
 		return err
 	}
 	l.gen = m.Gen
@@ -807,7 +841,7 @@ func (l *Log) writeManifestLocked() error {
 // opens stay lenient throughout: they modify nothing and exist to
 // salvage whatever is readable.
 func (l *Log) scanSegment(path string, final bool) error {
-	data, err := os.ReadFile(path)
+	data, err := l.fs.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("segmentlog: %w", err)
 	}
@@ -865,7 +899,7 @@ func (l *Log) scanSegment(path string, final bool) error {
 			}
 		}
 		if !l.ro {
-			if err := os.Truncate(path, valid); err != nil {
+			if err := l.fs.Truncate(path, valid); err != nil {
 				return fmt.Errorf("segmentlog: truncating torn tail: %w", err)
 			}
 		}
@@ -1018,7 +1052,7 @@ func timeBounds(keys []trajstore.GeoKey) (t0, t1 uint32) {
 
 // rewriteEmpty resets path to a bare header (crash during file creation).
 func (l *Log) rewriteEmpty(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("segmentlog: %w", err)
 	}
@@ -1032,7 +1066,7 @@ func (l *Log) rewriteEmpty(path string) error {
 	return nil
 }
 
-func writeHeader(f *os.File) error {
+func writeHeader(f vfs.File) error {
 	var hdr [headerSize]byte
 	copy(hdr[:], magic[:])
 	hdr[6] = version
@@ -1049,20 +1083,20 @@ func writeHeader(f *os.File) error {
 // loses nothing. Callers hold mu (or are inside Open). The directory
 // fsync matters because a file whose directory entry is not durable can
 // vanish wholesale in a crash, taking "synced" records with it.
-func (l *Log) newSegmentFileLocked() (*os.File, segmentFile, error) {
+func (l *Log) newSegmentFileLocked() (vfs.File, segmentFile, error) {
 	path := filepath.Join(l.dir, segName(l.nextSeq))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, segmentFile{}, fmt.Errorf("segmentlog: %w", err)
 	}
 	if err := writeHeader(f); err != nil {
 		f.Close()
-		os.Remove(path)
+		l.fs.Remove(path)
 		return nil, segmentFile{}, err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		f.Close()
-		os.Remove(path)
+		l.fs.Remove(path)
 		return nil, segmentFile{}, err
 	}
 	l.nextSeq++
@@ -1072,8 +1106,8 @@ func (l *Log) newSegmentFileLocked() (*os.File, segmentFile, error) {
 // syncDir fsyncs a directory so entries for newly created files are
 // durable. Some platforms/filesystems reject fsync on directories;
 // those errors are ignored (matching common WAL implementations).
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys vfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("segmentlog: %w", err)
 	}
@@ -1088,10 +1122,18 @@ func syncDir(dir string) error {
 // buffered in the process; it reaches the OS on the next flush and is
 // durable after the next Sync. Empty trajectories are ignored.
 //
+// An error means the record was NOT accepted — it is not in the log and
+// never will be — so callers may safely retry or re-route it without
+// creating duplicates. Conversely nil means accepted: the record is in
+// the log (possibly only in the in-process salvage buffer of a poisoned
+// segment) and will be durable after the next successful Sync.
+//
 // When the append fills the active segment, rotation happens inline. A
-// failed rotation is reported but does NOT invalidate the append: the
-// record already lives in the (still-active) old segment, which remains
-// writable, and rotation is retried by the next append.
+// failed rotation therefore does not fail the append: in every rotation
+// failure mode the record is retained — still pending in the old
+// segment (which stays active and writable, rotation retried by the
+// next append) or salvaged by the poison path — and any durability
+// consequence resurfaces from the next Append or Sync.
 func (l *Log) Append(device string, keys []trajstore.GeoKey) error {
 	if len(keys) == 0 {
 		return nil
@@ -1105,6 +1147,11 @@ func (l *Log) Append(device string, keys []trajstore.GeoKey) error {
 	}
 	if l.ro {
 		return ErrReadOnly
+	}
+	if l.poisoned {
+		if err := l.healLocked(); err != nil {
+			return fmt.Errorf("segmentlog: active segment poisoned (%v); salvage failed: %w", l.poisonErr, err)
+		}
 	}
 
 	wbuf, bb, err := encodeRecord(l.wbuf[:0], device, t0, t1, keys)
@@ -1124,26 +1171,199 @@ func (l *Log) Append(device string, keys []trajstore.GeoKey) error {
 		hasBB:   true,
 	})
 	l.pend = append(l.pend, wbuf...)
+	l.unsynced = append(l.unsynced, wbuf...) // salvage copy until the next successful fsync
 	l.off += int64(len(wbuf))
 	l.stats.Bytes += int64(len(wbuf))
 
 	if l.off >= l.opts.MaxSegmentBytes {
-		return l.rotateLocked()
+		// The record was accepted above; a rotation failure must not
+		// un-accept it (see the contract in the doc comment). The failure
+		// is not lost: a poisoned segment makes the next Append/Sync
+		// report it, and a benign publish failure is retried next append.
+		_ = l.rotateLocked()
 	}
 	return nil
 }
 
-// flushLocked writes pending bytes through to the active file.
+// flushLocked writes pending bytes through to the active file. A write
+// failure — including a short write, which advances the file offset by
+// an unknown amount and corrupts the tail — poisons the active segment:
+// its on-disk state past the durable watermark is no longer trusted,
+// and salvage (healLocked) must move the at-risk bytes to a fresh file.
 func (l *Log) flushLocked() error {
 	if len(l.pend) == 0 {
 		return nil
 	}
 	if _, err := l.active.Write(l.pend); err != nil {
-		return fmt.Errorf("segmentlog: %w", err)
+		err = fmt.Errorf("segmentlog: %w", err)
+		l.poisonLocked(err)
+		return err
 	}
 	l.pend = l.pend[:0]
 	l.segs[len(l.segs)-1].size = l.off
 	return nil
+}
+
+// poisonLocked marks the active segment unusable after a failed write
+// or fsync. Everything at or above the durable watermark (syncedOff) is
+// of unknown on-disk state — the kernel may have dropped or torn those
+// pages — so those records are withdrawn from the index (preserving
+// "indexed ⇒ servable"; their bytes live on in l.unsynced, the salvage
+// copy) and the segment is logically sealed at the watermark. No
+// further byte is appended to the file; healLocked rewrites the
+// at-risk region into a fresh segment.
+func (l *Log) poisonLocked(cause error) {
+	if l.poisoned {
+		return
+	}
+	l.poisoned = true
+	l.poisonErr = cause
+	cur := len(l.segs) - 1
+	// Sync and flush always cover whole records, so the watermark is a
+	// record boundary: a meta either starts below it (durable) or at/
+	// above it (at risk) — never straddles.
+	recs := l.segRecs[cur]
+	keep := len(recs)
+	for keep > 0 && recs[keep-1].off-recordHeaderSize >= l.syncedOff {
+		keep--
+	}
+	l.atRisk = append(l.atRisk[:0], recs[keep:]...)
+	l.segRecs[cur] = recs[:keep]
+	l.segs[cur].size = l.syncedOff
+	l.segs[cur].sum = segSummary{bb: emptyBBox()}
+	for _, m := range l.segRecs[cur] {
+		l.segs[cur].sum.add(m)
+	}
+	// Withdraw the at-risk records from the per-device index. They are
+	// the newest entries of their devices (appends only extend the
+	// active tail), so popping each device's list tail — newest first —
+	// removes exactly them, without a full rebuild that would drop
+	// still-lazy sealed segments.
+	for i := len(l.atRisk) - 1; i >= 0; i-- {
+		dev := l.atRisk[i].device
+		lst := l.index[dev]
+		l.index[dev] = lst[:len(lst)-1]
+		if len(lst) == 1 {
+			delete(l.index, dev)
+		}
+	}
+	l.stats.Records -= len(l.atRisk)
+	l.off = l.syncedOff
+	l.pend = l.pend[:0] // mirrored in unsynced; the old file gets no more writes
+	l.recountBytesLocked()
+}
+
+// healLocked salvages a poisoned log: it seals the old active segment
+// at the durable watermark, rewrites the at-risk bytes into a fresh
+// fsync'd segment, publishes the new segment list, and re-indexes the
+// at-risk records there. On any failure the log stays poisoned — the
+// salvage copy is untouched, so the next Append/Sync retries. After a
+// successful heal every previously appended record is durable, so a
+// Sync that triggered it may report success.
+func (l *Log) healLocked() error {
+	f, seg, err := l.newSegmentFileLocked()
+	if err != nil {
+		return err
+	}
+	if len(l.unsynced) > 0 {
+		if _, err := f.Write(l.unsynced); err != nil {
+			f.Close()
+			l.fs.Remove(seg.path)
+			return fmt.Errorf("segmentlog: salvage: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.fs.Remove(seg.path)
+		return fmt.Errorf("segmentlog: salvage: %w", err)
+	}
+	cur := len(l.segs) - 1
+	seg.size = headerSize + int64(len(l.unsynced))
+	newSeg := cur
+	var dropPath string
+	if l.syncedOff == headerSize {
+		// No fsync ever succeeded on the old active file, so nothing in
+		// it is durable — even its 8-byte header may be lost. Sealing it
+		// would publish a segment whose on-disk bytes cannot be trusted;
+		// instead the salvage file takes its manifest slot and the old
+		// file becomes unreferenced debris (removed below, or swept by
+		// the next Open).
+		prevSeg, prevRecs := l.segs[cur], l.segRecs[cur]
+		dropPath = prevSeg.path
+		l.segs[cur] = seg
+		l.segRecs[cur] = nil
+		if err := l.writeManifestLocked(); err != nil {
+			// Without the publish the heal has not happened: a crash now
+			// must land on the old generation. The salvage file is left
+			// on disk (the manifest rename may have landed before the
+			// failure; see rotateLocked) and swept later.
+			l.segs[cur], l.segRecs[cur] = prevSeg, prevRecs
+			f.Close()
+			return err
+		}
+	} else {
+		// A successful fsync covered everything below the watermark —
+		// header included — so the old file can be sealed there. Its
+		// bytes beyond the watermark are of unknown content but may
+		// well be intact: left in place, a clean reopen would scan them
+		// AND the salvaged copies, serving duplicates. The truncate
+		// must therefore succeed before the new segment is published.
+		if err := l.fs.Truncate(l.segs[cur].path, l.syncedOff); err != nil {
+			f.Close()
+			l.fs.Remove(seg.path)
+			return fmt.Errorf("segmentlog: salvage: truncating poisoned segment: %w", err)
+		}
+		sealedIdx := false
+		if l.segs[cur].ver == version {
+			if err := writeBlockIndex(l.fs, l.segs[cur].path, l.syncedOff, l.segs[cur].ver, l.segRecs[cur]); err == nil {
+				sealedIdx = true
+			}
+		}
+		l.segs[cur].idx = sealedIdx
+		l.segs = append(l.segs, seg)
+		l.segRecs = append(l.segRecs, nil)
+		if err := l.writeManifestLocked(); err != nil {
+			l.segs = l.segs[:len(l.segs)-1]
+			l.segRecs = l.segRecs[:len(l.segRecs)-1]
+			l.segs[cur].idx = false
+			f.Close()
+			return err
+		}
+		newSeg = len(l.segs) - 1
+	}
+	salvaged := l.atRisk
+	l.atRisk = nil
+	for _, m := range salvaged {
+		m.off = m.off - l.syncedOff + headerSize
+		l.addRecordLocked(newSeg, m)
+	}
+	old := l.active
+	l.active = f
+	l.off = headerSize + int64(len(l.unsynced))
+	l.syncedOff = l.off
+	l.unsynced = l.unsynced[:0]
+	l.poisoned = false
+	l.poisonErr = nil
+	l.recountBytesLocked()
+	old.Close() // best-effort: the handle points at a superseded file
+	if dropPath != "" {
+		l.fs.Remove(dropPath) // best-effort: unreferenced since the publish
+	}
+	return nil
+}
+
+// recountBytesLocked recomputes Stats.Bytes from the segment list (the
+// active segment counts its logical size including buffered appends).
+func (l *Log) recountBytesLocked() {
+	var bytes int64
+	for i, s := range l.segs {
+		if i == len(l.segs)-1 && !l.ro {
+			bytes += l.off
+		} else {
+			bytes += s.size
+		}
+	}
+	l.stats.Bytes = bytes
 }
 
 // rotateLocked seals the active segment and starts the next one. The
@@ -1155,17 +1375,36 @@ func (l *Log) flushLocked() error {
 // (the segment scans fine), never the rotation.
 func (l *Log) rotateLocked() error {
 	if err := l.flushLocked(); err != nil {
+		// flushLocked poisoned the segment; a successful salvage IS the
+		// rotation (old segment sealed at the watermark, at-risk records
+		// re-landed in a fresh fsync'd file), so the append succeeds.
+		if healErr := l.healLocked(); healErr == nil {
+			return nil
+		}
 		return err
 	}
 	if !l.opts.NoSyncOnRotate {
 		if err := l.active.Sync(); err != nil {
-			return fmt.Errorf("segmentlog: %w", err)
+			// After a failed fsync the dirty pages' fate is unknown —
+			// retrying the Sync and trusting the file would be the
+			// fsyncgate bug. Poison the segment and salvage instead.
+			err = fmt.Errorf("segmentlog: %w", err)
+			l.poisonLocked(err)
+			if healErr := l.healLocked(); healErr == nil {
+				return nil
+			}
+			return err
 		}
 	}
+	// Either the fsync above succeeded or NoSyncOnRotate explicitly
+	// traded durability away; either way the salvage copy must not
+	// outlive the segment its offsets index into.
+	l.syncedOff = l.off
+	l.unsynced = l.unsynced[:0]
 	cur := len(l.segs) - 1
 	sealedIdx := false
 	if l.segs[cur].ver == version {
-		if err := writeBlockIndex(l.segs[cur].path, l.off, l.segs[cur].ver, l.segRecs[cur]); err == nil {
+		if err := writeBlockIndex(l.fs, l.segs[cur].path, l.off, l.segs[cur].ver, l.segRecs[cur]); err == nil {
 			sealedIdx = true
 		}
 	}
@@ -1194,6 +1433,7 @@ func (l *Log) rotateLocked() error {
 	old := l.active
 	l.active = f
 	l.off = headerSize
+	l.syncedOff = headerSize // the header was fsync'd by newSegmentFileLocked
 	l.stats.Bytes += headerSize
 	if err := old.Close(); err != nil {
 		// The new segment is already active and the old one was flushed
@@ -1205,22 +1445,47 @@ func (l *Log) rotateLocked() error {
 
 // Sync flushes buffered records and fsyncs the active segment: every
 // Append that returned before Sync was called is durable once Sync
-// returns.
+// returns. A failed fsync is never retried against the same file —
+// the kernel may have dropped the dirty pages, so a later "successful"
+// fsync would silently lose them (the fsyncgate bug). Instead the
+// active segment is poisoned and the un-synced records are salvaged
+// into a fresh file; when that succeeds the data IS durable and Sync
+// reports success.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
 	if l.closed {
 		return ErrClosed
 	}
 	if l.ro {
 		return ErrReadOnly
 	}
+	if l.poisoned {
+		if err := l.healLocked(); err != nil {
+			return fmt.Errorf("segmentlog: active segment poisoned (%v); salvage failed: %w", l.poisonErr, err)
+		}
+		return nil // healLocked fsync'd everything previously appended
+	}
 	if err := l.flushLocked(); err != nil {
+		if healErr := l.healLocked(); healErr == nil {
+			return nil
+		}
 		return err
 	}
 	if err := l.active.Sync(); err != nil {
-		return fmt.Errorf("segmentlog: %w", err)
+		err = fmt.Errorf("segmentlog: %w", err)
+		l.poisonLocked(err)
+		if healErr := l.healLocked(); healErr == nil {
+			return nil
+		}
+		return err
 	}
+	l.syncedOff = l.off
+	l.unsynced = l.unsynced[:0]
 	return nil
 }
 
@@ -1242,13 +1507,12 @@ func (l *Log) Close() error {
 		return nil
 	}
 	defer l.releaseLock()
-	if err := l.flushLocked(); err != nil {
+	l.closed = false // syncLocked (and a salvage within it) must still run
+	err := l.syncLocked()
+	l.closed = true
+	if err != nil {
 		l.active.Close()
 		return err
-	}
-	if err := l.active.Sync(); err != nil {
-		l.active.Close()
-		return fmt.Errorf("segmentlog: %w", err)
 	}
 	return l.active.Close()
 }
@@ -1346,7 +1610,7 @@ func (l *Log) queryOnce(device string, t0, t1 uint32) (out []Record, retry bool,
 	if err != nil {
 		return nil, false, err
 	}
-	files := newSegReader(segs)
+	files := newSegReader(l.fs, segs)
 	defer files.close()
 	for _, ref := range refs {
 		body, err := files.readRecord(ref)
@@ -1375,7 +1639,10 @@ func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]refSnap, []segSnap, 
 	if l.closed {
 		return nil, nil, ErrClosed
 	}
-	if err := l.flushLocked(); err != nil {
+	// A flush failure poisons the active segment and withdraws the
+	// at-risk records from the index, leaving it consistent — queries
+	// keep answering from the durable prefix while the log is degraded.
+	if err := l.flushLocked(); err != nil && !l.poisoned {
 		return nil, nil, err
 	}
 	if err := l.ensureAllLoadedLocked(); err != nil {
@@ -1398,12 +1665,13 @@ func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]refSnap, []segSnap, 
 // segReader reads CRC-verified record bodies from a segment snapshot,
 // caching one open file handle per segment.
 type segReader struct {
+	fs    vfs.FS
 	segs  []segSnap
-	files map[int]*os.File
+	files map[int]vfs.File
 }
 
-func newSegReader(segs []segSnap) *segReader {
-	return &segReader{segs: segs, files: make(map[int]*os.File)}
+func newSegReader(fsys vfs.FS, segs []segSnap) *segReader {
+	return &segReader{fs: fsys, segs: segs, files: make(map[int]vfs.File)}
 }
 
 func (r *segReader) close() {
@@ -1419,7 +1687,7 @@ func (r *segReader) readRecord(ref refSnap) ([]byte, error) {
 	f := r.files[ref.seg]
 	if f == nil {
 		var err error
-		f, err = os.Open(r.segs[ref.seg].path)
+		f, err = r.fs.Open(r.segs[ref.seg].path)
 		if err != nil {
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
@@ -1431,7 +1699,7 @@ func (r *segReader) readRecord(ref refSnap) ([]byte, error) {
 // readRecordAt reads one record — header and body — at a known body
 // offset via pread (safe for concurrent use of a shared handle) and
 // re-verifies the length prefix and CRC against the indexed metadata.
-func readRecordAt(f *os.File, off int64, bodyLen int) ([]byte, error) {
+func readRecordAt(f io.ReaderAt, off int64, bodyLen int) ([]byte, error) {
 	rec := make([]byte, recordHeaderSize+bodyLen)
 	if _, err := f.ReadAt(rec, off-recordHeaderSize); err != nil {
 		return nil, fmt.Errorf("segmentlog: reading record: %w", err)

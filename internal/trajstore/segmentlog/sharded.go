@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 // A ShardedLog fans one logical segment log out over N independent
@@ -54,7 +55,8 @@ import (
 type ShardedLog struct {
 	dir    string
 	ro     bool
-	lock   *os.File
+	fs     vfs.FS // never nil; resolved from Options.FS at open
+	lock   vfs.File
 	shards []*Log
 
 	mu     sync.Mutex
@@ -117,8 +119,8 @@ func parseShards(data []byte) (int, error) {
 }
 
 // readShards reads dir's SHARDS file; found is false when none exists.
-func readShards(dir string) (n int, found bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, shardsName))
+func readShards(fsys vfs.FS, dir string) (n int, found bool, err error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, shardsName))
 	if os.IsNotExist(err) {
 		return 0, false, nil
 	}
@@ -135,9 +137,9 @@ func readShards(dir string) (n int, found bool, err error) {
 // writeShards atomically publishes dir's SHARDS file: temp file, fsync,
 // rename, directory fsync. This is the commit point of both fresh
 // sharded-log creation and legacy migration.
-func writeShards(dir string, n int) error {
+func writeShards(fsys vfs.FS, dir string, n int) error {
 	tmp := filepath.Join(dir, shardsTmpName)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("segmentlog: SHARDS: %w", err)
 	}
@@ -146,18 +148,18 @@ func writeShards(dir string, n int) error {
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: SHARDS: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: SHARDS: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, shardsName)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, shardsName)); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: SHARDS: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // OpenSharded opens (creating or migrating if necessary) the sharded
@@ -174,9 +176,13 @@ func OpenSharded(dir string, shards int, opts Options) (*ShardedLog, error) {
 	if shards > MaxShards {
 		return nil, fmt.Errorf("segmentlog: shard count %d exceeds MaxShards %d", shards, MaxShards)
 	}
-	s := &ShardedLog{dir: dir, ro: opts.ReadOnly}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	s := &ShardedLog{dir: dir, ro: opts.ReadOnly, fs: fsys}
 	if s.ro {
-		n, found, err := readShards(dir)
+		n, found, err := readShards(s.fs, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -186,10 +192,10 @@ func OpenSharded(dir string, shards int, opts Options) (*ShardedLog, error) {
 		return s, s.openShards(n, opts)
 	}
 
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("segmentlog: %w", err)
 	}
-	lock, err := acquireLock(dir)
+	lock, err := acquireLock(s.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +207,7 @@ func OpenSharded(dir string, shards int, opts Options) (*ShardedLog, error) {
 		}
 	}()
 
-	n, found, err := readShards(dir)
+	n, found, err := readShards(s.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +215,7 @@ func OpenSharded(dir string, shards int, opts Options) (*ShardedLog, error) {
 		// Already sharded. A crash between the SHARDS commit and the end
 		// of migration may have left legacy root files behind — finish
 		// deleting them before anything else re-reads them.
-		if err := removeLegacyFiles(dir); err != nil {
+		if err := removeLegacyFiles(s.fs, dir); err != nil {
 			return nil, err
 		}
 	} else {
@@ -218,10 +224,10 @@ func OpenSharded(dir string, shards int, opts Options) (*ShardedLog, error) {
 		// migration (or creation) that crashed before its commit point;
 		// the legacy root files are still the authoritative copy, so
 		// rebuild from scratch.
-		if err := removeShardDirs(dir); err != nil {
+		if err := removeShardDirs(s.fs, dir); err != nil {
 			return nil, err
 		}
-		if hasLegacy, err := hasLegacyLog(dir); err != nil {
+		if hasLegacy, err := hasLegacyLog(s.fs, dir); err != nil {
 			return nil, err
 		} else if hasLegacy {
 			if err := s.migrateLegacy(n, opts); err != nil {
@@ -231,7 +237,7 @@ func OpenSharded(dir string, shards int, opts Options) (*ShardedLog, error) {
 			if err := s.openShards(n, opts); err != nil {
 				return nil, err
 			}
-			if err := writeShards(dir, n); err != nil {
+			if err := writeShards(s.fs, dir, n); err != nil {
 				s.closeShards()
 				return nil, err
 			}
@@ -285,13 +291,13 @@ func (s *ShardedLog) closeShards() {
 
 // hasLegacyLog reports whether dir's root holds a single-log: a
 // MANIFEST, or (pre-manifest layouts) any segment file.
-func hasLegacyLog(dir string) (bool, error) {
-	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+func hasLegacyLog(fsys vfs.FS, dir string) (bool, error) {
+	if _, err := fsys.Stat(filepath.Join(dir, manifestName)); err == nil {
 		return true, nil
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return false, fmt.Errorf("segmentlog: %w", err)
 	}
-	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	matches, err := fsys.Glob(filepath.Join(dir, "seg-*.log"))
 	if err != nil {
 		return false, fmt.Errorf("segmentlog: %w", err)
 	}
@@ -299,14 +305,14 @@ func hasLegacyLog(dir string) (bool, error) {
 }
 
 // removeShardDirs deletes every shard-* subdirectory of dir.
-func removeShardDirs(dir string) error {
-	entries, err := os.ReadDir(dir)
+func removeShardDirs(fsys vfs.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("segmentlog: %w", err)
 	}
 	for _, e := range entries {
 		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
-			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			if err := fsys.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
 				return fmt.Errorf("segmentlog: removing stale %s: %w", e.Name(), err)
 			}
 		}
@@ -317,8 +323,8 @@ func removeShardDirs(dir string) error {
 // removeLegacyFiles deletes the single-log files from dir's root: the
 // MANIFEST, its temp file, and every segment and block-index file. Only
 // called once SHARDS exists (the shards hold all the data).
-func removeLegacyFiles(dir string) error {
-	entries, err := os.ReadDir(dir)
+func removeLegacyFiles(fsys vfs.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("segmentlog: %w", err)
 	}
@@ -333,13 +339,13 @@ func removeLegacyFiles(dir string) error {
 		if !isSeg && !isIdx && name != manifestName && name != manifestTmpName {
 			continue
 		}
-		if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("segmentlog: removing legacy %s: %w", name, err)
 		}
 		removed = true
 	}
 	if removed {
-		return syncDir(dir)
+		return syncDir(fsys, dir)
 	}
 	return nil
 }
@@ -378,7 +384,7 @@ func (s *ShardedLog) migrateLegacy(n int, opts Options) error {
 		s.closeShards()
 		return err
 	}
-	if err := writeShards(s.dir, n); err != nil {
+	if err := writeShards(s.fs, s.dir, n); err != nil {
 		s.closeShards()
 		return err
 	}
@@ -387,7 +393,7 @@ func (s *ShardedLog) migrateLegacy(n int, opts Options) error {
 		// removed below regardless.
 		_ = err
 	}
-	return removeLegacyFiles(s.dir)
+	return removeLegacyFiles(s.fs, s.dir)
 }
 
 // releaseLock drops the top-level directory lock; a no-op in read-only

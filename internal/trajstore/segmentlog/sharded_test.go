@@ -1,7 +1,6 @@
 package segmentlog
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -12,6 +11,7 @@ import (
 	"testing"
 
 	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 func mustOpenSharded(t *testing.T, dir string, shards int, opts Options) *ShardedLog {
@@ -417,46 +417,50 @@ func TestShardedCompactCrashAtEveryStep(t *testing.T) {
 		return dir, want
 	}
 
-	// Discover the hook steps on a throwaway copy.
+	// Observer pass: measure the op window (n0, n1] one shard's
+	// compaction spans. Shard opens are sequential and the fixture is
+	// deterministic, so op k is the same operation in every run; the
+	// crash is driven through ShardLog(0).Compact directly because the
+	// sharded Compact fans out in parallel, which would scramble the
+	// global op counter.
 	probeDir, _ := build(t)
-	probe := mustOpenSharded(t, probeDir, 0, Options{MaxSegmentBytes: 512})
-	var steps []string
-	probe.ShardLog(0).compactHook = func(step string) error {
-		steps = append(steps, step)
-		return nil
-	}
-	if _, err := probe.Compact(CompactionPolicy{MergeChunks: true}); err != nil {
+	obs := vfs.NewFaultFS(0)
+	probe := mustOpenSharded(t, probeDir, 0, Options{MaxSegmentBytes: 512, FS: obs})
+	n0 := obs.Ops()
+	if _, err := probe.ShardLog(0).Compact(CompactionPolicy{MergeChunks: true}); err != nil {
 		t.Fatal(err)
 	}
+	n1 := obs.Ops()
 	if err := probe.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if len(steps) < 3 {
-		t.Fatalf("compaction fired only %d hook steps: %v", len(steps), steps)
+	if n1-n0 < 10 {
+		t.Fatalf("shard compaction spanned only %d fs ops; observer pass broken?", n1-n0)
 	}
 
-	for _, stop := range steps {
-		t.Run(strings.ReplaceAll(stop, ":", "_"), func(t *testing.T) {
+	for k := n0 + 1; k <= n1; k++ {
+		k := k
+		t.Run(fmt.Sprintf("op-%03d", k), func(t *testing.T) {
+			t.Parallel()
 			dir, want := build(t)
-			s := mustOpenSharded(t, dir, 0, Options{MaxSegmentBytes: 512})
-			s.ShardLog(0).compactHook = func(step string) error {
-				if step == stop {
-					return errors.New("simulated crash at " + step)
-				}
-				return nil
+			fs := vfs.NewFaultFS(int64(k)) // seed varies the torn-rename coin flips
+			fs.AddRule(vfs.Rule{Fault: vfs.FaultCrash, After: k - 1, Count: 1})
+			s, err := OpenSharded(dir, 0, Options{MaxSegmentBytes: 512, FS: fs})
+			if err != nil {
+				t.Fatalf("open died before the crash point: %v", err)
 			}
-			_, err := s.Compact(CompactionPolicy{MergeChunks: true})
-			if err == nil {
-				t.Fatalf("compaction survived crash at %q", stop)
+			// The pass usually dies at op k; a crash inside the
+			// best-effort delete sweep can still report success.
+			_, _ = s.ShardLog(0).Compact(CompactionPolicy{MergeChunks: true})
+			if !fs.Crashed() {
+				t.Fatalf("schedule never crashed: %s", fs)
 			}
-			// "Crash": drop the handle (everything was synced before the
-			// pass, so the close flushes nothing) and recover fresh.
 			s.Close()
 
 			r := mustOpenSharded(t, dir, 0, Options{MaxSegmentBytes: 512})
 			defer r.Close()
 			if st := r.Stats(); st.Devices != 8 {
-				t.Fatalf("crash at %q lost devices: %+v", stop, st)
+				t.Fatalf("crash at op %d lost devices: %+v", k, st)
 			}
 			for dev, keys := range want {
 				recs, err := r.Query(dev, 0, math.MaxUint32)
@@ -464,7 +468,7 @@ func TestShardedCompactCrashAtEveryStep(t *testing.T) {
 					t.Fatal(err)
 				}
 				if got := stitch(recs); !reflect.DeepEqual(got, keys) {
-					t.Fatalf("crash at %q: %s polyline diverged after recovery", stop, dev)
+					t.Fatalf("crash at op %d: %s polyline diverged after recovery", k, dev)
 				}
 			}
 		})

@@ -1,0 +1,668 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names one filesystem operation kind for fault-rule matching.
+type Op string
+
+// Operation kinds. FS-level and File-level operations share one
+// namespace; a Rule with an empty Op matches all of them.
+const (
+	OpOpenFile  Op = "openfile"
+	OpOpen      Op = "open"
+	OpReadFile  Op = "readfile"
+	OpRename    Op = "rename"
+	OpRemove    Op = "remove"
+	OpRemoveAll Op = "removeall"
+	OpReadDir   Op = "readdir"
+	OpStat      Op = "stat"
+	OpMkdirAll  Op = "mkdirall"
+	OpTruncate  Op = "truncate"
+	OpGlob      Op = "glob"
+	OpWrite     Op = "write"
+	OpWriteAt   Op = "writeat"
+	OpReadAt    Op = "readat"
+	OpSeek      Op = "seek"
+	OpSync      Op = "sync"
+	OpClose     Op = "close"
+)
+
+// Fault is what happens when a rule fires.
+type Fault int
+
+const (
+	// FaultEIO fails the operation with syscall.EIO. On a Sync it
+	// additionally drops the file's un-synced bytes (fsyncgate
+	// semantics — see Rule).
+	FaultEIO Fault = iota
+	// FaultENOSPC fails the operation with syscall.ENOSPC (same Sync
+	// semantics as FaultEIO).
+	FaultENOSPC
+	// FaultShortWrite writes roughly half the buffer, then fails with
+	// EIO. On non-write operations it behaves like FaultEIO.
+	FaultShortWrite
+	// FaultCrash simulates power loss at this operation: the
+	// operation fails, every open handle is closed, all bytes not
+	// covered by a successful Sync are lost, files whose directory
+	// entries were never fsynced may vanish, and un-fsynced renames
+	// may be rolled back (each choice drawn from the seeded RNG).
+	// Every further operation on this FaultFS fails with ErrCrashed;
+	// reopen the directory through a fresh FS to model restart.
+	FaultCrash
+)
+
+// ErrCrashed reports an operation attempted after a simulated crash.
+var ErrCrashed = errors.New("vfs: filesystem crashed")
+
+// Rule arms one fault. Rules are evaluated in order; the first rule
+// matching an operation decides it.
+//
+// Fsyncgate semantics: when a rule fails a Sync, the real file is
+// immediately truncated back to its last durably-synced size — the
+// kernel analogue of dirty pages being dropped and marked clean after
+// a failed fsync. Code that retries the Sync and trusts a later
+// success therefore loses data visibly, which is exactly the bug class
+// this models.
+type Rule struct {
+	// Op restricts the rule to one operation kind; empty matches any.
+	Op Op
+	// Path, when non-empty, is a filepath.Match pattern tested
+	// against the operation's base file name ("seg-*.log", "MANIFEST*").
+	Path string
+	// Fault is the injected failure.
+	Fault Fault
+	// After skips the first After matching operations.
+	After int
+	// Count fires on at most Count matches after the skip; 0 means
+	// every one (a sustained fault, e.g. a full disk).
+	Count int
+
+	seen int
+}
+
+// FaultFS is a deterministic fault-injecting filesystem over real
+// paths. The zero value is not usable; construct with NewFaultFS. All
+// methods are safe for concurrent use (one internal lock serializes
+// them — this is a test filesystem, not a fast one).
+type FaultFS struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []*Rule
+	ops     int
+	crashed bool
+
+	files map[*faultFile]struct{}
+	// synced tracks each path's durable byte count: what survives a
+	// crash. Files first seen pre-existing count as fully durable.
+	synced map[string]int64
+	// pendingCreate holds paths created since the last fsync of their
+	// parent directory; without that fsync the entry itself may
+	// vanish in a crash.
+	pendingCreate map[string]bool
+	// pendingRename holds renames whose directory was not yet
+	// fsynced; a crash may roll each one back.
+	pendingRename []renameRec
+}
+
+type renameRec struct {
+	dir, from, to string
+	destSaved     []byte // dest content at rename time (nil if none)
+	destExisted   bool
+	destSynced    int64
+	fromPending   bool // the source entry itself was never dir-synced
+}
+
+// NewFaultFS returns a FaultFS whose crash choices (which un-synced
+// renames/creates survive) are drawn deterministically from seed.
+func NewFaultFS(seed int64) *FaultFS {
+	return &FaultFS{
+		rng:           rand.New(rand.NewSource(seed)),
+		files:         make(map[*faultFile]struct{}),
+		synced:        make(map[string]int64),
+		pendingCreate: make(map[string]bool),
+	}
+}
+
+// AddRule arms one fault rule (appended after existing rules).
+func (f *FaultFS) AddRule(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &r)
+}
+
+// ClearRules disarms every rule — the disk "recovers". Durable-state
+// tracking and the op counter continue.
+func (f *FaultFS) ClearRules() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Ops returns the number of operations observed so far, the coordinate
+// system of Rule.After. An observer pass with no rules measures a
+// workload's op count; a second run can then target any single op.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether a simulated crash has happened (by rule or
+// explicit Crash call).
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Crash simulates power loss now: see FaultCrash.
+func (f *FaultFS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashLocked()
+}
+
+// step counts one operation and returns the fault to inject, if any.
+// Callers hold mu.
+func (f *FaultFS) step(op Op, path string) (Fault, error) {
+	if f.crashed {
+		return 0, &os.PathError{Op: string(op), Path: path, Err: ErrCrashed}
+	}
+	f.ops++
+	for _, r := range f.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Path != "" {
+			if ok, err := filepath.Match(r.Path, filepath.Base(path)); err != nil || !ok {
+				continue
+			}
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.seen > r.After+r.Count {
+			continue
+		}
+		return r.Fault, errFor(r.Fault, op, path)
+	}
+	return 0, nil
+}
+
+func errFor(fault Fault, op Op, path string) error {
+	errno := syscall.EIO
+	if fault == FaultENOSPC {
+		errno = syscall.ENOSPC
+	}
+	return &os.PathError{Op: string(op), Path: path, Err: errno}
+}
+
+// crashLocked applies the durable-state model: close every handle
+// (releasing flocks so the same process can reopen), roll back or keep
+// each un-synced rename and create by seeded choice, and truncate
+// every tracked file to its synced size.
+func (f *FaultFS) crashLocked() {
+	if f.crashed {
+		return
+	}
+	f.crashed = true
+	for ff := range f.files {
+		ff.f.Close()
+		ff.dead = true
+	}
+	// Renames, newest first, so stacked renames of one path unwind in
+	// order.
+	for i := len(f.pendingRename) - 1; i >= 0; i-- {
+		r := f.pendingRename[i]
+		if f.rng.Intn(2) == 0 {
+			continue // this rename reached disk
+		}
+		data, err := os.ReadFile(r.to)
+		if err == nil && !r.fromPending {
+			os.WriteFile(r.from, data, 0o644)
+			f.synced[r.from] = f.synced[r.to]
+		}
+		if r.destExisted {
+			os.WriteFile(r.to, r.destSaved, 0o644)
+			f.synced[r.to] = r.destSynced
+		} else {
+			os.Remove(r.to)
+			delete(f.synced, r.to)
+		}
+	}
+	f.pendingRename = nil
+	// Creates whose directory entry never became durable.
+	creates := make([]string, 0, len(f.pendingCreate))
+	for p := range f.pendingCreate {
+		creates = append(creates, p)
+	}
+	sort.Strings(creates)
+	for _, p := range creates {
+		if f.rng.Intn(2) == 0 {
+			continue // the entry happened to reach disk
+		}
+		os.Remove(p)
+		delete(f.synced, p)
+	}
+	f.pendingCreate = nil
+	// Un-synced bytes are gone.
+	paths := make([]string, 0, len(f.synced))
+	for p := range f.synced {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil && !fi.IsDir() && fi.Size() > f.synced[p] {
+			os.Truncate(p, f.synced[p])
+		}
+	}
+}
+
+// seedSynced initializes a path's durable baseline on first contact:
+// a file that existed before this FS ever touched it predates the
+// fault epoch and counts as fully durable.
+func (f *FaultFS) seedSynced(path string) {
+	if _, ok := f.synced[path]; ok {
+		return
+	}
+	if fi, err := os.Stat(path); err == nil && !fi.IsDir() {
+		f.synced[path] = fi.Size()
+	}
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpOpenFile, name); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	_, existed := f.synced[name]
+	if !existed {
+		if _, err := os.Stat(name); err == nil {
+			existed = true
+		}
+	}
+	rf, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if !existed {
+		// Created by this open: no bytes durable, entry pending until
+		// the directory is fsynced.
+		f.synced[name] = 0
+		f.pendingCreate[name] = true
+	} else {
+		f.seedSynced(name)
+		if flag&os.O_TRUNC != 0 {
+			// Truncation is modeled as immediately durable: the old
+			// content is gone, the new bytes are pending.
+			f.synced[name] = 0
+		}
+	}
+	ff := &faultFile{fs: f, f: rf, path: name}
+	if fi, err := rf.Stat(); err == nil && fi.IsDir() {
+		ff.isDir = true
+	}
+	f.files[ff] = struct{}{}
+	return ff, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpOpen, name); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	rf, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f.seedSynced(name)
+	ff := &faultFile{fs: f, f: rf, path: name}
+	if fi, err := rf.Stat(); err == nil && fi.IsDir() {
+		ff.isDir = true
+	}
+	f.files[ff] = struct{}{}
+	return ff, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpReadFile, name); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	return os.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpRename, newpath); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return err
+	}
+	f.seedSynced(oldpath)
+	f.seedSynced(newpath)
+	rec := renameRec{dir: filepath.Dir(newpath), from: oldpath, to: newpath, fromPending: f.pendingCreate[oldpath]}
+	if data, err := os.ReadFile(newpath); err == nil {
+		rec.destExisted = true
+		rec.destSaved = data
+		rec.destSynced = f.synced[newpath]
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.synced[newpath] = f.synced[oldpath]
+	delete(f.synced, oldpath)
+	delete(f.pendingCreate, oldpath)
+	f.pendingRename = append(f.pendingRename, rec)
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpRemove, name); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return err
+	}
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	// Removal is modeled as immediately durable.
+	delete(f.synced, name)
+	delete(f.pendingCreate, name)
+	return nil
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpRemoveAll, path); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return err
+	}
+	if err := os.RemoveAll(path); err != nil {
+		return err
+	}
+	for p := range f.synced {
+		if p == path || inDir(p, path) {
+			delete(f.synced, p)
+		}
+	}
+	for p := range f.pendingCreate {
+		if p == path || inDir(p, path) {
+			delete(f.pendingCreate, p)
+		}
+	}
+	return nil
+}
+
+func inDir(p, dir string) bool {
+	rel, err := filepath.Rel(dir, p)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpReadDir, name); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	return os.ReadDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpStat, name); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	return os.Stat(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpMkdirAll, path); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpTruncate, name); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return err
+	}
+	if err := os.Truncate(name, size); err != nil {
+		return err
+	}
+	f.seedSynced(name)
+	if f.synced[name] > size {
+		f.synced[name] = size
+	}
+	return nil
+}
+
+func (f *FaultFS) Glob(pattern string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fault, err := f.step(OpGlob, pattern); err != nil {
+		if fault == FaultCrash {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	return filepath.Glob(pattern)
+}
+
+// faultFile is one open handle through the fault layer.
+type faultFile struct {
+	fs    *FaultFS
+	f     *os.File
+	path  string
+	isDir bool
+	dead  bool // real handle closed by a simulated crash
+}
+
+// step counts one file operation; a dead handle (post-crash) always
+// fails.
+func (ff *faultFile) step(op Op) (Fault, error) {
+	if ff.dead {
+		return 0, &os.PathError{Op: string(op), Path: ff.path, Err: ErrCrashed}
+	}
+	return ff.fs.step(op, ff.path)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	fault, err := ff.step(OpWrite)
+	if err != nil {
+		switch fault {
+		case FaultCrash:
+			ff.fs.crashLocked()
+		case FaultShortWrite:
+			n, _ := ff.f.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	fault, err := ff.step(OpWriteAt)
+	if err != nil {
+		switch fault {
+		case FaultCrash:
+			ff.fs.crashLocked()
+		case FaultShortWrite:
+			n, _ := ff.f.WriteAt(p[:len(p)/2], off)
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if fault, err := ff.step(OpReadAt); err != nil {
+		if fault == FaultCrash {
+			ff.fs.crashLocked()
+		}
+		return 0, err
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if fault, err := ff.step(OpSeek); err != nil {
+		if fault == FaultCrash {
+			ff.fs.crashLocked()
+		}
+		return 0, err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	fault, err := ff.step(OpSync)
+	if err != nil {
+		if fault == FaultCrash {
+			ff.fs.crashLocked()
+			return err
+		}
+		if !ff.isDir && !ff.dead {
+			// Fsyncgate: the failed fsync dropped the dirty pages. The
+			// un-synced bytes are gone NOW, not at some future crash —
+			// code that retries the Sync and believes a later success
+			// covers them is wrong, and this makes it visibly wrong.
+			if n, ok := ff.fs.synced[ff.path]; ok {
+				os.Truncate(ff.path, n)
+			}
+		}
+		return err
+	}
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	if ff.isDir {
+		// Directory fsync: entries (creates, renames) under this
+		// directory become durable.
+		for p := range ff.fs.pendingCreate {
+			if filepath.Dir(p) == ff.path {
+				delete(ff.fs.pendingCreate, p)
+			}
+		}
+		kept := ff.fs.pendingRename[:0]
+		for _, r := range ff.fs.pendingRename {
+			if r.dir != ff.path {
+				kept = append(kept, r)
+			}
+		}
+		ff.fs.pendingRename = kept
+	} else if fi, err := ff.f.Stat(); err == nil {
+		ff.fs.synced[ff.path] = fi.Size()
+	}
+	return nil
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if fault, err := ff.step(OpTruncate); err != nil {
+		if fault == FaultCrash {
+			ff.fs.crashLocked()
+		}
+		return err
+	}
+	if err := ff.f.Truncate(size); err != nil {
+		return err
+	}
+	if ff.fs.synced[ff.path] > size {
+		ff.fs.synced[ff.path] = size
+	}
+	return nil
+}
+
+func (ff *faultFile) Close() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.dead {
+		delete(ff.fs.files, ff)
+		return &os.PathError{Op: "close", Path: ff.path, Err: ErrCrashed}
+	}
+	if fault, err := ff.fs.step(OpClose, ff.path); err != nil {
+		if fault == FaultCrash {
+			ff.fs.crashLocked()
+		}
+		return err
+	}
+	delete(ff.fs.files, ff)
+	return ff.f.Close()
+}
+
+func (ff *faultFile) Fd() uintptr {
+	if ff.dead {
+		return ^uintptr(0)
+	}
+	return ff.f.Fd()
+}
+
+// String aids test failure messages.
+func (f *FaultFS) String() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fmt.Sprintf("FaultFS{ops: %d, rules: %d, crashed: %v}", f.ops, len(f.rules), f.crashed)
+}

@@ -1,0 +1,355 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func write(t *testing.T, f File, data string) {
+	t.Helper()
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readBack(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.txt")
+	f, err := OS.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "hello")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(p)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := OS.Rename(p, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	matches, err := OS.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("Glob = %v, %v", matches, err)
+	}
+}
+
+func TestFaultNthOp(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(1)
+	p := filepath.Join(dir, "f")
+
+	// Observer pass: count the ops of the workload.
+	f, err := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "x") // op 2
+	if err := f.Close(); err != nil {
+		t.Fatal(err) // op 3
+	}
+	if got := ffs.Ops(); got != 3 {
+		t.Fatalf("Ops = %d, want 3", got)
+	}
+
+	// Targeted pass: fail exactly the write (op 2) with ENOSPC.
+	ffs2 := NewFaultFS(1)
+	ffs2.AddRule(Rule{Fault: FaultENOSPC, After: 1, Count: 1})
+	f2, err := ffs2.OpenFile(filepath.Join(dir, "g"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write = %v, want ENOSPC", err)
+	}
+	if _, err := f2.Write([]byte("x")); err != nil {
+		t.Fatalf("write after window: %v", err)
+	}
+	f2.Close()
+}
+
+func TestFaultPattern(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(1)
+	ffs.AddRule(Rule{Op: OpSync, Path: "seg-*.log", Fault: FaultEIO})
+	seg, err := ffs.OpenFile(filepath.Join(dir, "seg-00000001.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := ffs.OpenFile(filepath.Join(dir, "other.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("seg sync = %v, want EIO", err)
+	}
+	if err := other.Sync(); err != nil {
+		t.Fatalf("other sync = %v", err)
+	}
+	seg.Close()
+	other.Close()
+}
+
+// TestFsyncgate pins the headline semantic: bytes written after the
+// last successful Sync are DROPPED by a failed Sync — a later
+// successful Sync does not resurrect them.
+func TestFsyncgate(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(1)
+	p := filepath.Join(dir, "f")
+	f, err := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "durable")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "-doomed")
+	ffs.AddRule(Rule{Op: OpSync, Fault: FaultEIO, Count: 1})
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync = %v, want EIO", err)
+	}
+	// The dirty bytes are already gone; a retried (now passing) Sync
+	// must not bring them back.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retried sync: %v", err)
+	}
+	if got := readBack(t, p); got != "durable" {
+		t.Fatalf("content = %q, want %q (un-synced bytes must be lost)", got, "durable")
+	}
+	f.Close()
+}
+
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(1)
+	p := filepath.Join(dir, "f")
+	f, err := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.AddRule(Rule{Op: OpWrite, Fault: FaultShortWrite, Count: 1})
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write = %v, want EIO", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	f.Close()
+	if got := readBack(t, p); got != "01234" {
+		t.Fatalf("content = %q, want the short prefix", got)
+	}
+}
+
+func TestCrashLosesUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(7)
+	p := filepath.Join(dir, "f")
+	f, err := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "durable")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "-volatile")
+	ffs.Crash()
+	if got := readBack(t, p); got != "durable" {
+		t.Fatalf("content after crash = %q, want %q", got, "durable")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := ffs.Open(p); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash = %v, want ErrCrashed", err)
+	}
+	// A fresh FS (the "restarted process") sees the durable prefix.
+	if data, err := NewFaultFS(1).ReadFile(p); err != nil || string(data) != "durable" {
+		t.Fatalf("post-restart read = %q, %v", data, err)
+	}
+}
+
+// TestCrashRenameTornOrAtomic: an un-dir-synced rename either fully
+// survives a crash or fully rolls back — never a mix — and a dir-synced
+// rename always survives.
+func TestCrashRename(t *testing.T) {
+	sawOld, sawNew := false, false
+	for seed := int64(0); seed < 20; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(seed)
+		dst := filepath.Join(dir, "MANIFEST")
+		if err := os.WriteFile(dst, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tmp := filepath.Join(dir, "MANIFEST.tmp")
+		f, err := ffs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "new")
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := ffs.Rename(tmp, dst); err != nil {
+			t.Fatal(err)
+		}
+		ffs.Crash()
+		switch got := readBack(t, dst); got {
+		case "old":
+			sawOld = true
+		case "new":
+			sawNew = true
+		default:
+			t.Fatalf("seed %d: MANIFEST = %q, want old or new", seed, got)
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("20 seeds never exercised both rename outcomes (old=%v new=%v)", sawOld, sawNew)
+	}
+
+	// Dir-synced rename: always the new content.
+	for seed := int64(0); seed < 5; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(seed)
+		dst := filepath.Join(dir, "MANIFEST")
+		os.WriteFile(dst, []byte("old"), 0o644)
+		tmp := filepath.Join(dir, "MANIFEST.tmp")
+		f, _ := ffs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE, 0o644)
+		write(t, f, "new")
+		f.Sync()
+		f.Close()
+		if err := ffs.Rename(tmp, dst); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ffs.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+		ffs.Crash()
+		if got := readBack(t, dst); got != "new" {
+			t.Fatalf("seed %d: dir-synced rename lost (%q)", seed, got)
+		}
+	}
+}
+
+// TestCrashPendingCreate: a file created and fsynced but whose
+// directory entry was never fsynced can vanish wholesale.
+func TestCrashPendingCreate(t *testing.T) {
+	vanished := false
+	for seed := int64(0); seed < 20 && !vanished; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(seed)
+		p := filepath.Join(dir, "seg-00000001.log")
+		f, err := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "data")
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		ffs.Crash()
+		if _, err := os.Stat(p); errors.Is(err, os.ErrNotExist) {
+			vanished = true
+		}
+	}
+	if !vanished {
+		t.Fatal("20 seeds never made an un-dir-synced create vanish")
+	}
+
+	// With the directory fsynced, the file and its synced bytes persist.
+	dir := t.TempDir()
+	ffs := NewFaultFS(1)
+	p := filepath.Join(dir, "seg-00000001.log")
+	f, _ := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	write(t, f, "data")
+	f.Sync()
+	f.Close()
+	d, err := ffs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	ffs.Crash()
+	if got := readBack(t, p); got != "data" {
+		t.Fatalf("dir-synced create lost: %q", got)
+	}
+}
+
+func TestSustainedENOSPCThenClear(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(1)
+	p := filepath.Join(dir, "f")
+	f, err := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.AddRule(Rule{Op: OpWrite, Fault: FaultENOSPC}) // Count 0: every write
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d = %v, want ENOSPC", i, err)
+		}
+	}
+	ffs.ClearRules() // the operator freed disk space
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after clear: %v", err)
+	}
+	f.Close()
+}
+
+func TestCrashRule(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(3)
+	ffs.AddRule(Rule{Op: OpWrite, Fault: FaultCrash, After: 1, Count: 1})
+	p := filepath.Join(dir, "f")
+	f, err := ffs.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "first")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("second")); err == nil {
+		t.Fatal("crash-armed write succeeded")
+	}
+	if !ffs.Crashed() {
+		t.Fatal("FS not crashed after FaultCrash rule fired")
+	}
+	if got := readBack(t, p); got != "first" {
+		t.Fatalf("content = %q, want synced prefix", got)
+	}
+}

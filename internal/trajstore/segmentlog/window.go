@@ -197,7 +197,7 @@ func (l *Log) queryWindowOnce(minX, minY, maxX, maxY float64, t0, t1 uint32) (ou
 	if err != nil {
 		return nil, ws, false, err
 	}
-	files := newSegReader(segs)
+	files := newSegReader(l.fs, segs)
 	defer files.close()
 	for _, ref := range cands {
 		body, err := files.readRecord(ref)
@@ -233,7 +233,10 @@ func (l *Log) snapshotWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]r
 	if l.closed {
 		return nil, nil, ws, ErrClosed
 	}
-	if err := l.flushLocked(); err != nil {
+	// A flush failure poisons the active segment and withdraws the
+	// at-risk records from the index, leaving it consistent — window
+	// queries keep answering from the durable prefix (see snapshotRefs).
+	if err := l.flushLocked(); err != nil && !l.poisoned {
 		return nil, nil, ws, err
 	}
 	var cands []refSnap

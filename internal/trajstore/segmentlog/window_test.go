@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/trajcomp/bqs/internal/trajstore"
+	"github.com/trajcomp/bqs/internal/trajstore/segmentlog/vfs"
 )
 
 // cellKeys builds record r of device d: a small trajectory confined to
@@ -305,7 +306,7 @@ func TestHealedIndexSurvivesSweep(t *testing.T) {
 
 	// Strip the idx references (and summaries) from the manifest and
 	// remove the index files, as if no rotation ever published them.
-	man, found, err := readManifest(dir)
+	man, found, err := readManifest(vfs.OS, dir)
 	if err != nil || !found {
 		t.Fatalf("readManifest: %v found=%v", err, found)
 	}
@@ -321,7 +322,7 @@ func TestHealedIndexSurvivesSweep(t *testing.T) {
 		t.Fatal("fixture produced no sealed indexes")
 	}
 	man.Gen++
-	if err := writeManifest(dir, man); err != nil {
+	if err := writeManifest(vfs.OS, dir, man); err != nil {
 		t.Fatal(err)
 	}
 	idxFiles, _ := filepath.Glob(filepath.Join(dir, "seg-*.idx"))
