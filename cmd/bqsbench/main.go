@@ -280,7 +280,9 @@ func main() {
 			if err := stream.WriteCSV(f, suite.Walk.Points); err != nil {
 				fail(err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
 		}
 	}
 
@@ -390,7 +392,7 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 	e, err := engine.New(cfg)
 	if err != nil {
 		if lg != nil {
-			lg.Close()
+			_ = lg.Close() // engine construction failed; nothing was appended
 		}
 		return err
 	}
@@ -570,7 +572,7 @@ func startProfiles(cpuPath, memPath string) error {
 		return err
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		_ = f.Close() // profiling never started; the start error is the story
 		return err
 	}
 	cpuProfileFile = f
@@ -582,7 +584,9 @@ func startProfiles(cpuPath, memPath string) error {
 func stopProfiles() {
 	if cpuProfileFile != nil {
 		pprof.StopCPUProfile()
-		cpuProfileFile.Close()
+		if err := cpuProfileFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bqsbench: cpuprofile:", err)
+		}
 		cpuProfileFile = nil
 	}
 	if memProfilePath == "" {

@@ -1,0 +1,70 @@
+// Command bqslint runs the repo's invariant analyzers — a
+// multichecker over internal/analysis — at go-vet speed.
+//
+// Usage:
+//
+//	go run ./cmd/bqslint ./...        # lint the whole module
+//	go run ./cmd/bqslint -list        # describe the analyzers
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load or usage
+// error. Suppress a deliberate exception in-source with
+//
+//	//bqslint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it; the reason is
+// mandatory, and a directive that suppresses nothing is itself a
+// diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/trajcomp/bqs/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bqslint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bqslint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bqslint:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

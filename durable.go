@@ -140,7 +140,7 @@ func OpenDurableEngineWithLog(dir string, logOpts SegmentLogOptions, cfg EngineC
 	cfg.Persister = lg
 	e, err := engine.New(cfg)
 	if err != nil {
-		lg.Close()
+		_ = lg.Close() // engine construction failed; nothing was appended
 		return nil, err
 	}
 	return e, nil

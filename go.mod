@@ -1,3 +1,7 @@
 module github.com/trajcomp/bqs
 
 go 1.22
+
+// Pin the exact toolchain CI resolves: reproducible builds, and the
+// bqslint loader type-checks against this compiler's export data.
+toolchain go1.24.0

@@ -1,0 +1,132 @@
+// Package analysis is bqslint's analyzer framework: a deliberately
+// small, stdlib-only mirror of the golang.org/x/tools/go/analysis API.
+//
+// The repo's worst bugs were invariant violations, not logic errors —
+// the PR 7 shutdown deadlock was a blocking channel send under
+// Engine.mu.RLock, and the PR 8 fault-injection matrices silently lose
+// coverage the moment segmentlog code bypasses the vfs.FS seam with a
+// raw os call. Those invariants are precise enough to check
+// mechanically, so this package checks them at go-vet speed.
+//
+// Why not golang.org/x/tools/go/analysis itself: the build environment
+// must work with zero third-party modules (no network at build time),
+// so the framework re-implements the minimal surface — Analyzer, Pass,
+// Diagnostic, a package loader, and an analysistest-style fixture
+// harness (see atest) — with the same field names and call shapes.
+// Migrating an analyzer to the real framework is a mechanical import
+// swap; nothing here depends on anything outside the standard library.
+//
+// Every analyzer supports suppression via an in-source directive:
+//
+//	//bqslint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory, a directive naming an unknown analyzer is an
+// error, and a directive that suppresses nothing is itself reported —
+// so every deliberate exception stays visible, justified, and alive
+// in-tree.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //bqslint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and
+	// the incident or contract that motivates it.
+	Doc string
+	// Run applies the analyzer to a single type-checked package,
+	// reporting findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run over one package: the syntax, the
+// type information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// A Diagnostic is one finding, with its position already resolved so
+// callers need no FileSet to print or filter it.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package, filters the
+// results through the packages' //bqslint:ignore directives, and
+// returns the surviving diagnostics sorted by position. Malformed
+// directives (missing reason, unknown analyzer) and directives that
+// suppressed nothing are appended as diagnostics from the pseudo
+// analyzer "bqslint".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Message < all[j].Message
+	})
+	return all, nil
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return applyDirectives(pkg, analyzers, diags), nil
+}

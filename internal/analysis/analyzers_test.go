@@ -1,0 +1,115 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/analysis"
+	"github.com/trajcomp/bqs/internal/analysis/atest"
+)
+
+const src = "testdata/src"
+
+// seglogPath places a fixture inside the segment-log seam scope.
+const seglogPath = "example.com/internal/trajstore/segmentlog"
+
+func TestLockedSend(t *testing.T) {
+	atest.Run(t, analysis.LockedSend, src,
+		atest.Package{Dir: "lockedsend/a", Path: "example.com/lockedsend/a"})
+}
+
+func TestVFSSeam(t *testing.T) {
+	atest.Run(t, analysis.VFSSeam, src,
+		atest.Package{Dir: "vfsseam/seglog", Path: seglogPath},
+		atest.Package{Dir: "vfsseam/seglog/vfs", Path: seglogPath + "/vfs"})
+}
+
+func TestErrDiscard(t *testing.T) {
+	atest.Run(t, analysis.ErrDiscard, src,
+		atest.Package{Dir: "errdiscard/a", Path: "example.com/errdiscard/a"})
+}
+
+func TestRenameSync(t *testing.T) {
+	atest.Run(t, analysis.RenameSync, src,
+		atest.Package{Dir: "renamesync/seglog", Path: seglogPath})
+}
+
+func TestClockInject(t *testing.T) {
+	atest.Run(t, analysis.ClockInject, src,
+		atest.Package{Dir: "clockinject/engine", Path: "example.com/internal/engine"},
+		atest.Package{Dir: "clockinject/other", Path: "example.com/other"})
+}
+
+// TestDirectiveValidation runs the full suite over a fixture of broken
+// directives: a missing analyzer name, an unknown analyzer, a missing
+// justification, and a well-formed directive with nothing to suppress
+// must each produce exactly one diagnostic from the "bqslint" pseudo
+// analyzer.
+func TestDirectiveValidation(t *testing.T) {
+	pkg := atest.Package{Dir: "directives/a", Path: "example.com/directives/a"}
+	diags := atest.Diagnostics(t, src, analysis.All(), pkg)
+
+	wants := []string{
+		"missing analyzer name",
+		"unknown analyzer nosuchanalyzer",
+		"missing its justification",
+		"unused //bqslint:ignore",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				if d.Analyzer != "bqslint" {
+					t.Errorf("diagnostic %q attributed to %q, want the bqslint pseudo analyzer", d.Message, d.Analyzer)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q in %v", want, diags)
+		}
+	}
+}
+
+// TestUnusedDirectiveScopedToRun reruns the directives fixture with an
+// analyzer set that does not include lockedsend: the well-formed but
+// unused lockedsend directive is out of scope — not dead — so only the
+// three syntax errors remain. This is what lets atest run analyzers
+// one at a time without false unused-directive noise.
+func TestUnusedDirectiveScopedToRun(t *testing.T) {
+	pkg := atest.Package{Dir: "directives/a", Path: "example.com/directives/a"}
+	diags := atest.Diagnostics(t, src, []*analysis.Analyzer{analysis.VFSSeam}, pkg)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 (syntax errors only):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unused") {
+			t.Errorf("unused-directive diagnostic %q reported for an analyzer outside the run set", d.Message)
+		}
+	}
+}
+
+// TestRepoClean loads the real module and runs the full suite: the
+// tree must be bqslint-clean, with every deliberate exception carrying
+// a live, justified //bqslint:ignore. This is the same check CI's lint
+// job runs via cmd/bqslint; failing here means a new violation (or a
+// directive that no longer suppresses anything) landed in-tree.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

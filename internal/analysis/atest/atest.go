@@ -1,0 +1,235 @@
+// Package atest is an analysistest-style fixture harness for the
+// bqslint analyzers.
+//
+// Fixtures live under testdata/src/<dir>/ as ordinary Go packages and
+// annotate the lines where an analyzer must fire with trailing
+// comments of the form
+//
+//	// want `regexp`
+//
+// Run loads the fixture packages, applies one analyzer, and fails the
+// test on any diagnostic without a matching want and any want without
+// a matching diagnostic — so every fixture proves both that the
+// analyzer fires where it must and that it stays silent where it
+// must.
+//
+// Unlike the production loader, the harness loads _test.go fixture
+// files too: that is how the analyzers' test-file exemptions get
+// regression coverage. Fixture packages may import the standard
+// library (resolved from compiler export data); they cannot import
+// each other or the repo.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/analysis"
+)
+
+// A Package maps one fixture directory (relative to the testdata/src
+// root passed to Run) to the synthetic import path it is type-checked
+// under. The path matters: analyzers scope themselves by package-path
+// fragment (internal/trajstore/segmentlog, internal/engine), so
+// fixtures claim those fragments under the reserved example.com
+// namespace.
+type Package struct {
+	Dir  string
+	Path string
+}
+
+// stdPackages are the standard-library imports fixtures may use.
+var stdPackages = []string{
+	"errors", "fmt", "io", "os", "path/filepath", "strings", "sync", "time",
+}
+
+// stdExports caches the import-path → export-data-file map; building
+// it shells out to the go tool once per test binary.
+var stdExports struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+func stdImporter(fset *token.FileSet) (types.Importer, error) {
+	stdExports.once.Do(func() {
+		stdExports.m, stdExports.err = analysis.ExportData(".", stdPackages...)
+	})
+	if stdExports.err != nil {
+		return nil, stdExports.err
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := stdExports.m[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture imports %q, which is outside the harness's standard-library set", path)
+		}
+		return os.Open(f)
+	}), nil
+}
+
+// load parses and type-checks the fixture packages, including their
+// _test.go files.
+func load(srcRoot string, pkgs []Package) ([]*analysis.Package, error) {
+	fset := token.NewFileSet()
+	imp, err := stdImporter(fset)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		dir := filepath.Join(srcRoot, p.Dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			return nil, fmt.Errorf("no fixture files in %s", dir)
+		}
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tpkg, info, err := analysis.Check(p.Path, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &analysis.Package{
+			ImportPath: p.Path,
+			Dir:        dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		})
+	}
+	return out, nil
+}
+
+// Run applies one analyzer to the fixture packages and compares its
+// diagnostics (after //bqslint:ignore filtering) against the
+// fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, srcRoot string, pkgs ...Package) {
+	t.Helper()
+	loaded, err := load(srcRoot, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, loaded)
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants.list {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.pos.Filename, w.pos.Line, w.re)
+		}
+	}
+}
+
+// Diagnostics loads the fixture packages and returns everything the
+// analyzers report, after //bqslint:ignore filtering — the raw entry
+// point for testing the directive machinery itself, whose diagnostics
+// land on the directive's own line where a want comment cannot sit.
+func Diagnostics(t *testing.T, srcRoot string, analyzers []*analysis.Analyzer, pkgs ...Package) []analysis.Diagnostic {
+	t.Helper()
+	loaded, err := load(srcRoot, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(loaded, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct {
+	list []*want
+}
+
+// match consumes the first unmatched want on the diagnostic's line
+// whose pattern matches its message.
+func (ws *wantSet) match(d analysis.Diagnostic) bool {
+	for _, w := range ws.list {
+		if w.matched || w.pos.Filename != d.Pos.Filename || w.pos.Line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantPatternRE extracts the backquoted or double-quoted patterns of a
+// want comment; a line may carry several.
+var wantPatternRE = regexp.MustCompile("`([^`]+)`|\"([^\"]+)\"")
+
+func collectWants(t *testing.T, pkgs []*analysis.Package) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					matches := wantPatternRE.FindAllStringSubmatch(rest, -1)
+					if len(matches) == 0 {
+						t.Fatalf("%s:%d: malformed want comment: no `pattern`", pos.Filename, pos.Line)
+					}
+					for _, m := range matches {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+						}
+						ws.list = append(ws.list, &want{pos: pos, re: re})
+					}
+				}
+			}
+		}
+	}
+	return ws
+}

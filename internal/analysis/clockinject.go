@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ClockInject reports direct time.Now() calls in packages that expose
+// an injectable clock. The engine's batch clock (Config.Clock), the
+// compactor's ageing clock (CompactionPolicy.Now), and the fault
+// injector's deterministic schedules all exist so that eviction,
+// compaction memos, and crash matrices replay identically from a
+// seed; one stray wall-clock read re-introduces the nondeterminism
+// the seams were built to remove.
+//
+// Referencing time.Now as a value (`clock = time.Now`) is allowed —
+// that is the injection point's default wiring, evaluated through the
+// seam — only direct calls are flagged. The known deliberate
+// exception, the server's SetReadDeadline(time.Now()) reader kick on
+// shutdown, carries a //bqslint:ignore: it genuinely wants the wall
+// clock, because the deadline is compared by the kernel, not by
+// anything a test replays.
+var ClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc:  "no direct time.Now() calls in packages exposing an injectable clock",
+	Run:  runClockInject,
+}
+
+// clockSeamPackages are the package-path fragments with an injectable
+// time source: the engine (Config.Clock), the segment log incl. vfs
+// (CompactionPolicy.Now, deterministic fault schedules), and the
+// server (drives engine + log and must stay replayable end to end).
+var clockSeamPackages = []string{
+	"internal/engine",
+	"internal/trajstore/segmentlog",
+	"internal/server",
+}
+
+func runClockInject(pass *Pass) error {
+	scoped := false
+	for _, frag := range clockSeamPackages {
+		if strings.Contains(pass.Pkg.Path(), frag) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fullName(calleeFunc(pass.TypesInfo, call)) == "time.Now" {
+				pass.Reportf(call.Pos(), "direct time.Now() call in a clock-seam package; read the injected clock (Config.Clock / CompactionPolicy.Now) so schedules stay deterministic")
+			}
+			return true
+		})
+	}
+	return nil
+}

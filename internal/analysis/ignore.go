@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//bqslint:ignore <analyzer> <reason>
+//
+// The directive applies to diagnostics from <analyzer> on its own line
+// (trailing comment) or on the line directly below it (standalone
+// comment above the offending statement).
+const ignorePrefix = "//bqslint:ignore"
+
+// directiveAnalyzer is the pseudo analyzer name attached to
+// diagnostics about the directives themselves.
+const directiveAnalyzer = "bqslint"
+
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// applyDirectives filters diags through the package's ignore
+// directives and appends diagnostics for malformed or unused ones.
+// Only directives naming an analyzer in ran are eligible to suppress
+// (and to be flagged as unused): the atest harness runs analyzers one
+// at a time, and a directive for an analyzer that did not run is not
+// dead, merely out of scope. Directive syntax, however, is always
+// validated against the full registry, so a typo'd analyzer name never
+// silently suppresses nothing.
+func applyDirectives(pkg *Package, ran []*Analyzer, diags []Diagnostic) []Diagnostic {
+	ranNames := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+
+	var dirs []*directive
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Message:  "malformed //bqslint:ignore directive: missing analyzer name and justification",
+						Analyzer: directiveAnalyzer,
+					})
+					continue
+				case !knownAnalyzer(fields[0]):
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Message:  "//bqslint:ignore names unknown analyzer " + fields[0],
+						Analyzer: directiveAnalyzer,
+					})
+					continue
+				case len(fields) == 1:
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Message:  "//bqslint:ignore " + fields[0] + " is missing its justification: every suppression must say why",
+						Analyzer: directiveAnalyzer,
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+
+diags:
+	for _, d := range diags {
+		for _, dir := range dirs {
+			if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				dir.used = true
+				continue diags
+			}
+		}
+		out = append(out, d)
+	}
+
+	for _, dir := range dirs {
+		if !dir.used && ranNames[dir.analyzer] {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Message:  "unused //bqslint:ignore directive: no " + dir.analyzer + " diagnostic here to suppress",
+				Analyzer: directiveAnalyzer,
+			})
+		}
+	}
+	return out
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

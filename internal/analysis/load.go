@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir, parses every
+// matching non-test Go file, and type-checks each package against
+// compiler export data for its dependencies. It shells out to the go
+// tool twice — once to enumerate the target packages, once with
+// -export -deps to obtain export data — so the type checking is
+// byte-for-byte the view the installed toolchain compiles, with no
+// third-party loader in between.
+//
+// Test files are deliberately excluded: the invariants bqslint
+// enforces guard production code, and test code exercises raw os
+// calls, wall clocks, and intentionally wedged channels as a matter of
+// course.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"list", "-e", "-json=ImportPath,Error"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		want[t.ImportPath] = true
+	}
+
+	deps, err := goList(dir, append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,Standard,GoFiles,Error",
+	}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var load []listedPackage
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if want[p.ImportPath] {
+			if p.Error != nil {
+				return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+			}
+			load = append(load, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, p := range load {
+		if len(p.GoFiles) == 0 {
+			continue // test-only or empty package: nothing to analyze
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(p.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// Check type-checks one package's parsed files with the full
+// types.Info the analyzers rely on. Shared by the loader and the atest
+// fixture harness.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// ExportData returns an import-path → export-file map for patterns
+// (built on demand by the go tool). The atest harness uses it to
+// resolve fixtures' standard-library imports.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	deps, err := goList(dir, append([]string{
+		"list", "-e", "-export", "-deps", "-json=ImportPath,Export",
+	}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+func goList(dir string, args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list: %s", msg)
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,32 @@
+// Package engine exercises the clockinject analyzer: no direct
+// time.Now() calls in a package exposing an injectable clock. Its
+// fixture import path places it at example.com/internal/engine.
+package engine
+
+import "time"
+
+type Config struct {
+	Clock func() time.Time
+}
+
+// Referencing time.Now as a value is the seam's default wiring and is
+// allowed; only direct calls are flagged.
+func (c *Config) defaults() {
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `direct time\.Now\(\) call in a clock-seam package`
+}
+
+// conn mirrors net.Conn's deadline surface for the known deliberate
+// exception: a reader kick genuinely wants the wall clock.
+type conn struct{}
+
+func (conn) SetReadDeadline(t time.Time) error { return nil }
+
+func kick(c conn) error {
+	return c.SetReadDeadline(time.Now()) //bqslint:ignore clockinject the deadline is compared by the kernel, not replayed by a test
+}

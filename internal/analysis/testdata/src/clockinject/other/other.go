@@ -1,0 +1,7 @@
+// Package other sits outside the clock-seam packages: direct
+// time.Now() calls are fine here.
+package other
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

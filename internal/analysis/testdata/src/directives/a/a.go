@@ -1,0 +1,16 @@
+// Package a exercises the //bqslint:ignore directive machinery:
+// malformed directives and directives that suppress nothing are
+// themselves diagnostics.
+package a
+
+//bqslint:ignore
+func malformedEmpty() {}
+
+//bqslint:ignore nosuchanalyzer because reasons
+func unknownName() {}
+
+//bqslint:ignore clockinject
+func missingReason() {}
+
+//bqslint:ignore lockedsend there is no lockedsend diagnostic on the next line to suppress
+func unused() {}

@@ -1,0 +1,63 @@
+// Package a exercises the errdiscard analyzer: discarded error
+// results from durability-critical calls.
+package a
+
+type file struct{}
+
+func (file) Close() error { return nil }
+func (file) Sync() error  { return nil }
+func (file) Flush() error { return nil }
+
+type log struct{ f file }
+
+func (l *log) Append(b []byte) error { return nil }
+
+func publishManifest() error     { return nil }
+func writeManifestLocked() error { return nil }
+
+// counter.Append returns no error: nothing to discard, never flagged.
+type counter struct{ n int }
+
+func (c *counter) Append(x int) { c.n += x }
+
+func bareCalls(l *log, f file, b []byte) {
+	l.Append(b)           // want `error result of Append is dropped`
+	f.Sync()              // want `error result of Sync is dropped`
+	f.Flush()             // want `error result of Flush is dropped`
+	f.Close()             // want `error result of Close is dropped`
+	publishManifest()     // want `error result of publishManifest is dropped`
+	writeManifestLocked() // want `error result of writeManifestLocked is dropped`
+}
+
+func deferred(f file) {
+	defer f.Sync() // want `deferred Sync discards its error`
+	defer f.Close()
+}
+
+func goStmt(l *log, b []byte) {
+	go l.Append(b) // want `go Append discards its error`
+}
+
+func blanked(f file) {
+	_ = f.Sync()          // want `error result of Sync is blanked`
+	_ = publishManifest() // want `error result of publishManifest is blanked`
+	_ = f.Close()
+}
+
+func handled(l *log, f file, b []byte) error {
+	if err := l.Append(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func nonCritical(c *counter) {
+	c.Append(1)
+}
+
+func suppressed(f file) {
+	f.Sync() //bqslint:ignore errdiscard fixture exercises the suppression path; the sync result is irrelevant here
+}

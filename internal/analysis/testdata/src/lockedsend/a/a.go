@@ -1,0 +1,119 @@
+// Package a exercises the lockedsend analyzer: blocking channel
+// operations and unbounded waits while a sync mutex is held.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type E struct {
+	mu     sync.RWMutex
+	wmu    sync.Mutex
+	ch     chan int
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// The PR 7 regression shape: a blocking send while holding the read
+// lock.
+func (e *E) sendUnderRLock() {
+	e.mu.RLock()
+	e.ch <- 1 // want `blocking channel send while holding e\.mu`
+	e.mu.RUnlock()
+}
+
+// A deferred Unlock releases at return; the lock is held for the whole
+// body.
+func (e *E) sendUnderDeferredUnlock() {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.ch <- 1 // want `blocking channel send while holding e\.wmu`
+}
+
+// The branch-release regression: an RUnlock on an early-return path
+// must not clear the lock on the fallthrough path.
+func (e *E) branchRelease() {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return
+	}
+	e.ch <- 2 // want `blocking channel send while holding e\.mu`
+	e.mu.RUnlock()
+}
+
+func (e *E) receiveUnderLock() {
+	e.wmu.Lock()
+	v := <-e.ch // want `blocking channel receive while holding e\.wmu`
+	_ = v
+	e.wmu.Unlock()
+}
+
+func (e *E) selectNoDefault() {
+	e.wmu.Lock()
+	select { // want `blocking select \(no default case\) while holding e\.wmu`
+	case <-e.done:
+	case e.ch <- 1:
+	}
+	e.wmu.Unlock()
+}
+
+// A select with a default case never blocks.
+func (e *E) selectWithDefault() {
+	e.wmu.Lock()
+	select {
+	case e.ch <- 1:
+	default:
+	}
+	e.wmu.Unlock()
+}
+
+// Read-to-write upgrade self-deadlocks.
+func (e *E) upgrade() {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.mu.Lock() // want `acquiring e\.mu while already holding its read lock`
+	e.mu.Unlock()
+}
+
+func (e *E) waitUnderLock() {
+	e.wmu.Lock()
+	e.wg.Wait() // want `sync\.WaitGroup\.Wait while holding e\.wmu`
+	e.wmu.Unlock()
+}
+
+func (e *E) sleepUnderLock() {
+	e.wmu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding e\.wmu`
+	e.wmu.Unlock()
+}
+
+// Blocking operations after release are fine — the PR 7 fix shape:
+// snapshot under the lock, send outside it.
+func (e *E) sendAfterUnlock() {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if !closed {
+		e.ch <- 3
+	}
+}
+
+// A function literal is a fresh goroutine context: it does not inherit
+// the enclosing held set, and spawning it does not block.
+func (e *E) funcLitFresh() {
+	e.wmu.Lock()
+	go func() {
+		e.ch <- 4
+	}()
+	e.wmu.Unlock()
+}
+
+// A deliberate exception carries a directive and is not reported.
+func (e *E) suppressed() {
+	e.wmu.Lock()
+	e.ch <- 5 //bqslint:ignore lockedsend the consumer in this fixture always drains; deliberate exception under test
+	e.wmu.Unlock()
+}

@@ -1,0 +1,44 @@
+// Package seglog exercises the renamesync analyzer: every Rename that
+// publishes a file must be followed by a directory fsync in the same
+// function. Its fixture import path places it inside
+// example.com/internal/trajstore/segmentlog.
+package seglog
+
+import "os"
+
+func syncDir(dir string) error { return nil }
+
+// The full publish protocol: rename, then directory fsync.
+func publishGood(dir, tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func publishMissingSync(tmp, final string) error {
+	return os.Rename(tmp, final) // want `Rename is not followed by a directory fsync`
+}
+
+// The fsync must come after the rename; a prior one proves nothing
+// about the directory entry the rename just created.
+func publishWrongOrder(dir, tmp, final string) error {
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `Rename is not followed by a directory fsync`
+}
+
+// A function literal is its own protocol scope: the enclosing
+// function's syncDir does not complete the goroutine's rename.
+func publishInLit(dir, tmp, final string) error {
+	go func() {
+		_ = os.Rename(tmp, final) // want `Rename is not followed by a directory fsync`
+	}()
+	return syncDir(dir)
+}
+
+// A helper that legitimately splits the protocol says why.
+func renameOnly(tmp, final string) error {
+	return os.Rename(tmp, final) //bqslint:ignore renamesync the sole caller completes the protocol with syncDir before publishing
+}

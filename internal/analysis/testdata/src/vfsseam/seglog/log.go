@@ -1,0 +1,43 @@
+// Package seglog exercises the vfsseam analyzer: direct filesystem
+// calls inside the durable segment-log tree. Its fixture import path
+// places it at example.com/internal/trajstore/segmentlog.
+package seglog
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// vfile mirrors vfs.File: calls through the seam interface are routed
+// traffic and never flagged.
+type vfile interface {
+	Sync() error
+	Close() error
+}
+
+func direct(dir string) error {
+	f, err := os.Open(filepath.Join(dir, "MANIFEST")) // want `direct os\.Open bypasses the vfs\.FS seam`
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `direct \(\*os\.File\)\.Sync call bypasses the vfs\.FS seam`
+		return err
+	}
+	if err := os.Rename("a", "b"); err != nil { // want `direct os\.Rename bypasses the vfs\.FS seam`
+		return err
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*.seg")); err != nil { // want `direct filepath\.Glob bypasses the vfs\.FS seam`
+		return err
+	}
+	return f.Close() // want `direct \(\*os\.File\)\.Close call bypasses the vfs\.FS seam`
+}
+
+// Routed traffic and non-filesystem os helpers are fine.
+func routed(f vfile) error {
+	_ = os.Getenv("HOME")
+	_ = os.O_CREATE
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,16 @@
+// Test files stage fixtures and corrupt files on purpose: the seam
+// exemption for _test.go is itself under regression test here.
+package seglog
+
+import "os"
+
+func stageFixture(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}

@@ -1,0 +1,8 @@
+// Package vfs is the seam itself: the one place in the segment-log
+// tree allowed to touch the real filesystem.
+package vfs
+
+import "os"
+
+func Open(name string) (*os.File, error)   { return os.Open(name) }
+func Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// All returns the bqslint analyzer suite in reporting order. Each
+// entry guards one load-bearing invariant; see the Doc strings and
+// DESIGN.md's "Enforced invariants" section for the incidents behind
+// them.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockedSend,
+		VFSSeam,
+		ErrDiscard,
+		RenameSync,
+		ClockInject,
+	}
+}
+
+// calleeFunc resolves the function or method a call statically
+// invokes, or nil for calls through function-typed values, builtins,
+// and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// fullName renders fn like "(*sync.RWMutex).RLock" or "time.Now" —
+// the form the analyzers match on.
+func fullName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// isTestFile reports whether pos lies in a _test.go file. The driver
+// never loads test files, but the atest fixture harness does — that is
+// how the test-file exemptions themselves get regression coverage.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// inSegmentlogSeam reports whether the package path is inside the
+// durable segment-log tree whose filesystem traffic must route through
+// vfs.FS — excluding the vfs package itself, which is the seam.
+func inSegmentlogSeam(path string) bool {
+	i := strings.Index(path, "internal/trajstore/segmentlog")
+	if i < 0 {
+		return false
+	}
+	rest := path[i+len("internal/trajstore/segmentlog"):]
+	return rest != "/vfs" && !strings.HasPrefix(rest, "/vfs/")
+}
+
+// exprString renders an expression as compact source text — the
+// identity key for lock receivers ("e.mu", "l.compactMu").
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// lastResultIsError reports whether fn's final result is the built-in
+// error type.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return last.String() == "error"
+}

@@ -39,7 +39,7 @@ func Dial(addr, tenant string) (*Client, error) {
 	}
 	c, err := NewClient(conn, tenant)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close() // handshake failed; the Hello error is the story
 		return nil, err
 	}
 	return c, nil

@@ -136,7 +136,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close() // server already shut down; nothing was served
 		return ErrServerClosed
 	}
 	s.ln = ln
@@ -154,7 +154,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // raced with Shutdown; nothing was written
 			return nil
 		}
 		s.conns[conn] = struct{}{}
@@ -197,7 +197,7 @@ func (t *tenant) open(s *Server) {
 	ec.Persister = lg
 	eng, err := engine.New(ec)
 	if err != nil {
-		lg.Close()
+		_ = lg.Close() // engine construction failed; nothing was appended
 		t.err = fmt.Errorf("server: engine for tenant %q: %w", t.name, err)
 		return
 	}
@@ -237,12 +237,12 @@ func (s *Server) Shutdown() error {
 	s.mu.Unlock()
 
 	if ln != nil {
-		ln.Close()
+		_ = ln.Close() // listeners carry no buffered writes
 	}
 	// Unpark readers waiting for the next frame; a response already
 	// being written still goes out (the deadline only covers reads).
 	for _, c := range conns {
-		c.SetReadDeadline(time.Now())
+		c.SetReadDeadline(time.Now()) //bqslint:ignore clockinject the deadline is compared by the kernel, not replayed by a test; the reader kick genuinely wants the wall clock
 	}
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
@@ -251,7 +251,7 @@ func (s *Server) Shutdown() error {
 	case <-time.After(s.cfg.DrainTimeout):
 		s.mu.Lock()
 		for c := range s.conns {
-			c.Close()
+			_ = c.Close() // drain timed out; force-drop the stragglers
 		}
 		s.mu.Unlock()
 		<-done
@@ -320,7 +320,7 @@ func (s *Server) Heal() error {
 // framing error is guesswork.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // responses are flushed per-frame before this runs
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()

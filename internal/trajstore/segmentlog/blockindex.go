@@ -243,12 +243,12 @@ func writeBlockIndex(fsys vfs.FS, segPath string, segSize int64, segVer byte, me
 		return fmt.Errorf("segmentlog: block index: %w", err)
 	}
 	if _, err := f.Write(formatBlockIndex(segSize, segVer, metas)); err != nil {
-		f.Close()
+		_ = f.Close() // publish failed; the write error is the story
 		fsys.Remove(path)
 		return fmt.Errorf("segmentlog: block index: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // publish failed; the fsync error is the story
 		fsys.Remove(path)
 		return fmt.Errorf("segmentlog: block index: %w", err)
 	}

@@ -292,12 +292,12 @@ func writeManifest(fsys vfs.FS, dir string, m manifest) error {
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}
 	if _, err := f.Write(formatManifest(m)); err != nil {
-		f.Close()
+		_ = f.Close() // publish failed; the write error is the story
 		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // publish failed; the fsync error is the story
 		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: manifest: %w", err)
 	}

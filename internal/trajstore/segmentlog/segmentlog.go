@@ -474,7 +474,7 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
 		if _, err := f.Seek(last.size, io.SeekStart); err != nil {
-			f.Close()
+			_ = f.Close() // open failed; the seek error is the story
 			return nil, fmt.Errorf("segmentlog: %w", err)
 		}
 		l.active = f
@@ -487,7 +487,7 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 	// directories and sealing any recovery edits under a fresh
 	// generation).
 	if err := l.writeManifestLocked(); err != nil {
-		l.active.Close()
+		_ = l.active.Close() // open failed; the publish error is the story
 		return nil, err
 	}
 	ok = true
@@ -722,12 +722,12 @@ func acquireLock(fsys vfs.FS, dir string) (vfs.File, error) {
 		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
 			// Not contention (e.g. a filesystem without flock support):
 			// report the real error, not a phantom lock holder.
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("segmentlog: flock %s: %w", dir, err)
 		}
 		pid := make([]byte, 32)
 		n, _ := f.ReadAt(pid, 0)
-		f.Close()
+		_ = f.Close()
 		holder := strings.TrimSpace(string(pid[:n]))
 		if holder == "" {
 			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
@@ -747,7 +747,7 @@ func (l *Log) releaseLock() {
 		return
 	}
 	syscall.Flock(int(l.lock.Fd()), syscall.LOCK_UN)
-	l.lock.Close()
+	_ = l.lock.Close() // the unlock above is what matters; nothing was written
 	l.lock = nil
 }
 
@@ -1090,12 +1090,12 @@ func (l *Log) newSegmentFileLocked() (vfs.File, segmentFile, error) {
 		return nil, segmentFile{}, fmt.Errorf("segmentlog: %w", err)
 	}
 	if err := writeHeader(f); err != nil {
-		f.Close()
+		_ = f.Close() // creation failed; the file is removed below
 		l.fs.Remove(path)
 		return nil, segmentFile{}, err
 	}
 	if err := syncDir(l.fs, l.dir); err != nil {
-		f.Close()
+		_ = f.Close() // creation failed; the file is removed below
 		l.fs.Remove(path)
 		return nil, segmentFile{}, err
 	}
@@ -1267,13 +1267,13 @@ func (l *Log) healLocked() error {
 	}
 	if len(l.unsynced) > 0 {
 		if _, err := f.Write(l.unsynced); err != nil {
-			f.Close()
+			_ = f.Close() // salvage failed; the write error is the story
 			l.fs.Remove(seg.path)
 			return fmt.Errorf("segmentlog: salvage: %w", err)
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // salvage failed; the fsync error is the story
 		l.fs.Remove(seg.path)
 		return fmt.Errorf("segmentlog: salvage: %w", err)
 	}
@@ -1298,7 +1298,7 @@ func (l *Log) healLocked() error {
 			// on disk (the manifest rename may have landed before the
 			// failure; see rotateLocked) and swept later.
 			l.segs[cur], l.segRecs[cur] = prevSeg, prevRecs
-			f.Close()
+			_ = f.Close() // heal aborted; the publish error is the story
 			return err
 		}
 	} else {
@@ -1309,7 +1309,7 @@ func (l *Log) healLocked() error {
 		// AND the salvaged copies, serving duplicates. The truncate
 		// must therefore succeed before the new segment is published.
 		if err := l.fs.Truncate(l.segs[cur].path, l.syncedOff); err != nil {
-			f.Close()
+			_ = f.Close() // heal aborted; the truncate error is the story
 			l.fs.Remove(seg.path)
 			return fmt.Errorf("segmentlog: salvage: truncating poisoned segment: %w", err)
 		}
@@ -1326,7 +1326,7 @@ func (l *Log) healLocked() error {
 			l.segs = l.segs[:len(l.segs)-1]
 			l.segRecs = l.segRecs[:len(l.segRecs)-1]
 			l.segs[cur].idx = false
-			f.Close()
+			_ = f.Close() // heal aborted; the publish error is the story
 			return err
 		}
 		newSeg = len(l.segs) - 1
@@ -1345,7 +1345,7 @@ func (l *Log) healLocked() error {
 	l.poisoned = false
 	l.poisonErr = nil
 	l.recountBytesLocked()
-	old.Close() // best-effort: the handle points at a superseded file
+	_ = old.Close() // best-effort: the handle points at a superseded file
 	if dropPath != "" {
 		l.fs.Remove(dropPath) // best-effort: unreferenced since the publish
 	}
@@ -1427,7 +1427,7 @@ func (l *Log) rotateLocked() error {
 		l.segs = l.segs[:len(l.segs)-1]
 		l.segRecs = l.segRecs[:len(l.segRecs)-1]
 		l.segs[cur].idx = false
-		f.Close()
+		_ = f.Close() // rotation aborted; the publish error is the story
 		return err
 	}
 	old := l.active
@@ -1510,11 +1510,10 @@ func (l *Log) Close() error {
 	l.closed = false // syncLocked (and a salvage within it) must still run
 	err := l.syncLocked()
 	l.closed = true
-	if err != nil {
-		l.active.Close()
-		return err
-	}
-	return l.active.Close()
+	// The close error matters even when the sync already failed: a
+	// write-path close is when the last buffered bytes reach the
+	// kernel, so join both rather than letting either mask the other.
+	return errors.Join(err, l.active.Close())
 }
 
 // Stats returns a snapshot of the log's bookkeeping. The device count
@@ -1676,7 +1675,7 @@ func newSegReader(fsys vfs.FS, segs []segSnap) *segReader {
 
 func (r *segReader) close() {
 	for _, f := range r.files {
-		f.Close()
+		_ = f.Close() // read-only handles; every read was CRC-checked
 	}
 }
 

@@ -147,7 +147,7 @@ func writeShards(fsys vfs.FS, dir string, n int) error {
 		err = f.Sync()
 	}
 	if err != nil {
-		f.Close()
+		_ = f.Close() // publish failed; the write/fsync error is the story
 		fsys.Remove(tmp)
 		return fmt.Errorf("segmentlog: SHARDS: %w", err)
 	}
@@ -283,7 +283,7 @@ func (s *ShardedLog) openShards(n int, opts Options) error {
 func (s *ShardedLog) closeShards() {
 	for _, lg := range s.shards {
 		if lg != nil {
-			lg.Close()
+			_ = lg.Close() // unwind of a failed open; the open error is the story
 		}
 	}
 	s.shards = nil
@@ -403,7 +403,7 @@ func (s *ShardedLog) releaseLock() {
 		return
 	}
 	syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
-	s.lock.Close()
+	_ = s.lock.Close() // the unlock above is what matters; nothing was written
 	s.lock = nil
 }
 

@@ -219,7 +219,7 @@ func (f *FaultFS) crashLocked() {
 	}
 	f.crashed = true
 	for ff := range f.files {
-		ff.f.Close()
+		_ = ff.f.Close() // simulated power loss; errors are the point
 		ff.dead = true
 	}
 	// Renames, newest first, so stacked renames of one path unwind in
