@@ -7,7 +7,7 @@
 //	bqsbench [-exp all|fig3|fig6|fig7|fig8|table1|table2|table3|ablation]
 //	         [-quick] [-csv dir]
 //	bqsbench -engine [-devices N] [-shards M] [-fixes N] [-compressor name]
-//	         [-tol metres] [-merge metres] [-persist dir] [-query]
+//	         [-tol metres] [-merge metres] [-persist dir] [-query] [-cachemb N]
 //	bqsbench -engine -cpus 1,2,4,8 ...
 //	bqsbench -engine -serve [-devices N] [-fixes N] ...
 //	bqsbench -engine -client host:port [-devices N] [-fixes N] ...
@@ -83,6 +83,7 @@ func main() {
 	segBytes := flag.Int64("segbytes", 0, "engine mode with -persist: segment rotation threshold in bytes (0 = log default; small values seal segments for -compact)")
 	compact := flag.Bool("compact", false, "engine mode with -persist: compact the log after the run and report before/after disk bytes")
 	query := flag.Bool("query", false, "engine mode with -persist: benchmark durable window queries (selective + full) on the reopened log")
+	cacheMB := flag.Int64("cachemb", 0, "engine mode with -query: read-side record cache budget in MiB for the reopened log (0 = off)")
 	cpusFlag := flag.String("cpus", "", "engine mode: comma-separated GOMAXPROCS matrix (e.g. 1,2,4,8); the whole benchmark runs once per value")
 	serveMode := flag.Bool("serve", false, "engine mode: run an in-process loopback bqsd server and drive it over the wire protocol")
 	clientAddr := flag.String("client", "", "engine mode: drive an external bqsd at this address instead of an in-process engine")
@@ -126,7 +127,7 @@ func main() {
 			return
 		}
 		if cpuList == nil {
-			if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *compact, *query); err != nil {
+			if err := runEngineBench(*devices, *shards, *fixesPer, *compName, *tol, *mergeTol, *persistDir, *trailKeys, *segBytes, *cacheMB<<20, *compact, *query); err != nil {
 				fail(err)
 			}
 			return
@@ -143,7 +144,7 @@ func main() {
 				dir = filepath.Join(dir, fmt.Sprintf("c%d", c))
 			}
 			fmt.Printf("=== GOMAXPROCS=%d shards=%d ===\n", c, sh)
-			if err := runEngineBench(*devices, sh, *fixesPer, *compName, *tol, *mergeTol, dir, *trailKeys, *segBytes, *compact, *query); err != nil {
+			if err := runEngineBench(*devices, sh, *fixesPer, *compName, *tol, *mergeTol, dir, *trailKeys, *segBytes, *cacheMB<<20, *compact, *query); err != nil {
 				fail(err)
 			}
 			fmt.Println()
@@ -350,7 +351,7 @@ func parseCpus(s string) ([]int, error) {
 // set, flushed sessions are also appended to a sharded segment log there
 // (one log shard per engine shard) and the final Sync is a durability
 // barrier.
-func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string, trailKeys int, segBytes int64, compact, query bool) error {
+func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTol float64, persistDir string, trailKeys int, segBytes, cacheBytes int64, compact, query bool) error {
 	if devices <= 0 || fixesPer <= 0 {
 		return fmt.Errorf("devices and fixes must be positive")
 	}
@@ -462,7 +463,7 @@ func runEngineBench(devices, shards, fixesPer int, compName string, tol, mergeTo
 	if lg != nil {
 		// The log was closed by e.Close; reopen it to report what landed
 		// on disk (also a cheap recovery self-check).
-		rl, err := segmentlog.OpenSharded(persistDir, shards, segmentlog.Options{MaxSegmentBytes: segBytes})
+		rl, err := segmentlog.OpenSharded(persistDir, shards, segmentlog.Options{MaxSegmentBytes: segBytes, CacheBytes: cacheBytes})
 		if err != nil {
 			return fmt.Errorf("reopening log: %w", err)
 		}
@@ -550,6 +551,10 @@ func runQueryBench(rl *segmentlog.ShardedLog, devices, grid int, cellSep float64
 		fmt.Printf("query window (%s, %d of %d devices): %v/query, decoded %d of %d records (%.1f%%), matched %d, %d/%d segments pruned\n",
 			w.name, w.inRange, devices, per.Round(time.Microsecond),
 			st.RecordsDecoded, total, pct, matched, st.SegmentsPruned, st.Segments)
+		if cs := rl.CacheStats(); cs.Capacity > 0 {
+			fmt.Printf("query window (%s) cache: %d hits on last query, %d/%s resident\n",
+				w.name, st.CacheHits, cs.Entries, humanBytes(int(cs.Bytes)))
+		}
 	}
 	return nil
 }

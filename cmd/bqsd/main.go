@@ -9,8 +9,15 @@
 // Usage:
 //
 //	bqsd -dir data [-addr 127.0.0.1:4980] [-tol 10] [-shards N]
-//	     [-queue N] [-idle 5m] [-trail N] [-segbytes N]
+//	     [-queue N] [-idle 5m] [-trail N] [-segbytes N] [-cache-mb N]
 //	     [-compact-interval 10m] [-retry-after 50ms] [-drain-timeout 10s]
+//	     [-metrics 127.0.0.1:4981]
+//
+// With -metrics set, an HTTP listener serves /metrics: per-tenant
+// ingest, session, queue, persist/compact-failure, read-cache and
+// segment-log counters in the Prometheus text format. -cache-mb sizes
+// the per-tenant read cache that makes repeated window queries serve
+// from memory (0 disables it).
 //
 // Each tenant named in a connection's handshake gets its own engine
 // and flock-guarded log directory under -dir. Ingest is explicitly
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +60,8 @@ func main() {
 		idle         = flag.Duration("idle", 0, "evict a device session after this long without a fix (0 = only on drain)")
 		trail        = flag.Int("trail", 0, "max per-session key points before chunking to disk (0 = engine default)")
 		segBytes     = flag.Int64("segbytes", 0, "segment file rotation size in bytes (0 = log default)")
+		cacheMB      = flag.Int64("cache-mb", 0, "read-side record cache budget per tenant, in MiB (0 = off)")
+		metricsAddr  = flag.String("metrics", "", "HTTP listen address for /metrics (empty = no metrics endpoint)")
 		compactEvery = flag.Duration("compact-interval", 0, "background merge/dedup compaction interval per tenant (0 = off)")
 		retryAfter   = flag.Duration("retry-after", server.DefaultRetryAfter, "base backpressure retry hint sent to clients")
 		drain        = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "max wait for in-flight connections on shutdown")
@@ -63,7 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	logOpts := segmentlog.Options{MaxSegmentBytes: *segBytes}
+	logOpts := segmentlog.Options{MaxSegmentBytes: *segBytes, CacheBytes: *cacheMB << 20}
 	if *compactEvery > 0 {
 		logOpts.Compaction = &segmentlog.CompactionPolicy{MergeChunks: true}
 	}
@@ -94,6 +104,23 @@ func main() {
 	fmt.Printf("bqsd: listening on %s\n", ln.Addr())
 	log.Printf("bqsd: data dir %s, tolerance %g m", *dir, *tol)
 
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("bqsd: metrics: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		msrv = &http.Server{Handler: mux}
+		fmt.Printf("bqsd: metrics on http://%s/metrics\n", mln.Addr())
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("bqsd: metrics server: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
@@ -106,6 +133,9 @@ func main() {
 		if err != nil {
 			log.Printf("bqsd: accept loop failed: %v — draining", err)
 		}
+	}
+	if msrv != nil {
+		_ = msrv.Close() // scrape connections carry no durable state
 	}
 	if err := srv.Shutdown(); err != nil {
 		log.Fatalf("bqsd: drain: %v", err)

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/trajcomp/bqs/internal/cache"
 	"github.com/trajcomp/bqs/internal/core"
 	"github.com/trajcomp/bqs/internal/stream"
 	"github.com/trajcomp/bqs/internal/trajstore"
@@ -135,7 +136,10 @@ var ErrDegraded = errors.New("engine: degraded: persistence failing, ingest susp
 var ErrBackpressure = errors.New("engine: shard queue full (backpressure)")
 
 // Stats is a point-in-time snapshot of engine activity, merged across
-// shards.
+// shards. It is safe to read after Close: every field comes from
+// atomics, the in-memory stores, or — for the persister-backed fields
+// (Cache, CompactReclaimed) — degrades to zero once the persister is
+// detached.
 type Stats struct {
 	ActiveSessions  int             // sessions currently open
 	SessionsOpened  uint64          // sessions ever created
@@ -144,6 +148,11 @@ type Stats struct {
 	KeyPoints       uint64          // key points emitted by all sessions
 	Persisted       uint64          // finalized trajectories handed to the persister
 	ParkedTrails    uint64          // trajectories parked in memory by degraded mode, awaiting Heal
+	Rejected        uint64          // fixes refused by TryIngest backpressure or degraded mode
+	PersistFailures uint64          // failed persister append/sync attempts (retried ones included)
+	CompactFailures uint64          // failed compaction passes (periodic or CompactNow)
+	CompactReclaim  int64           // net disk bytes freed by published compactions
+	Cache           cache.Stats     // read-side record cache counters (zero without a cache)
 	Store           trajstore.Stats // merged per-shard store statistics
 }
 
@@ -186,8 +195,11 @@ type Engine struct {
 
 	// stopCompact ends the periodic compaction goroutine (nil when
 	// CompactInterval is 0); the goroutine is counted in wg. compactWG
-	// tracks external CompactNow callers so Close can wait for them
-	// before closing the persister.
+	// tracks every external caller still inside a persister operation —
+	// CompactNow, Heal's probe, QueryWindow's durable read — registered
+	// under mu's read lock before the closed check releases it, so
+	// Close (which waits on it before ClosePersist) can never detach
+	// the persister out from under an admitted call.
 	stopCompact chan struct{}
 	compactWG   sync.WaitGroup
 
@@ -210,6 +222,13 @@ type Engine struct {
 	compactErr atomic.Pointer[error]
 	persisting bool    // cfg.Persister != nil, cached for the hot path
 	mPerDegree float64 // metres per degree for GeoKey conversion
+
+	// Failure/reject tallies for Stats. Engine-global atomics, not
+	// per-shard stripes: every increment is on a slow path (a refused
+	// batch, a failed append attempt, a failed compaction pass).
+	rejected     atomic.Uint64
+	persistFails atomic.Uint64
+	compactFails atomic.Uint64
 }
 
 // session is the per-device state, owned by exactly one shard worker.
@@ -413,6 +432,7 @@ func (e *Engine) compactLoop(every time.Duration) {
 		select {
 		case <-t.C:
 			if err := e.stores.CompactPersist(); err != nil {
+				e.compactFails.Add(1)
 				e.compactErr.Store(&err)
 			} else {
 				e.compactErr.Store(nil)
@@ -450,7 +470,11 @@ func (e *Engine) CompactNow() error {
 	e.compactWG.Add(1)
 	e.mu.RUnlock()
 	defer e.compactWG.Done()
-	return e.stores.CompactPersist()
+	err := e.stores.CompactPersist()
+	if err != nil {
+		e.compactFails.Add(1)
+	}
+	return err
 }
 
 // shardIndex routes a device ID to a shard. The hash lives in
@@ -533,6 +557,7 @@ func (e *Engine) Ingest(fixes []Fix) error {
 	}
 	defer e.ingestWG.Done()
 	if derr := e.degradedErr(); derr != nil {
+		e.rejected.Add(uint64(len(fixes)))
 		return derr
 	}
 	if len(e.shards) == 1 {
@@ -576,6 +601,7 @@ func (e *Engine) TryIngest(fixes []Fix) (accepted int, err error) {
 	}
 	defer e.ingestWG.Done()
 	if derr := e.degradedErr(); derr != nil {
+		e.rejected.Add(uint64(len(fixes)))
 		return 0, derr
 	}
 	full := false
@@ -585,6 +611,7 @@ func (e *Engine) TryIngest(fixes []Fix) (accepted int, err error) {
 			accepted += len(b.fixes)
 		default:
 			full = true
+			e.rejected.Add(uint64(len(b.fixes)))
 			e.batchPool.Put(b)
 		}
 	}
@@ -662,6 +689,7 @@ func (e *Engine) Sync() error {
 	}
 	syncErr := e.stores.SyncPersist()
 	if syncErr != nil {
+		e.persistFails.Add(1)
 		syncErr = fmt.Errorf("engine: persister sync: %w", syncErr)
 		// A terminal failure at the durability barrier means acked
 		// fixes cannot be made durable: latch degraded so clients stop
@@ -807,7 +835,12 @@ func (e *Engine) QueueStats() QueueStats {
 
 // Stats returns a merged snapshot of engine activity. Counters are read
 // atomically but not mutually consistent; call Sync first for a quiescent
-// reading.
+// reading. Unlike the mutating entry points, Stats deliberately skips
+// the closed check: every source it reads is safe after Close (shard
+// atomics, the in-memory stores, and the persistHolder, which answers
+// "not attached" once ClosePersist has detached the persister), so a
+// monitoring scrape racing shutdown gets a coherent final snapshot
+// instead of an error.
 func (e *Engine) Stats() Stats {
 	s := Stats{Store: e.stores.MergedStats()}
 	for _, sh := range e.shards {
@@ -818,6 +851,13 @@ func (e *Engine) Stats() Stats {
 		s.KeyPoints += sh.keys.Load()
 		s.Persisted += sh.persisted.Load()
 		s.ParkedTrails += sh.parkedN.Load()
+	}
+	s.Rejected = e.rejected.Load()
+	s.PersistFailures = e.persistFails.Load()
+	s.CompactFailures = e.compactFails.Load()
+	s.CompactReclaim = e.stores.ReclaimedPersist()
+	if cs, ok := e.stores.CacheStatsPersist(); ok {
+		s.Cache = cs
 	}
 	return s
 }
@@ -1051,6 +1091,9 @@ func (sh *shard) appendGeo(device string, geo []trajstore.GeoKey) error {
 			err = sh.persist.Append(device, geo)
 		} else {
 			err = e.stores.Persist(device, geo)
+		}
+		if err != nil {
+			e.persistFails.Add(1)
 		}
 		if err == nil || attempt >= e.retry.Max || !trajstore.TransientErr(err) {
 			return err

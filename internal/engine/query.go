@@ -6,12 +6,22 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"github.com/trajcomp/bqs/internal/core"
 	"github.com/trajcomp/bqs/internal/trajstore"
 )
+
+// ErrPartialResult reports that QueryWindow could answer from the live
+// in-memory stores but not from the durable log: the returned segments
+// are the live side only, and persisted history (from before a restart,
+// or of already-evicted sessions) is missing. Errors carrying it (match
+// with errors.Is) wrap the durable side's failure. Callers wanting
+// fail-fast semantics treat it as any other error; callers serving
+// best-effort dashboards may use the partial slice knowingly.
+var ErrPartialResult = errors.New("engine: partial window result (live data only; durable side failed)")
 
 // pairKey identifies one trajectory segment (a consecutive key-point
 // pair) at the wire format's resolution — 1e-7° coordinates, whole
@@ -81,20 +91,30 @@ func pairInWindow(a, b core.Point, minX, minY, maxX, maxY, t0, t1 float64) bool 
 // quiescent view. Results from live stores that were merged under a
 // MergeTolerance, or aged, may not exactly coincide with their durable
 // counterparts; such near-duplicates are reported from both sides.
+//
+// When the durable side fails, the error matches ErrPartialResult
+// (wrapping the underlying failure) and the returned slice holds the
+// live-side answer only — a documented partial view, not a silent one.
 func (e *Engine) QueryWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]trajstore.Segment, error) {
+	// Register in compactWG under the same lock the closed check reads,
+	// exactly like CompactNow/Heal: Close waits on compactWG before
+	// ClosePersist, so an admitted query can never race the persister's
+	// teardown and report a spurious partial result against itself.
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
 		return nil, ErrClosed
 	}
+	e.compactWG.Add(1)
 	e.mu.RUnlock()
+	defer e.compactWG.Done()
 
 	ft0, ft1 := float64(t0), float64(t1)
 	out := e.stores.QueryWindow(minX, minY, maxX, maxY, ft0, ft1)
 	m := e.mPerDegree
 	durable, ok, err := e.stores.QueryWindowPersist(minX/m, minY/m, maxX/m, maxY/m, t0, t1)
 	if err != nil {
-		return out, fmt.Errorf("engine: window query: %w", err)
+		return out, fmt.Errorf("%w: %w", ErrPartialResult, err)
 	}
 	if !ok {
 		return out, nil

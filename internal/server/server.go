@@ -72,6 +72,7 @@ type tenantLog interface {
 	Query(device string, t0, t1 uint32) ([]trajstore.PersistedRecord, error)
 	QueryWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]trajstore.PersistedRecord, error)
 	CompactNow() error
+	Stats() segmentlog.Stats
 }
 
 // openLog is the tenant-storage constructor; a test hook.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"syscall"
+
+	"github.com/trajcomp/bqs/internal/cache"
 )
 
 // TransientErr classifies a persist-path failure: true for errors that
@@ -98,6 +100,21 @@ type WindowQuerier interface {
 	QueryWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]PersistedRecord, error)
 }
 
+// CacheStatser is optionally implemented by Persisters with a
+// read-side cache (the segment log's record cache). CacheStats
+// snapshots its counters; it must be safe to call concurrently with
+// every other operation.
+type CacheStatser interface {
+	CacheStats() cache.Stats
+}
+
+// Reclaimer is optionally implemented by Persisters whose compaction
+// reports cumulative reclaimed disk bytes (net: an upgrade pass that
+// grows the data subtracts).
+type Reclaimer interface {
+	ReclaimedBytes() int64
+}
+
 // persistHolder is the optional persister attachment shared by Store
 // wrappers; Sharded embeds one so the engine can thread durability
 // through the existing storage object without new plumbing types.
@@ -158,6 +175,25 @@ func (h *persistHolder) QueryWindowPersist(minX, minY, maxX, maxY float64, t0, t
 	}
 	recs, err = q.QueryWindow(minX, minY, maxX, maxY, t0, t1)
 	return recs, true, err
+}
+
+// CacheStatsPersist snapshots the attached persister's read-cache
+// counters; ok is false when none is attached or it has no cache
+// statistics to report.
+func (h *persistHolder) CacheStatsPersist() (cache.Stats, bool) {
+	if c, isC := h.Persister().(CacheStatser); isC {
+		return c.CacheStats(), true
+	}
+	return cache.Stats{}, false
+}
+
+// ReclaimedPersist reports the attached persister's cumulative
+// compaction reclaim; zero when unattached or unsupported.
+func (h *persistHolder) ReclaimedPersist() int64 {
+	if r, isR := h.Persister().(Reclaimer); isR {
+		return r.ReclaimedBytes()
+	}
+	return 0
 }
 
 // ClosePersist closes the attached persister, if any, and detaches it.

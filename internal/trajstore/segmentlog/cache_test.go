@@ -1,0 +1,242 @@
+package segmentlog
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/trajcomp/bqs/internal/cache"
+)
+
+// windowCacheStats runs one window query over the whole fixture and
+// returns the results with the per-query window stats and the cache
+// counters after it.
+func windowCacheStats(t *testing.T, l *Log) ([]Record, WindowStats, cache.Stats) {
+	t.Helper()
+	recs, ws, err := l.QueryWindowStats(-1, -1, 10, 10, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, ws, l.CacheStats()
+}
+
+// fillChunked appends each device's walk as chunks overlapping by one
+// key — the engine's MaxTrailKeys chunking invariant — so a MergeChunks
+// compaction has real work to do and therefore publishes a generation.
+func fillChunked(t *testing.T, l *Log, devs, n, chunk int) {
+	t.Helper()
+	for d := 0; d < devs; d++ {
+		keys := cellKeys(d, 0, n)
+		for lo := 0; lo < len(keys)-1; lo += chunk - 1 {
+			hi := min(lo+chunk, len(keys))
+			if err := l.Append(fmt.Sprintf("dev-%03d", d), keys[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			if hi == len(keys) {
+				break
+			}
+		}
+	}
+}
+
+// pairSets reduces records to per-device sets of consecutive key pairs
+// — the trajectory segments, which chunk-merging preserves exactly even
+// though it changes record boundaries.
+func pairSets(recs []Record) map[string]map[[6]float64]bool {
+	out := make(map[string]map[[6]float64]bool)
+	for _, r := range recs {
+		m := out[r.Device]
+		if m == nil {
+			m = make(map[[6]float64]bool)
+			out[r.Device] = m
+		}
+		for i := 0; i+1 < len(r.Keys); i++ {
+			a, b := r.Keys[i], r.Keys[i+1]
+			m[[6]float64{a.Lat, a.Lon, float64(a.T), b.Lat, b.Lon, float64(b.T)}] = true
+		}
+	}
+	return out
+}
+
+// TestCacheHitsAndInvalidationAcrossCompaction is the tentpole's core
+// contract: a cold query decodes and populates, a warm repeat serves
+// every record from the cache without a single decode, a compaction's
+// generation bump invalidates everything at once (no flush call — the
+// keys just stop matching), and the post-compaction re-population makes
+// the next repeat warm again. Results are bit-identical at every stage.
+func TestCacheHitsAndInvalidationAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{MaxSegmentBytes: 1024, CacheBytes: 1 << 20})
+	defer l.Close()
+	fillChunked(t, l, 6, 40, 8)
+
+	// Cold: nothing resident, every candidate is a miss and a decode.
+	cold, cws, cs := windowCacheStats(t, l)
+	if len(cold) == 0 {
+		t.Fatal("fixture produced no window results")
+	}
+	if cws.CacheHits != 0 {
+		t.Fatalf("cold query reported %d cache hits", cws.CacheHits)
+	}
+	if cws.RecordsDecoded == 0 {
+		t.Fatal("cold query decoded nothing")
+	}
+	if cs.Misses == 0 || cs.Entries == 0 {
+		t.Fatalf("cold query did not populate the cache: %+v", cs)
+	}
+
+	// Warm: the same query serves entirely from memory.
+	warm, wws, ws2 := windowCacheStats(t, l)
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("warm results diverge from cold results")
+	}
+	if wws.RecordsDecoded != 0 {
+		t.Fatalf("warm query decoded %d records, want 0", wws.RecordsDecoded)
+	}
+	if wws.CacheHits == 0 {
+		t.Fatal("warm query reported no cache hits")
+	}
+	if ws2.Hits <= cs.Hits {
+		t.Fatalf("cache hit counter did not advance: %d -> %d", cs.Hits, ws2.Hits)
+	}
+
+	// Compaction publishes a new generation: every resident entry is
+	// keyed to the old one and can never be looked up again.
+	genBefore := l.Stats().Gen
+	res, err := l.Compact(CompactionPolicy{MergeChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged == 0 {
+		t.Fatalf("fixture gave compaction nothing to merge: %+v", res)
+	}
+	if l.Stats().Gen <= genBefore {
+		t.Fatal("compaction did not bump the manifest generation")
+	}
+	postCompact, pws, ps := windowCacheStats(t, l)
+	if pws.CacheHits != 0 {
+		t.Fatalf("first post-compaction query hit the stale generation %d times", pws.CacheHits)
+	}
+	if pws.RecordsDecoded == 0 {
+		t.Fatal("post-compaction query decoded nothing — stale entries served?")
+	}
+	if ps.Misses <= ws2.Misses {
+		t.Fatalf("post-compaction query recorded no misses: %d -> %d", ws2.Misses, ps.Misses)
+	}
+	// Compaction merges chunks, so record boundaries legitimately change;
+	// the trajectory segments (consecutive key pairs) must not.
+	if !reflect.DeepEqual(pairSets(postCompact), pairSets(cold)) {
+		t.Fatal("post-compaction results diverge from pre-compaction results")
+	}
+
+	// And the new generation's entries serve the next repeat warm.
+	rewarm, rws, _ := windowCacheStats(t, l)
+	if !reflect.DeepEqual(rewarm, postCompact) {
+		t.Fatal("re-warmed results diverge")
+	}
+	if rws.RecordsDecoded != 0 || rws.CacheHits == 0 {
+		t.Fatalf("cache did not re-populate after compaction: decoded=%d hits=%d",
+			rws.RecordsDecoded, rws.CacheHits)
+	}
+}
+
+// TestCacheHitResultsIsolated: a caller mutating the Keys slice of a
+// cache-served record must not corrupt the cached copy (clone-out), and
+// mutating the slice that populated the cache must not either
+// (clone-in).
+func TestCacheHitResultsIsolated(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{CacheBytes: 1 << 20})
+	defer l.Close()
+	fillCells(t, l, 2, 2, 8)
+
+	first, _, _ := windowCacheStats(t, l)
+	want := make([][]float64, len(first))
+	for i, r := range first {
+		for _, k := range r.Keys {
+			want[i] = append(want[i], k.Lat, k.Lon)
+		}
+	}
+	// Scribble over both the populating query's slices and a warm hit's.
+	for pass := 0; pass < 2; pass++ {
+		recs, _, _ := windowCacheStats(t, l)
+		for _, r := range recs {
+			for j := range r.Keys {
+				r.Keys[j].Lat = -999
+				r.Keys[j].Lon = -999
+			}
+		}
+	}
+	again, ws, _ := windowCacheStats(t, l)
+	if ws.CacheHits == 0 {
+		t.Fatal("verification query was not served from cache")
+	}
+	for i, r := range again {
+		var got []float64
+		for _, k := range r.Keys {
+			got = append(got, k.Lat, k.Lon)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("record %d: cached keys were corrupted by caller mutation", i)
+		}
+	}
+}
+
+// TestCacheDisabledByDefault: Options zero value keeps the pre-cache
+// behavior exactly — no residency, no hit/miss accounting.
+func TestCacheDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	defer l.Close()
+	fillCells(t, l, 2, 2, 8)
+	for i := 0; i < 2; i++ {
+		_, ws, cs := windowCacheStats(t, l)
+		if ws.CacheHits != 0 {
+			t.Fatalf("pass %d: cache hits with caching off", i)
+		}
+		if ws.RecordsDecoded == 0 {
+			t.Fatalf("pass %d: no decodes with caching off", i)
+		}
+		if cs != (cache.Stats{}) {
+			t.Fatalf("pass %d: nonzero cache stats with caching off: %+v", i, cs)
+		}
+	}
+}
+
+// TestShardedCacheSharedBudget: all shards feed one cache; per-shard
+// queries populate it and ShardedLog.CacheStats sees the union, while a
+// repeated sharded window query is served warm.
+func TestShardedCacheSharedBudget(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpenSharded(t, dir, 4, Options{CacheBytes: 1 << 20})
+	defer s.Close()
+	for r := 0; r < 3; r++ {
+		for d := 0; d < 8; d++ {
+			if err := s.Append(fmt.Sprintf("dev-%03d", d), cellKeys(d, r, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cold, cws, err := s.QueryWindowStats(-1, -1, 10, 10, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cws.CacheHits != 0 {
+		t.Fatalf("cold sharded query hit %d times", cws.CacheHits)
+	}
+	cs := s.CacheStats()
+	if cs.Entries == 0 || cs.Misses == 0 {
+		t.Fatalf("cold sharded query did not populate the shared cache: %+v", cs)
+	}
+	warm, wws, err := s.QueryWindowStats(-1, -1, 10, 10, 0, math.MaxUint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wws.RecordsDecoded != 0 || wws.CacheHits == 0 {
+		t.Fatalf("sharded warm query: decoded=%d hits=%d", wws.RecordsDecoded, wws.CacheHits)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm sharded query returned %d records, want %d", len(warm), len(cold))
+	}
+}

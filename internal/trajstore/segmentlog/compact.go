@@ -390,6 +390,12 @@ func (l *Log) Compact(p CompactionPolicy) (CompactionResult, error) {
 	}
 	l.gen++
 	res.Gen = l.gen
+	// The generation bump just orphaned every cache entry for the
+	// superseded segments; account the net disk reclaim of this pass.
+	// BytesOut is complete here even though res is still being built:
+	// the output segments were sealed above and the tail was never an
+	// input.
+	l.reclaimed.Add(res.BytesIn - res.BytesOut)
 
 	l.segs = combined
 	l.segRecs = combinedRecs

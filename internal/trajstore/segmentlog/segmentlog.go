@@ -140,6 +140,18 @@ type Options struct {
 	// vfs.FaultFS to exercise ENOSPC/EIO/fsync-failure/crash schedules
 	// against the whole durable stack.
 	FS vfs.FS
+	// CacheBytes, when positive, enables the read-side record cache
+	// with that byte budget: query paths serve repeated reads of the
+	// same record from memory, skipping the pread, CRC re-verification
+	// and delta decode. Entries are keyed by manifest generation, so
+	// compaction (and every other layout change) invalidates them
+	// without a flush protocol. Zero disables caching — the default,
+	// and the pre-cache behavior exactly.
+	CacheBytes int64
+	// cache, when non-nil, overrides CacheBytes with an existing cache
+	// instance. The sharded layer sets it so all shard logs share one
+	// budget; single-log callers leave it nil.
+	cache *recordCache
 }
 
 // Record is one persisted trajectory, decoded. It is an alias of
@@ -238,6 +250,14 @@ type Log struct {
 	// under mu with the segment path). Test-only: it pins the "cold
 	// segments cost nothing until read" property of lazy opens.
 	loadHook func(path string)
+
+	// cache is the read-side record cache (nil when not configured);
+	// possibly shared with other shard logs. See cache.go.
+	cache *recordCache
+	// reclaimed accumulates net disk bytes freed by published
+	// compactions (BytesIn − BytesOut per pass) over this handle's
+	// lifetime.
+	reclaimed atomic.Int64
 
 	mu      sync.Mutex
 	closed  bool
@@ -357,6 +377,11 @@ func open(dir string, opts Options, takeLock bool) (*Log, error) {
 		fsys = vfs.OS
 	}
 	l := &Log{dir: dir, opts: opts, ro: opts.ReadOnly, fs: fsys, index: make(map[string][]recordAddr)}
+	if opts.cache != nil {
+		l.cache = opts.cache
+	} else {
+		l.cache = newRecordCache(opts.CacheBytes)
+	}
 	if l.ro {
 		fi, err := l.fs.Stat(dir)
 		if err != nil {
@@ -1605,13 +1630,17 @@ func (l *Log) Query(device string, t0, t1 uint32) ([]Record, error) {
 // queryOnce is one snapshot-and-read pass; retry is true when the error
 // was a segment file vanishing under a concurrent compaction.
 func (l *Log) queryOnce(device string, t0, t1 uint32) (out []Record, retry bool, err error) {
-	refs, segs, err := l.snapshotRefs(device, t0, t1)
+	refs, segs, gen, err := l.snapshotRefs(device, t0, t1)
 	if err != nil {
 		return nil, false, err
 	}
 	files := newSegReader(l.fs, segs)
 	defer files.close()
 	for _, ref := range refs {
+		if rec, ok := l.cacheGet(gen, segs[ref.seg].path, ref.off); ok {
+			out = append(out, rec)
+			continue
+		}
 		body, err := files.readRecord(ref)
 		if err != nil {
 			return nil, errors.Is(err, fs.ErrNotExist), err
@@ -1624,28 +1653,32 @@ func (l *Log) queryOnce(device string, t0, t1 uint32) (out []Record, retry bool,
 		if err != nil {
 			return nil, false, fmt.Errorf("segmentlog: %w", err)
 		}
-		out = append(out, Record{Device: dev, T0: rt0, T1: rt1, Keys: keys})
+		rec := Record{Device: dev, T0: rt0, T1: rt1, Keys: keys}
+		l.cachePut(gen, segs[ref.seg].path, ref.off, rec)
+		out = append(out, rec)
 	}
 	return out, false, nil
 }
 
 // snapshotRefs collects, under the lock, the matching refs and a
 // snapshot of the segments they point into, flushing pending writes
-// first so disk reads observe every indexed record.
-func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]refSnap, []segSnap, error) {
+// first so disk reads observe every indexed record. gen is the
+// manifest generation the snapshot belongs to — the cache epoch of
+// every ref returned.
+func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]refSnap, []segSnap, uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return nil, nil, ErrClosed
+		return nil, nil, 0, ErrClosed
 	}
 	// A flush failure poisons the active segment and withdraws the
 	// at-risk records from the index, leaving it consistent — queries
 	// keep answering from the durable prefix while the log is degraded.
 	if err := l.flushLocked(); err != nil && !l.poisoned {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if err := l.ensureAllLoadedLocked(); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	var refs []refSnap
 	for _, a := range l.index[device] {
@@ -1658,7 +1691,7 @@ func (l *Log) snapshotRefs(device string, t0, t1 uint32) ([]refSnap, []segSnap, 
 	for i, s := range l.segs {
 		segs[i] = segSnap{path: s.path, ver: s.ver}
 	}
-	return refs, segs, nil
+	return refs, segs, l.gen, nil
 }
 
 // segReader reads CRC-verified record bodies from a segment snapshot,

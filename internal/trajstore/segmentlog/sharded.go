@@ -58,6 +58,11 @@ type ShardedLog struct {
 	fs     vfs.FS // never nil; resolved from Options.FS at open
 	lock   vfs.File
 	shards []*Log
+	// cache is the read-side record cache shared by every shard log
+	// (nil when Options.CacheBytes is zero): one byte budget for the
+	// whole tree, instead of N independent budgets that would let a
+	// hot shard starve while cold shards hold empty reserves.
+	cache *recordCache
 
 	mu     sync.Mutex
 	closed bool
@@ -181,6 +186,10 @@ func OpenSharded(dir string, shards int, opts Options) (*ShardedLog, error) {
 		fsys = vfs.OS
 	}
 	s := &ShardedLog{dir: dir, ro: opts.ReadOnly, fs: fsys}
+	if opts.cache == nil {
+		opts.cache = newRecordCache(opts.CacheBytes)
+	}
+	s.cache = opts.cache
 	if s.ro {
 		n, found, err := readShards(s.fs, dir)
 		if err != nil {
@@ -549,6 +558,7 @@ func (s *ShardedLog) QueryWindowStats(minX, minY, maxX, maxY float64, t0, t1 uin
 		ws.RecordsPruned += o.ws.RecordsPruned
 		ws.RecordsDecoded += o.ws.RecordsDecoded
 		ws.RecordsMatched += o.ws.RecordsMatched
+		ws.CacheHits += o.ws.CacheHits
 	}
 	if err != nil {
 		return nil, ws, err

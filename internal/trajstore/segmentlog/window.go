@@ -119,6 +119,7 @@ type WindowStats struct {
 	RecordsPruned  int // records skipped via per-record bbox/time bounds
 	RecordsDecoded int // candidate records read and decoded from disk
 	RecordsMatched int // records returned
+	CacheHits      int // candidate records served from the read cache (not decoded)
 }
 
 // windowMatch is the exact predicate: the polyline has at least one
@@ -193,31 +194,41 @@ func (l *Log) QueryWindowStats(minX, minY, maxX, maxY float64, t0, t1 uint32) ([
 // queryWindowOnce is one snapshot-prune-decode pass; retry is true when
 // a segment file vanished under a concurrent compaction.
 func (l *Log) queryWindowOnce(minX, minY, maxX, maxY float64, t0, t1 uint32) (out []Record, ws WindowStats, retry bool, err error) {
-	cands, segs, ws, err := l.snapshotWindow(minX, minY, maxX, maxY, t0, t1)
+	cands, segs, gen, ws, err := l.snapshotWindow(minX, minY, maxX, maxY, t0, t1)
 	if err != nil {
 		return nil, ws, false, err
 	}
 	files := newSegReader(l.fs, segs)
 	defer files.close()
 	for _, ref := range cands {
-		body, err := files.readRecord(ref)
-		if err != nil {
-			return nil, ws, errors.Is(err, fs.ErrNotExist), err
+		rec, hit := l.cacheGet(gen, segs[ref.seg].path, ref.off)
+		if hit {
+			ws.CacheHits++
+		} else {
+			body, err := files.readRecord(ref)
+			if err != nil {
+				return nil, ws, errors.Is(err, fs.ErrNotExist), err
+			}
+			dev, rt0, rt1, _, _, payload, err := splitBody(body, segs[ref.seg].ver)
+			if err != nil {
+				return nil, ws, false, fmt.Errorf("segmentlog: indexed record unreadable: %w", err)
+			}
+			keys, err := trajstore.DeltaDecode(payload)
+			if err != nil {
+				return nil, ws, false, fmt.Errorf("segmentlog: %w", err)
+			}
+			ws.RecordsDecoded++
+			rec = Record{Device: dev, T0: rt0, T1: rt1, Keys: keys}
+			// Candidates that fail the exact test below are cached too:
+			// they survived the metadata pruning, so the same window (or a
+			// neighboring one) will keep re-reading them.
+			l.cachePut(gen, segs[ref.seg].path, ref.off, rec)
 		}
-		dev, rt0, rt1, _, _, payload, err := splitBody(body, segs[ref.seg].ver)
-		if err != nil {
-			return nil, ws, false, fmt.Errorf("segmentlog: indexed record unreadable: %w", err)
-		}
-		keys, err := trajstore.DeltaDecode(payload)
-		if err != nil {
-			return nil, ws, false, fmt.Errorf("segmentlog: %w", err)
-		}
-		ws.RecordsDecoded++
-		if !windowMatch(keys, minX, minY, maxX, maxY, t0, t1) {
+		if !windowMatch(rec.Keys, minX, minY, maxX, maxY, t0, t1) {
 			continue
 		}
 		ws.RecordsMatched++
-		out = append(out, Record{Device: dev, T0: rt0, T1: rt1, Keys: keys})
+		out = append(out, rec)
 	}
 	return out, ws, false, nil
 }
@@ -225,19 +236,21 @@ func (l *Log) queryWindowOnce(minX, minY, maxX, maxY float64, t0, t1 uint32) (ou
 // snapshotWindow collects, under the lock, the candidate records whose
 // metadata cannot rule out a window match, flushing pending writes
 // first so disk reads observe every indexed record. Candidates come
-// back in (segment, offset) order — log order.
-func (l *Log) snapshotWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]refSnap, []segSnap, WindowStats, error) {
+// back in (segment, offset) order — log order. gen is the manifest
+// generation the snapshot belongs to — the cache epoch of every
+// candidate returned.
+func (l *Log) snapshotWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]refSnap, []segSnap, uint64, WindowStats, error) {
 	var ws WindowStats
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return nil, nil, ws, ErrClosed
+		return nil, nil, 0, ws, ErrClosed
 	}
 	// A flush failure poisons the active segment and withdraws the
 	// at-risk records from the index, leaving it consistent — window
 	// queries keep answering from the durable prefix (see snapshotRefs).
 	if err := l.flushLocked(); err != nil && !l.poisoned {
-		return nil, nil, ws, err
+		return nil, nil, 0, ws, err
 	}
 	var cands []refSnap
 	ws.Segments = len(l.segs)
@@ -253,7 +266,7 @@ func (l *Log) snapshotWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]r
 		// above worked without touching disk; only a segment the window
 		// might actually hit pays its load here.
 		if err := l.ensureSegLoadedLocked(si); err != nil {
-			return nil, nil, ws, err
+			return nil, nil, 0, ws, err
 		}
 		for pi := range l.segRecs[si] {
 			m := &l.segRecs[si][pi]
@@ -269,5 +282,5 @@ func (l *Log) snapshotWindow(minX, minY, maxX, maxY float64, t0, t1 uint32) ([]r
 	for i, s := range l.segs {
 		segs[i] = segSnap{path: s.path, ver: s.ver}
 	}
-	return cands, segs, ws, nil
+	return cands, segs, l.gen, ws, nil
 }
